@@ -1,0 +1,30 @@
+// Command datatypes regenerates Figure 12: YCSB-A run directly on the
+// J-PDT maps (hash table, red-black tree, skip list) against their
+// volatile counterparts, plus the Blackhole injection baseline.
+//
+// Usage:
+//
+//	datatypes [-records N] [-ops N] [-vallen N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	records := flag.Int("records", 20_000, "key count")
+	ops := flag.Int("ops", 80_000, "operations")
+	valLen := flag.Int("vallen", 100, "value size in bytes")
+	flag.Parse()
+
+	rows, err := bench.Fig12(*records, *ops, *valLen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bench.PrintFig12(os.Stdout, rows)
+}

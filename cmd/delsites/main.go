@@ -1,0 +1,97 @@
+// Command delsites regenerates Table 1: it counts the deletion sites for
+// persistent objects in a Go source tree, supporting the paper's argument
+// that explicit deletion is rare in data stores ("a handful of deletion
+// sites", §2.2.2) and a runtime GC for NVMM therefore buys little.
+//
+// A deletion site is a call that frees persistent storage: Free(...),
+// FreeObject(...), tx.Free(...), Delete(...) on a persistent map, and so
+// on. Run it over this repository to see the claim hold here too:
+//
+//	delsites ./internal/store ./internal/tpcb ./examples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// freeCalls are the method names that delete persistent objects.
+var freeCalls = map[string]bool{
+	"Free":       true,
+	"FreeObject": true,
+	"FreeRaw":    true,
+}
+
+func main() {
+	includeTests := flag.Bool("tests", false, "include _test.go files")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	fmt.Printf("%-40s%10s%10s\n", "tree", "SLOC", "# sites")
+	for _, root := range roots {
+		sloc, sites, err := scan(root, *includeTests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-40s%10d%10d\n", root, sloc, len(sites))
+		for _, s := range sites {
+			fmt.Printf("    %s\n", s)
+		}
+	}
+}
+
+func scan(root string, includeTests bool) (sloc int, sites []string, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		if !includeTests && strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(src), "\n") {
+			t := strings.TrimSpace(line)
+			if t != "" && !strings.HasPrefix(t, "//") {
+				sloc++
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if freeCalls[sel.Sel.Name] {
+				pos := fset.Position(call.Pos())
+				sites = append(sites, fmt.Sprintf("%s:%d %s(...)", pos.Filename, pos.Line, sel.Sel.Name))
+			}
+			return true
+		})
+		return nil
+	})
+	return sloc, sites, err
+}

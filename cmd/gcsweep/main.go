@@ -1,0 +1,73 @@
+// Command gcsweep regenerates the garbage-collection counter-examples of
+// §2.2: Figure 1 (managed cache ratio vs GC cost and tail latency under
+// the G1-style collector) and Figure 2 (go-pmem-style GC time growing
+// with the persistent dataset).
+//
+// Usage:
+//
+//	gcsweep -exp fig2 [-ops N] [-gcmb N] [-datasets 16,32,64,128,256]
+//	gcsweep -exp fig1 [-records N] [-ops N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad list element %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	exp := flag.String("exp", "fig2", "experiment: fig1, fig2, all")
+	ops := flag.Int("ops", 0, "operation count (0 = default)")
+	records := flag.Int("records", 0, "record count for fig1 (0 = default)")
+	gcmb := flag.Int("gcmb", 0, "collect every N MB of allocation (paper: every 10 GB; 0 = scaled default)")
+	datasets := flag.String("datasets", "", "comma-separated dataset sizes in MB for fig2")
+	ratios := flag.String("ratios", "", "comma-separated cache ratios (%) for fig1")
+	flag.Parse()
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig1", "fig2"}
+	}
+	for _, n := range names {
+		switch n {
+		case "fig1":
+			rows, err := bench.Fig1(*records, *ops, parseInts(*ratios), *gcmb)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			bench.PrintFig1(os.Stdout, rows)
+		case "fig2":
+			rows, err := bench.Fig2(parseInts(*datasets), *ops, *gcmb)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			bench.PrintFig2(os.Stdout, rows)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", n)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+}

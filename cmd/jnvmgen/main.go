@@ -1,0 +1,56 @@
+// Command jnvmgen is the code generator of §2.5: it reads Go source files,
+// finds structs marked with a //jnvm:persistent comment, and writes
+// <file>_jnvm.go next to each input with the generated persistent proxy —
+// typed getters/setters, per-field flush methods, transactional accessors,
+// atomic reference helpers and the core.Class descriptor.
+//
+// Usage:
+//
+//	jnvmgen [-module repro] [-prefix myapp] file.go [file2.go ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	module := flag.String("module", "repro", "module path used in generated imports")
+	prefix := flag.String("prefix", "", "persistent class-name prefix (default: package name)")
+	stdout := flag.Bool("stdout", false, "print generated code instead of writing files")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jnvmgen [-module M] [-prefix P] file.go ...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out, err := gen.GenerateSource(path, src, gen.SrcOptions{Module: *module, ClassPrefix: *prefix})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if out == nil {
+			fmt.Fprintf(os.Stderr, "jnvmgen: %s: no //jnvm:persistent structs\n", path)
+			continue
+		}
+		if *stdout {
+			os.Stdout.Write(out)
+			continue
+		}
+		dst := strings.TrimSuffix(path, ".go") + "_jnvm.go"
+		if err := os.WriteFile(dst, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("jnvmgen: wrote %s\n", dst)
+	}
+}

@@ -1,0 +1,40 @@
+// Command tpcb regenerates Figure 11: the TPC-B-like bank is hammered
+// with transfers, killed mid-run, restarted, and the throughput timeline
+// plus the restart delay are reported for Volatile, J-PFA, J-PFA-nogc and
+// FS.
+//
+// Usage:
+//
+//	tpcb [-accounts N] [-clients N] [-run 4s] [-crash 2s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	accounts := flag.Int("accounts", 20_000, "bank accounts (paper: 10M)")
+	clients := flag.Int("clients", 4, "load-injector goroutines")
+	runFor := flag.Duration("run", 4*time.Second, "total injection time")
+	crashAt := flag.Duration("crash", 0, "crash instant (default run/2)")
+	bucket := flag.Duration("bucket", 100*time.Millisecond, "timeline bucket")
+	flag.Parse()
+
+	tls, err := bench.Fig11(bench.Fig11Config{
+		Accounts:   *accounts,
+		Clients:    *clients,
+		RunFor:     *runFor,
+		CrashAfter: *crashAt,
+		Bucket:     *bucket,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bench.PrintFig11(os.Stdout, tls)
+}

@@ -1,0 +1,153 @@
+// Bank demonstrates failure-atomic blocks (§4.2) on the TPC-B-like
+// workload of §5.3.3: transfers between accounts commit entirely or not
+// at all, even across a hard kill.
+//
+// Run a workload and kill it mid-flight, then verify on restart:
+//
+//	go run ./examples/bank -pool /tmp/bank.pmem -transfers 5000 -crash
+//	go run ./examples/bank -pool /tmp/bank.pmem -verify
+//
+// The -crash run exits with os.Exit in the middle of the stream (the
+// process equivalent of SIGKILL: no defers, no flushes); the next run
+// replays or discards the interrupted block and the money is still
+// conserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	jnvm "repro"
+)
+
+const (
+	accounts    = 1000
+	initialEach = 1000
+)
+
+// account layout: balance only (padding omitted for the example).
+const accountSize = 8
+
+func accountClass() *jnvm.Class {
+	return &jnvm.Class{
+		Name:    "bank.Account",
+		Factory: func(o *jnvm.Object) jnvm.PObject { return o },
+	}
+}
+
+func open(pool string) (*jnvm.DB, *jnvm.PRefArray) {
+	db, err := jnvm.Open(jnvm.Options{
+		Path:        pool,
+		Size:        64 << 20,
+		Classes:     []*jnvm.Class{accountClass()},
+		LogSlotSize: 1 << 17, // the setup block logs one alloc per account
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if db.Root().Exists("accounts") {
+		po, err := db.Root().Get("accounts")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return db, po.(*jnvm.PRefArray)
+	}
+	// First run: create every account inside one failure-atomic block, so
+	// a crash during setup leaves nothing half-built.
+	arr, err := jnvm.NewRefArray(db, accounts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = db.RunFA(func(tx *jnvm.Tx) error {
+		for i := 0; i < accounts; i++ {
+			po, err := tx.Alloc(db.MustClass("bank.Account"), accountSize)
+			if err != nil {
+				return err
+			}
+			po.Core().WriteInt64(0, initialEach)
+			if err := tx.WriteRef(arr.Core(), uint64(i)*8, po.Core().Ref()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr.PWB() // the slot writes were direct (arr was invalid during the block)
+	if err := db.Root().Put("accounts", arr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %d accounts with %d each\n", accounts, initialEach)
+	return db, arr
+}
+
+func total(db *jnvm.DB, arr *jnvm.PRefArray) int64 {
+	var sum int64
+	for i := 0; i < accounts; i++ {
+		sum += db.Inspect(arr.GetRef(i)).ReadInt64(0)
+	}
+	return sum
+}
+
+func main() {
+	pool := flag.String("pool", "/tmp/jnvm-bank.pmem", "persistent pool file")
+	transfers := flag.Int("transfers", 5000, "transfers to execute")
+	crash := flag.Bool("crash", false, "die ungracefully mid-workload")
+	verify := flag.Bool("verify", false, "only check conservation and exit")
+	flag.Parse()
+
+	db, arr := open(*pool)
+	defer db.Close()
+
+	want := int64(accounts * initialEach)
+	got := total(db, arr)
+	fmt.Printf("total balance after recovery: %d (expected %d)\n", got, want)
+	if got != want {
+		log.Fatal("MONEY WAS CREATED OR DESTROYED — atomicity violated")
+	}
+	if *verify {
+		fmt.Println("conservation holds ✓")
+		return
+	}
+
+	rng := rand.New(rand.NewSource(int64(os.Getpid())))
+	crashAt := -1
+	if *crash {
+		crashAt = *transfers / 2
+	}
+	for i := 0; i < *transfers; i++ {
+		if i == crashAt {
+			fmt.Printf("simulating SIGKILL after %d transfers\n", i)
+			os.Exit(137) // no defers, no Close, nothing
+		}
+		fi, ti := rng.Intn(accounts), rng.Intn(accounts)
+		if fi == ti {
+			continue // a self-transfer is a no-op
+		}
+		from := db.Inspect(arr.GetRef(fi))
+		to := db.Inspect(arr.GetRef(ti))
+		amount := int64(rng.Intn(100))
+		err := db.RunFA(func(tx *jnvm.Tx) error {
+			fb, err := tx.ReadInt64(from, 0)
+			if err != nil {
+				return err
+			}
+			tb, err := tx.ReadInt64(to, 0)
+			if err != nil {
+				return err
+			}
+			if err := tx.WriteInt64(from, 0, fb-amount); err != nil {
+				return err
+			}
+			return tx.WriteInt64(to, 0, tb+amount)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("executed %d transfers; total is now %d\n", *transfers, total(db, arr))
+}

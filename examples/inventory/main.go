@@ -1,0 +1,157 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	jnvm "repro"
+	"repro/internal/pdt"
+)
+
+// The inventory keeps products in a persistent ordered map keyed by SKU,
+// with every product accessed through the jnvmgen-generated ProductP
+// proxy. Usage:
+//
+//	go run ./examples/inventory -pool /tmp/inv.pmem add WIDGET-00001 "left-handed widget" 250 9.99
+//	go run ./examples/inventory -pool /tmp/inv.pmem sell WIDGET-00001 10
+//	go run ./examples/inventory -pool /tmp/inv.pmem list
+
+func openInventory(pool string) (*jnvm.DB, *jnvm.Map) {
+	db, err := jnvm.Open(jnvm.Options{
+		Path:    pool,
+		Size:    32 << 20,
+		Classes: []*jnvm.Class{ProductPClass()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if db.Root().Exists("inventory") {
+		po, err := db.Root().Get("inventory")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return db, po.(*jnvm.Map)
+	}
+	m, err := jnvm.NewMap(db, jnvm.MirrorTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Root().Put("inventory", m); err != nil {
+		log.Fatal(err)
+	}
+	return db, m
+}
+
+func main() {
+	pool := flag.String("pool", "/tmp/jnvm-inventory.pmem", "persistent pool file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: inventory add <sku> <name> <qty> <price> | sell <sku> <qty> | list | retire <sku>")
+		os.Exit(2)
+	}
+	db, m := openInventory(*pool)
+	defer db.Close()
+
+	switch args[0] {
+	case "add":
+		if len(args) != 5 {
+			log.Fatal("add <sku> <name> <qty> <price>")
+		}
+		sku := args[1]
+		if len(sku) != 12 {
+			log.Fatalf("SKU must be 12 bytes, got %d", len(sku))
+		}
+		qty, _ := strconv.ParseInt(args[3], 10, 64)
+		price, _ := strconv.ParseFloat(args[4], 64)
+		// Everything publishes atomically in one failure-atomic block.
+		err := db.RunFA(func(tx *jnvm.Tx) error {
+			p, err := NewProductPTx(tx)
+			if err != nil {
+				return err
+			}
+			name, err := jnvm.NewStringTx(tx, args[2])
+			if err != nil {
+				return err
+			}
+			// The product is invalid until commit: direct writes via the
+			// generated non-Tx setters are exactly the §4.2 fast path.
+			p.SetQuantity(qty)
+			p.SetPrice(price)
+			p.SetSKU([]byte(sku))
+			p.SetName(name.Ref())
+			return m.PutTx(tx, sku, p)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("added %s\n", sku)
+	case "sell":
+		if len(args) != 3 {
+			log.Fatal("sell <sku> <qty>")
+		}
+		n, _ := strconv.ParseInt(args[2], 10, 64)
+		po, err := m.Get(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if po == nil {
+			log.Fatalf("unknown SKU %s", args[1])
+		}
+		p := po.(*ProductP)
+		err = db.RunFA(func(tx *jnvm.Tx) error {
+			q, err := p.QuantityTx(tx)
+			if err != nil {
+				return err
+			}
+			if q < n {
+				return fmt.Errorf("only %d in stock", q)
+			}
+			return p.SetQuantityTx(tx, q-n)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sold %d of %s, %d left\n", n, args[1], p.Quantity())
+	case "retire":
+		if len(args) != 2 {
+			log.Fatal("retire <sku>")
+		}
+		po, err := m.Get(args[1])
+		if err != nil || po == nil {
+			log.Fatalf("unknown SKU %s", args[1])
+		}
+		p := po.(*ProductP)
+		err = db.RunFA(func(tx *jnvm.Tx) error {
+			return p.SetDiscontinuedTx(tx, true)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("retired %s\n", args[1])
+	case "list":
+		err := m.Ascend("", func(sku string, po jnvm.PObject) bool {
+			p := po.(*ProductP)
+			name := "?"
+			if ref := p.Name(); ref != 0 {
+				if npo, err := db.Resurrect(ref); err == nil {
+					name = npo.(*pdt.PString).Value()
+				}
+			}
+			state := ""
+			if p.Discontinued() {
+				state = " (discontinued)"
+			}
+			fmt.Printf("%-14s %-28s qty=%-6d $%.2f%s\n", sku, name, p.Quantity(), p.Price(), state)
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}

@@ -1,0 +1,25 @@
+// Inventory demonstrates the code-generator workflow of §2.5: annotate a
+// plain struct with //jnvm:persistent, run
+//
+//	go run ./cmd/jnvmgen examples/inventory/types.go
+//
+// and use the generated typed proxy (types_jnvm.go) instead of hand-written
+// offset accessors. Compare with examples/quickstart, which writes the
+// accessors by hand.
+package main
+
+import "repro/internal/core"
+
+// Product is a catalog entry. Quantity/Price/Discontinued/SKU live in
+// NVMM; Name is a reference to a pooled persistent string; views is a
+// volatile statistic that vanishes with the process.
+//
+//jnvm:persistent
+type Product struct {
+	Quantity     int64
+	Price        float64
+	Discontinued bool
+	SKU          [12]byte
+	Name         core.Ref `jnvm:"ref"`
+	views        int      // volatile
+}

@@ -1,0 +1,117 @@
+// Kvstore is a tiny durable key-value CLI over a J-PDT persistent map —
+// the redis-like scenario the paper's introduction motivates, without any
+// serialization layer between the process and its data.
+//
+//	go run ./examples/kvstore -pool /tmp/kv.pmem set lang golang
+//	go run ./examples/kvstore -pool /tmp/kv.pmem set paper j-nvm
+//	go run ./examples/kvstore -pool /tmp/kv.pmem get lang
+//	go run ./examples/kvstore -pool /tmp/kv.pmem list
+//	go run ./examples/kvstore -pool /tmp/kv.pmem del lang
+//	go run ./examples/kvstore -pool /tmp/kv.pmem stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	jnvm "repro"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: kvstore [-pool FILE] <command>
+commands:
+  set <key> <value>   bind key durably
+  get <key>           print the value
+  del <key>           delete key (explicit deletion, freeing NVMM)
+  list                print all bindings in key order
+  stats               pool occupancy`)
+	os.Exit(2)
+}
+
+func main() {
+	pool := flag.String("pool", "/tmp/jnvm-kv.pmem", "persistent pool file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	db, err := jnvm.Open(jnvm.Options{Path: *pool, Size: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	var m *jnvm.Map
+	if db.Root().Exists("kv") {
+		po, err := db.Root().Get("kv")
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = po.(*jnvm.Map)
+	} else {
+		m, err = jnvm.NewMap(db, jnvm.MirrorTree) // ordered listing for free
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Root().Put("kv", m); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch args[0] {
+	case "set":
+		if len(args) != 3 {
+			usage()
+		}
+		val, err := jnvm.NewBytes(db, []byte(args[2]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Put(args[1], val); err != nil {
+			log.Fatal(err)
+		}
+		db.PSync()
+		fmt.Printf("set %q\n", args[1])
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		po, err := m.Get(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if po == nil {
+			fmt.Println("(nil)")
+			return
+		}
+		fmt.Printf("%s\n", po.(*jnvm.PBytes).Value())
+	case "del":
+		if len(args) != 2 {
+			usage()
+		}
+		if m.Delete(args[1]) {
+			db.PSync()
+			fmt.Printf("deleted %q\n", args[1])
+		} else {
+			fmt.Printf("%q was not bound\n", args[1])
+		}
+	case "list":
+		err := m.Ascend("", func(key string, val jnvm.PObject) bool {
+			fmt.Printf("%-24s %s\n", key, val.(*jnvm.PBytes).Value())
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "stats":
+		bumped, free, total := db.Mem().Stats()
+		fmt.Printf("keys:         %d\n", m.Len())
+		fmt.Printf("arena blocks: %d used high-water, %d free, %d total\n", bumped, free, total)
+		fmt.Printf("resurrected:  %d proxies this run\n", db.Resurrections())
+	default:
+		usage()
+	}
+}

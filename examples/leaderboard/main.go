@@ -1,0 +1,120 @@
+// Leaderboard keeps a durable, ordered game leaderboard in NVMM using a
+// J-PDT map with a red-black-tree mirror: scores survive restarts, and
+// range scans come from the volatile mirror while the data itself stays
+// off-heap (§4.3.2).
+//
+//	go run ./examples/leaderboard -pool /tmp/lb.pmem add alice 31337
+//	go run ./examples/leaderboard -pool /tmp/lb.pmem add bob 4242
+//	go run ./examples/leaderboard -pool /tmp/lb.pmem top 10
+//
+// Keys are stored as inverted zero-padded scores so the tree mirror keeps
+// the board sorted best-first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	jnvm "repro"
+)
+
+const maxScore = 1_000_000_000
+
+// scoreKey sorts descending: smaller key = higher score.
+func scoreKey(score int64, player string) string {
+	return fmt.Sprintf("%010d:%s", maxScore-score, player)
+}
+
+func main() {
+	pool := flag.String("pool", "/tmp/jnvm-leaderboard.pmem", "persistent pool file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: leaderboard add <player> <score> | top <n> | purge <player>")
+		os.Exit(2)
+	}
+
+	db, err := jnvm.Open(jnvm.Options{Path: *pool, Size: 32 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	var board *jnvm.Map
+	if db.Root().Exists("board") {
+		po, err := db.Root().Get("board")
+		if err != nil {
+			log.Fatal(err)
+		}
+		board = po.(*jnvm.Map)
+	} else {
+		board, err = jnvm.NewMap(db, jnvm.MirrorTree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Root().Put("board", board); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch args[0] {
+	case "add":
+		if len(args) != 3 {
+			log.Fatal("add needs <player> <score>")
+		}
+		score, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil || score < 0 || score >= maxScore {
+			log.Fatalf("bad score %q", args[2])
+		}
+		val, err := jnvm.NewBytes(db, []byte(args[1]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := board.Put(scoreKey(score, args[1]), val); err != nil {
+			log.Fatal(err)
+		}
+		db.PSync()
+		fmt.Printf("recorded %s = %d\n", args[1], score)
+	case "top":
+		n := 10
+		if len(args) == 2 {
+			n, _ = strconv.Atoi(args[1])
+		}
+		rank := 0
+		err := board.Ascend("", func(key string, val jnvm.PObject) bool {
+			rank++
+			inv, _ := strconv.ParseInt(key[:10], 10, 64)
+			fmt.Printf("%2d. %-16s %d\n", rank, val.(*jnvm.PBytes).Value(), maxScore-inv)
+			return rank < n
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rank == 0 {
+			fmt.Println("(empty board)")
+		}
+	case "purge":
+		if len(args) != 2 {
+			log.Fatal("purge needs <player>")
+		}
+		// Explicit deletion (§2.2.2): collect this player's entries, then
+		// free them.
+		var victims []string
+		board.Ascend("", func(key string, val jnvm.PObject) bool {
+			if string(val.(*jnvm.PBytes).Value()) == args[1] {
+				victims = append(victims, key)
+			}
+			return true
+		})
+		for _, k := range victims {
+			board.Delete(k)
+		}
+		db.PSync()
+		fmt.Printf("purged %d entries for %s\n", len(victims), args[1])
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}

@@ -1,0 +1,131 @@
+// Quickstart is Figure 3 of the paper in Go: a persistent Simple object
+// with a durable counter and message, bound to a named root. Run it twice
+// and watch the counter survive the process:
+//
+//	go run ./examples/quickstart -pool /tmp/simple.pmem
+//	go run ./examples/quickstart -pool /tmp/simple.pmem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	jnvm "repro"
+)
+
+// simple mirrors the paper's Simple class: a persistent x, a persistent
+// message reference, and a transient y.
+type simple struct {
+	*jnvm.Object
+	y int // transient: lives only in the proxy
+}
+
+const (
+	offX   = 0 // int64
+	offMsg = 8 // ref to a PString
+	size   = 16
+)
+
+func simpleClass() *jnvm.Class {
+	return &jnvm.Class{
+		Name:    "quickstart.Simple",
+		Factory: func(o *jnvm.Object) jnvm.PObject { return &simple{Object: o} },
+		Refs:    func(o *jnvm.Object) []uint64 { return []uint64{offMsg} },
+	}
+}
+
+// newSimple is the constructor discipline of Figure 4: allocate, set
+// fields, flush; the caller publishes (which validates and fences).
+func newSimple(db *jnvm.DB, x int64, msg string) (*simple, error) {
+	po, err := db.Alloc(db.MustClass("quickstart.Simple"), size)
+	if err != nil {
+		return nil, err
+	}
+	s := po.(*simple)
+	s.WriteInt64(offX, x)
+	m, err := jnvm.NewString(db, msg)
+	if err != nil {
+		return nil, err
+	}
+	m.Validate()
+	s.WriteRef(offMsg, m.Ref())
+	s.PWB()
+	return s, nil
+}
+
+func (s *simple) inc() {
+	s.WriteInt64(offX, s.ReadInt64(offX)+1)
+	s.PWBField(offX, 8)
+	s.PSync()
+}
+
+func (s *simple) msg(db *jnvm.DB) string {
+	po, err := db.Resurrect(s.ReadRef(offMsg))
+	if err != nil || po == nil {
+		return "<lost>"
+	}
+	return po.(*jnvm.PString).Value()
+}
+
+func main() {
+	pool := flag.String("pool", "/tmp/jnvm-simple.pmem", "persistent pool file")
+	flag.Parse()
+
+	// JNVM.init("/mnt/pmem/simple", 1MB) of Figure 3.
+	db, err := jnvm.Open(jnvm.Options{
+		Path:    *pool,
+		Size:    8 << 20,
+		Classes: []*jnvm.Class{simpleClass()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// if (!JNVM.root.exists("simple")) JNVM.root.put("simple", new Simple(42));
+	if !db.Root().Exists("simple") {
+		s, err := newSimple(db, 42, "Hello, NVMM!")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Root().Put("simple", s); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("created a fresh Simple(42)")
+	}
+
+	po, err := db.Root().Get("simple")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := po.(*simple)
+	s.inc()
+	s.y = 42 // transient write: free, and gone at the next crash
+
+	fmt.Printf("x   = %d (persists across runs)\n", s.ReadInt64(offX))
+	fmt.Printf("msg = %s\n", s.msg(db))
+	fmt.Printf("y   = %d (transient)\n", s.y)
+
+	// The explicit-deletion part of Figure 3: replace the root object and
+	// free the old one (lines 30-32 of the paper's listing).
+	if s.ReadInt64(offX) >= 50 {
+		fresh, err := newSimple(db, 24, "recycled!")
+		if err != nil {
+			log.Fatal(err)
+		}
+		old, _ := db.Root().Get("simple")
+		if err := db.Root().Put("simple", fresh); err != nil {
+			log.Fatal(err)
+		}
+		oldS := old.(*simple)
+		msgRef := oldS.ReadRef(offMsg)
+		if msgRef != 0 {
+			mpo, _ := db.Resurrect(msgRef)
+			db.Free(mpo) // JNVM.free(s.msg)
+		}
+		db.Free(oldS) // JNVM.free(s)
+		db.PSync()
+		fmt.Println("counter reached 50: recycled the object (explicit deletion)")
+	}
+}

@@ -1,0 +1,158 @@
+// Package bench wires the substrates together into the paper's
+// experiments: one function per figure/table of §5, shared by the cmd/
+// tools and by the root testing.B benchmarks. Each function returns
+// structured rows so callers can print the same tables and series the
+// paper reports.
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+	"repro/internal/pdt"
+	"repro/internal/store"
+)
+
+// BackendKind names a persistence backend of §5.1.
+type BackendKind string
+
+// The evaluated backends.
+const (
+	JPDT     BackendKind = "J-PDT"
+	JPFA     BackendKind = "J-PFA"
+	FS       BackendKind = "FS"
+	PCJ      BackendKind = "PCJ"
+	TmpFS    BackendKind = "TmpFS"
+	NullFS   BackendKind = "NullFS"
+	Volatile BackendKind = "Volatile"
+)
+
+// GridConfig sizes one grid instance.
+type GridConfig struct {
+	Backend    BackendKind
+	Records    int
+	FieldCount int
+	FieldLen   int
+	// CacheEntries bounds the grid's volatile record cache (FS family).
+	// J-NVM backends ignore it unless ProxyCache is set (§5.3.1: J-PDT
+	// only caches proxies).
+	CacheEntries int
+	// ProxyCache enables the J-PDT map proxy cache.
+	ProxyCache pdt.CacheMode
+	// FenceNs is the simulated NVMM fence latency (default 120 ns).
+	FenceNs int
+	// Dir hosts FS backend files (a temp dir when empty).
+	Dir string
+}
+
+// DefaultFenceNs approximates the sfence+ADR cost the paper pays on
+// Optane.
+const DefaultFenceNs = 120
+
+// EstimatePoolBytes sizes an NVMM pool for a YCSB dataset with churn
+// headroom.
+func EstimatePoolBytes(records, fieldCount, fieldLen int) int {
+	valBlocks := heap.BlocksFor(uint64(fieldLen + 4))
+	perRecord := fieldCount*valBlocks*heap.BlockSize + // values
+		fieldCount*48 + // pooled names
+		heap.BlocksFor(uint64(8+16*fieldCount))*heap.BlockSize + // record object
+		heap.BlockSize + // pair
+		64 + // pooled key
+		32 // map slots
+	total := records*perRecord*2 + (32 << 20)
+	return total
+}
+
+// Env is one ready-to-run grid with its lifecycle.
+type Env struct {
+	Grid    *store.Grid
+	Heap    *core.Heap // nil for non-J-NVM backends
+	Pool    *nvm.Pool  // nil for non-J-NVM backends
+	cleanup func()
+}
+
+// Close releases resources.
+func (e *Env) Close() {
+	if e.cleanup != nil {
+		e.cleanup()
+	}
+}
+
+// NewEnv builds a grid over the requested backend, with a freshly
+// formatted heap for the J-NVM backends.
+func NewEnv(cfg GridConfig) (*Env, error) {
+	if cfg.FenceNs == 0 {
+		cfg.FenceNs = DefaultFenceNs
+	}
+	switch cfg.Backend {
+	case Volatile:
+		return &Env{Grid: store.NewGrid(store.NewVolatileBackend(), store.Options{CacheEntries: cfg.CacheEntries})}, nil
+	case TmpFS:
+		return &Env{Grid: store.NewGrid(store.NewTmpFSBackend(), store.Options{CacheEntries: cfg.CacheEntries})}, nil
+	case NullFS:
+		return &Env{Grid: store.NewGrid(store.NewNullFSBackend(), store.Options{CacheEntries: cfg.CacheEntries})}, nil
+	case FS:
+		dir := cfg.Dir
+		var cleanup func()
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "jnvm-fs-*")
+			if err != nil {
+				return nil, err
+			}
+			cleanup = func() { os.RemoveAll(dir) }
+		}
+		b, err := store.NewFSBackend(dir, false)
+		if err != nil {
+			return nil, err
+		}
+		return &Env{Grid: store.NewGrid(b, store.Options{CacheEntries: cfg.CacheEntries}), cleanup: cleanup}, nil
+	case JPDT, JPFA, PCJ:
+		pool := nvm.New(EstimatePoolBytes(cfg.Records, cfg.FieldCount, cfg.FieldLen),
+			nvm.Options{FenceLatency: cfg.FenceNs})
+		mgr := fa.NewManager()
+		classes := append(pdt.Classes(), store.Classes()...)
+		h, err := core.Open(pool, core.Config{
+			HeapOptions: heap.Options{LogSlots: 64, LogSlotSize: 1 << 15},
+			Classes:     classes,
+			LogHandler:  mgr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var backend store.Backend
+		switch cfg.Backend {
+		case JPDT:
+			b, err := store.NewJPDTBackend(h, "kv")
+			if err != nil {
+				return nil, err
+			}
+			if cfg.ProxyCache != pdt.CacheNone {
+				if err := b.SetProxyCache(cfg.ProxyCache); err != nil {
+					return nil, err
+				}
+			}
+			backend = b
+		case JPFA:
+			b, err := store.NewJPFABackend(h, mgr, "kv")
+			if err != nil {
+				return nil, err
+			}
+			backend = b
+		case PCJ:
+			b, err := store.NewPCJBackend(h, "kv")
+			if err != nil {
+				return nil, err
+			}
+			backend = b
+		}
+		// The paper disables record caching for the J-NVM backends
+		// (§5.3.1: "caching brings almost no performance benefits").
+		return &Env{Grid: store.NewGrid(backend, store.Options{}), Heap: h, Pool: pool}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown backend %q", cfg.Backend)
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/tpcb"
+)
+
+// PrintFig7 renders the Figure 7 table (Kops/s per workload x backend).
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	backends := orderedBackends(len(rows))
+	fmt.Fprintf(w, "Figure 7 — YCSB throughput (Kops/s)\n")
+	fmt.Fprintf(w, "%-10s", "workload")
+	for _, b := range backends {
+		fmt.Fprintf(w, "%12s", b)
+	}
+	fmt.Fprintln(w)
+	byWL := map[string]map[BackendKind]float64{}
+	var wls []string
+	for _, r := range rows {
+		if byWL[r.Workload] == nil {
+			byWL[r.Workload] = map[BackendKind]float64{}
+			wls = append(wls, r.Workload)
+		}
+		byWL[r.Workload][r.Backend] = r.KopsSec
+	}
+	for _, wl := range wls {
+		fmt.Fprintf(w, "%-10s", wl)
+		for _, b := range backends {
+			fmt.Fprintf(w, "%12.1f", byWL[wl][b])
+		}
+		fmt.Fprintln(w)
+	}
+	if jp, fs := byWL["A"][JPDT], byWL["A"][FS]; fs > 0 {
+		fmt.Fprintf(w, "# YCSB-A: J-PDT/FS speedup = %.1fx", jp/fs)
+		if pcj := byWL["A"][PCJ]; pcj > 0 {
+			fmt.Fprintf(w, ", J-PDT/PCJ = %.1fx", jp/pcj)
+		}
+		if jf := byWL["A"][JPFA]; jf > 0 {
+			fmt.Fprintf(w, ", J-PDT/J-PFA = %.2fx", jp/jf)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func orderedBackends(int) []BackendKind {
+	return []BackendKind{JPDT, JPFA, FS, PCJ}
+}
+
+// PrintFig8 renders the Figure 8 series (completion time vs record size).
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "Figure 8 — marshalling cost: YCSB-A completion time\n")
+	fmt.Fprintf(w, "%-10s%12s%12s%12s%12s\n", "recordKB", Volatile, NullFS, TmpFS, FS)
+	bySize := map[int]map[BackendKind]time.Duration{}
+	var sizes []int
+	for _, r := range rows {
+		if bySize[r.RecordKB] == nil {
+			bySize[r.RecordKB] = map[BackendKind]time.Duration{}
+			sizes = append(sizes, r.RecordKB)
+		}
+		bySize[r.RecordKB][r.Backend] = r.Completion
+	}
+	for _, s := range sizes {
+		m := bySize[s]
+		fmt.Fprintf(w, "%-10d%12s%12s%12s%12s\n", s,
+			round(m[Volatile]), round(m[NullFS]), round(m[TmpFS]), round(m[FS]))
+	}
+}
+
+// PrintFig9 renders one Figure 9 sensitivity series.
+func PrintFig9(w io.Writer, title string, rows []Fig9Row) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s%-8s%16s%16s%16s%16s\n", "knob", "value",
+		"read(J-PDT)", "update(J-PDT)", "read(FS)", "update(FS)")
+	type pair struct{ jp, fs Fig9Row }
+	byVal := map[int]*pair{}
+	var vals []int
+	for _, r := range rows {
+		p := byVal[r.Value]
+		if p == nil {
+			p = &pair{}
+			byVal[r.Value] = p
+			vals = append(vals, r.Value)
+		}
+		if r.Backend == JPDT {
+			p.jp = r
+		} else {
+			p.fs = r
+		}
+	}
+	for _, v := range vals {
+		p := byVal[v]
+		fmt.Fprintf(w, "%-10s%-8d%16s%16s%16s%16s\n", p.jp.Knob, v,
+			round(p.jp.Read), round(p.jp.Update), round(p.fs.Read), round(p.fs.Update))
+	}
+}
+
+// PrintFig10 renders the thread-scaling table.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "Figure 10 — multi-threaded throughput (Kops/s)\n")
+	fmt.Fprintf(w, "%-10s%-9s%12s%12s%12s\n", "workload", "threads", JPDT, FS, Volatile)
+	type key struct {
+		wl string
+		th int
+	}
+	cells := map[key]map[BackendKind]float64{}
+	var keys []key
+	for _, r := range rows {
+		k := key{r.Workload, r.Threads}
+		if cells[k] == nil {
+			cells[k] = map[BackendKind]float64{}
+			keys = append(keys, k)
+		}
+		cells[k][r.Backend] = r.KopsSec
+	}
+	for _, k := range keys {
+		m := cells[k]
+		fmt.Fprintf(w, "%-10s%-9d%12.1f%12.1f%12.1f\n", k.wl, k.th, m[JPDT], m[FS], m[Volatile])
+	}
+}
+
+// PrintFig11 renders the recovery timelines.
+func PrintFig11(w io.Writer, tls []*tpcb.Timeline) {
+	fmt.Fprintf(w, "Figure 11 — TPC-B recovery\n")
+	fmt.Fprintf(w, "%-12s%16s%18s%18s\n", "system", "restart delay", "Kops/s before", "Kops/s after")
+	for _, tl := range tls {
+		fmt.Fprintf(w, "%-12s%16s%18.1f%18.1f\n", tl.System,
+			round(tl.RestartDelay), tl.NominalBefore()/1000, tl.NominalAfter()/1000)
+	}
+	for _, tl := range tls {
+		fmt.Fprintf(w, "\n# timeline %s (ops per bucket):\n", tl.System)
+		var b strings.Builder
+		for i, p := range tl.Points {
+			if i%8 == 0 && i > 0 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "%6.2fs:%-7d", p.T.Seconds(), p.Ops)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// PrintFig1 renders the G1 cache-ratio table.
+func PrintFig1(w io.Writer, rows []Fig1Row) {
+	fmt.Fprintf(w, "Figure 1 — managed-cache ratio vs GC cost and tail latency (YCSB-F)\n")
+	fmt.Fprintf(w, "%-8s%14s%14s%14s%10s%12s%12s\n",
+		"cache%", "completion", "gc", "compute", "gc%", "p50", "p99.99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d%14s%14s%14s%9.1f%%%12s%12s\n", r.CacheRatio,
+			round(r.Completion), round(r.GCCPUTime), round(r.ComputeTime),
+			r.GCShare*100, round(r.P50), round(r.P9999))
+	}
+}
+
+// PrintFig2 renders the go-pmem dataset sweep.
+func PrintFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintf(w, "Figure 2 — go-pmem-style GC vs persistent dataset size (YCSB-F)\n")
+	fmt.Fprintf(w, "%-10s%14s%14s%14s%10s%8s%12s\n",
+		"dataset", "completion", "gc", "compute", "gc%", "GCs", "live objs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9dM%14s%14s%14s%9.1f%%%8d%12d\n", r.DatasetMB,
+			round(r.Completion), round(r.GCCPUTime), round(r.ComputeTime),
+			r.GCShare*100, r.Collections, r.LiveObjects)
+	}
+	if len(rows) >= 2 {
+		first, last := rows[0], rows[len(rows)-1]
+		fmt.Fprintf(w, "# completion blow-up %.1fx (paper: 3.4x); final GC share %.0f%% (paper: 67%%)\n",
+			float64(last.Completion)/float64(first.Completion), last.GCShare*100)
+	}
+}
+
+// PrintTable3 renders the block-bandwidth table.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "Table 3 — 256B block access (GB/s)\n")
+	fmt.Fprintf(w, "%-10s%14s%14s%14s%14s\n", "", "seq read", "seq write", "rand read", "rand write")
+	cell := map[string]map[string]float64{"J-NVM": {}, "native": {}}
+	for _, r := range rows {
+		key := "rand"
+		if r.Sequential {
+			key = "seq"
+		}
+		if r.Write {
+			key += " write"
+		} else {
+			key += " read"
+		}
+		cell[r.Path][key] = r.GBps
+	}
+	for _, p := range []string{"J-NVM", "native"} {
+		m := cell[p]
+		fmt.Fprintf(w, "%-10s%14.2f%14.2f%14.2f%14.2f\n", p,
+			m["seq read"], m["seq write"], m["rand read"], m["rand write"])
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Nanosecond) }

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+)
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+// Table3Row is one cell of Table 3: GB/s for a (path, pattern, direction)
+// combination over 256 B blocks.
+type Table3Row struct {
+	Path       string // "J-NVM" (framework accessors) or "native" (raw copy)
+	Sequential bool
+	Write      bool
+	GBps       float64
+}
+
+// Table3 measures 256 B block access throughput through the framework
+// accessor path (proxy + bounds checks + block-chain arithmetic, the
+// paper's "J-NVM" row) versus a raw memory loop (the paper's "C" row).
+// Writes flush the block and fence, as §5.3.5 describes; reads are plain
+// loads. The shape to reproduce: the framework is close to native except
+// on random reads, where the per-access indirection bites hardest.
+func Table3(totalMB int) ([]Table3Row, error) {
+	if totalMB == 0 {
+		totalMB = 64
+	}
+	const blockSize = 256
+	poolBytes := totalMB << 20
+	pool := nvm.New(poolBytes+(8<<20), nvm.Options{})
+	cls := &core.Class{Name: "bench.blob", Factory: func(o *core.Object) core.PObject { return o }}
+	h, err := core.Open(pool, core.Config{
+		HeapOptions: heap.Options{LogSlots: 2, LogSlotSize: 4096},
+		Classes:     []*core.Class{cls},
+	})
+	if err != nil {
+		return nil, err
+	}
+	po, err := h.Alloc(cls, uint64(poolBytes/2))
+	if err != nil {
+		return nil, err
+	}
+	obj := po.Core()
+	nBlocks := obj.Size() / blockSize
+
+	native := make([]byte, nBlocks*blockSize)
+	buf := make([]byte, blockSize)
+
+	seq := make([]uint64, nBlocks)
+	for i := range seq {
+		seq[i] = uint64(i)
+	}
+	rnd := make([]uint64, nBlocks)
+	copy(rnd, seq)
+	newRand().Shuffle(len(rnd), func(i, j int) { rnd[i], rnd[j] = rnd[j], rnd[i] })
+
+	measure := func(idx []uint64, fn func(off uint64)) float64 {
+		const passes = 2
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			for _, b := range idx {
+				fn(b * blockSize)
+			}
+		}
+		bytes := float64(passes) * float64(len(idx)) * blockSize
+		return bytes / time.Since(start).Seconds() / 1e9
+	}
+
+	jnvmRead := func(off uint64) { obj.ReadInto(off, buf) }
+	jnvmWrite := func(off uint64) {
+		obj.WriteBytes(off, buf)
+		obj.PWBField(off, blockSize)
+		obj.PFence()
+	}
+	nativeRead := func(off uint64) { copy(buf, native[off:off+blockSize]) }
+	nativeWrite := func(off uint64) {
+		copy(native[off:off+blockSize], buf)
+		pool.PWBRange(0, blockSize) // same flush protocol cost
+		pool.PFence()
+	}
+
+	return []Table3Row{
+		{Path: "J-NVM", Sequential: true, Write: false, GBps: measure(seq, jnvmRead)},
+		{Path: "native", Sequential: true, Write: false, GBps: measure(seq, nativeRead)},
+		{Path: "J-NVM", Sequential: true, Write: true, GBps: measure(seq, jnvmWrite)},
+		{Path: "native", Sequential: true, Write: true, GBps: measure(seq, nativeWrite)},
+		{Path: "J-NVM", Sequential: false, Write: false, GBps: measure(rnd, jnvmRead)},
+		{Path: "native", Sequential: false, Write: false, GBps: measure(rnd, nativeRead)},
+		{Path: "J-NVM", Sequential: false, Write: true, GBps: measure(rnd, jnvmWrite)},
+		{Path: "native", Sequential: false, Write: true, GBps: measure(rnd, nativeWrite)},
+	}, nil
+}

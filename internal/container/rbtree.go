@@ -1,0 +1,277 @@
+// Package container provides the volatile data structures that J-PDT uses
+// as in-memory mirrors (§4.3.2: "for a persistent binary tree, we use a
+// Java TreeMap") and that Figure 12 measures as the volatile baselines:
+// a red-black tree, a skip list, and an LRU used by the store cache.
+package container
+
+// RBTree is an ordered map from string keys to values, implemented as a
+// left-leaning red-black 2-3 tree (Sedgewick), the moral equivalent of
+// java.util.TreeMap in the paper's comparison.
+type RBTree[V any] struct {
+	root *rbNode[V]
+	size int
+}
+
+type rbNode[V any] struct {
+	key         string
+	val         V
+	left, right *rbNode[V]
+	red         bool
+}
+
+// NewRBTree creates an empty tree.
+func NewRBTree[V any]() *RBTree[V] { return &RBTree[V]{} }
+
+// Len returns the number of keys.
+func (t *RBTree[V]) Len() int { return t.size }
+
+// Get returns the value bound to key.
+func (t *RBTree[V]) Get(key string) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func isRed[V any](n *rbNode[V]) bool { return n != nil && n.red }
+
+func rotateLeft[V any](h *rbNode[V]) *rbNode[V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight[V any](h *rbNode[V]) *rbNode[V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors[V any](h *rbNode[V]) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+func fixUp[V any](h *rbNode[V]) *rbNode[V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+// Put binds key to val, replacing any previous binding.
+func (t *RBTree[V]) Put(key string, val V) {
+	t.root = t.put(t.root, key, val)
+	t.root.red = false
+}
+
+func (t *RBTree[V]) put(h *rbNode[V], key string, val V) *rbNode[V] {
+	if h == nil {
+		t.size++
+		return &rbNode[V]{key: key, val: val, red: true}
+	}
+	switch {
+	case key < h.key:
+		h.left = t.put(h.left, key, val)
+	case key > h.key:
+		h.right = t.put(h.right, key, val)
+	default:
+		h.val = val
+	}
+	return fixUp(h)
+}
+
+func moveRedLeft[V any](h *rbNode[V]) *rbNode[V] {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[V any](h *rbNode[V]) *rbNode[V] {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func minNode[V any](h *rbNode[V]) *rbNode[V] {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func deleteMin[V any](h *rbNode[V]) *rbNode[V] {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// Delete removes key; it reports whether the key was present.
+func (t *RBTree[V]) Delete(key string) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return true
+}
+
+func (t *RBTree[V]) delete(h *rbNode[V], key string) *rbNode[V] {
+	if key < h.key {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if key == h.key && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if key == h.key {
+			m := minNode(h.right)
+			h.key, h.val = m.key, m.val
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+// Min returns the smallest key.
+func (t *RBTree[V]) Min() (string, V, bool) {
+	if t.root == nil {
+		var zero V
+		return "", zero, false
+	}
+	n := minNode(t.root)
+	return n.key, n.val, true
+}
+
+// Max returns the largest key.
+func (t *RBTree[V]) Max() (string, V, bool) {
+	if t.root == nil {
+		var zero V
+		return "", zero, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Ascend calls fn on every binding with key >= from, in key order, until
+// fn returns false.
+func (t *RBTree[V]) Ascend(from string, fn func(key string, val V) bool) {
+	t.ascend(t.root, from, fn)
+}
+
+func (t *RBTree[V]) ascend(n *rbNode[V], from string, fn func(string, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key >= from {
+		if !t.ascend(n.left, from, fn) {
+			return false
+		}
+		if !fn(n.key, n.val) {
+			return false
+		}
+	}
+	return t.ascend(n.right, from, fn)
+}
+
+// checkInvariants verifies the red-black properties; used by tests.
+func (t *RBTree[V]) checkInvariants() error {
+	if _, err := checkStruct(t.root); err != nil {
+		return err
+	}
+	var prev string
+	first, ordered := true, true
+	t.Ascend("", func(k string, _ V) bool {
+		if !first && k <= prev {
+			ordered = false
+			return false
+		}
+		prev, first = k, false
+		return true
+	})
+	if !ordered {
+		return rbErr("in-order traversal not strictly increasing")
+	}
+	return nil
+}
+
+type rbErr string
+
+func (e rbErr) Error() string { return string(e) }
+
+func checkStruct[V any](n *rbNode[V]) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if isRed(n.right) {
+		return 0, rbErr("right-leaning red link")
+	}
+	if isRed(n) && isRed(n.left) {
+		return 0, rbErr("two reds in a row")
+	}
+	lb, err := checkStruct(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rb, err := checkStruct(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if lb != rb {
+		return 0, rbErr("black-height imbalance")
+	}
+	if !n.red {
+		lb++
+	}
+	return lb, nil
+}

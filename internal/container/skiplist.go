@@ -1,0 +1,131 @@
+package container
+
+import "math/rand"
+
+// SkipList is an ordered map from string keys to values, the volatile
+// counterpart of java.util.concurrent.ConcurrentSkipListMap in Figure 12.
+// It is a classic Pugh skip list with p = 1/4; like the other mirrors it
+// is externally synchronized (the store's lock striping plays the paper's
+// Infinispan role).
+type SkipList[V any] struct {
+	head  *slNode[V]
+	level int
+	size  int
+	rng   *rand.Rand
+}
+
+const slMaxLevel = 24
+
+type slNode[V any] struct {
+	key  string
+	val  V
+	next []*slNode[V]
+}
+
+// NewSkipList creates an empty list with a deterministic level source.
+func NewSkipList[V any](seed int64) *SkipList[V] {
+	return &SkipList[V]{
+		head:  &slNode[V]{next: make([]*slNode[V], slMaxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of keys.
+func (s *SkipList[V]) Len() int { return s.size }
+
+func (s *SkipList[V]) randomLevel() int {
+	lvl := 1
+	for lvl < slMaxLevel && s.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills update with the rightmost node before key at each
+// level and returns the candidate node at level 0.
+func (s *SkipList[V]) findPredecessors(key string, update []*slNode[V]) *slNode[V] {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		if update != nil {
+			update[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the value bound to key.
+func (s *SkipList[V]) Get(key string) (V, bool) {
+	n := s.findPredecessors(key, nil)
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put binds key to val, replacing any previous binding.
+func (s *SkipList[V]) Put(key string, val V) {
+	update := make([]*slNode[V], slMaxLevel)
+	for i := s.level; i < slMaxLevel; i++ {
+		update[i] = s.head
+	}
+	n := s.findPredecessors(key, update)
+	if n != nil && n.key == key {
+		n.val = val
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		s.level = lvl
+	}
+	node := &slNode[V]{key: key, val: val, next: make([]*slNode[V], lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.size++
+}
+
+// Delete removes key; it reports whether the key was present.
+func (s *SkipList[V]) Delete(key string) bool {
+	update := make([]*slNode[V], slMaxLevel)
+	n := s.findPredecessors(key, update)
+	if n == nil || n.key != key {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if update[i].next[i] == n {
+			update[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+	return true
+}
+
+// Min returns the smallest key.
+func (s *SkipList[V]) Min() (string, V, bool) {
+	if n := s.head.next[0]; n != nil {
+		return n.key, n.val, true
+	}
+	var zero V
+	return "", zero, false
+}
+
+// Ascend calls fn on every binding with key >= from, in key order, until
+// fn returns false.
+func (s *SkipList[V]) Ascend(from string, fn func(key string, val V) bool) {
+	n := s.findPredecessors(from, nil)
+	for n != nil {
+		if !fn(n.key, n.val) {
+			return
+		}
+		n = n.next[0]
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/nvm"
+)
+
+// Additional coverage: object-reference helpers, root-map corners, and
+// flush-range behavior.
+
+func TestReadWriteObjectHelpers(t *testing.T) {
+	h, _, cls := openTestHeap(t, 1<<20, false)
+	parent := newSimple(t, h, cls, 1)
+	child := newSimple(t, h, cls, 2)
+
+	parent.Core().WriteObject(simpleRef, child)
+	po, err := parent.Core().ReadObject(simpleRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.(*simple).X() != 2 {
+		t.Fatal("ReadObject returned the wrong target")
+	}
+	if !po.(*simple).resurrected {
+		t.Fatal("ReadObject skipped the resurrect constructor")
+	}
+	parent.Core().WriteObject(simpleRef, nil)
+	po, err = parent.Core().ReadObject(simpleRef)
+	if err != nil || po != nil {
+		t.Fatalf("nil write: %v %v", po, err)
+	}
+}
+
+func TestPWBFieldSpansBlocks(t *testing.T) {
+	pool := nvm.New(1<<20, nvm.Options{Tracked: true})
+	cls := &Class{Name: "test.span", Factory: func(o *Object) PObject { return o }}
+	h, err := Open(pool, Config{HeapOptions: heap.Options{LogSlots: 2, LogSlotSize: 4096}, Classes: []*Class{cls}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := h.Alloc(cls, 3*heap.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := po.Core()
+	blob := make([]byte, 2*heap.Payload)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	o.WriteBytes(100, blob)
+	o.PWBField(100, uint64(len(blob))) // must cover all spanned blocks
+	o.Validate()
+	h.PSync()
+	if err := h.Root().Put("span", po); err != nil {
+		t.Fatal(err)
+	}
+
+	img := pool.CrashImage(nvm.CrashStrict, nil)
+	h2, err := Open(img, Config{Classes: []*Class{{Name: "test.span", Factory: func(o *Object) PObject { return o }}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h2.Root().Get("span")
+	if err != nil || got == nil {
+		t.Fatalf("span object lost: %v", err)
+	}
+	back := got.Core().ReadBytes(100, uint64(len(blob)))
+	for i := range blob {
+		if back[i] != blob[i] {
+			t.Fatalf("byte %d: %#x want %#x — PWBField missed a block", i, back[i], blob[i])
+		}
+	}
+}
+
+func TestRootWPutOverwriteKeepsOldObjectAlive(t *testing.T) {
+	h, _, cls := openTestHeap(t, 1<<20, false)
+	a := newSimple(t, h, cls, 1)
+	b := newSimple(t, h, cls, 2)
+	if err := h.Root().Put("x", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Root().WPut("x", b); err != nil {
+		t.Fatal(err)
+	}
+	// WPut rebinds but does not free: the old object is the caller's to
+	// delete (explicit deletion, §2.5).
+	if !h.Mem().Valid(a.Core().Ref()) {
+		t.Fatal("WPut freed the previous binding's object")
+	}
+	if h.Root().GetRef("x") != b.Core().Ref() {
+		t.Fatal("rebind did not take")
+	}
+	if err := h.Root().WPut("y", nil); err == nil {
+		t.Fatal("nil WPut accepted")
+	}
+}
+
+func TestRootNamesAndForEach(t *testing.T) {
+	h, _, cls := openTestHeap(t, 1<<21, false)
+	for i := 0; i < 5; i++ {
+		if err := h.Root().Put(fmt.Sprintf("n%d", i), newSimple(t, h, cls, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := h.Root().Names()
+	if len(names) != 5 || names[0] != "n0" || names[4] != "n4" {
+		t.Fatalf("Names = %v", names)
+	}
+	seen := map[string]Ref{}
+	h.Root().ForEach(func(name string, ref Ref) { seen[name] = ref })
+	if len(seen) != 5 {
+		t.Fatalf("ForEach visited %d", len(seen))
+	}
+	for name, ref := range seen {
+		if ref == 0 || !h.Mem().Valid(ref) {
+			t.Fatalf("%s -> invalid ref", name)
+		}
+	}
+}
+
+func TestInspectMatchesResurrect(t *testing.T) {
+	h, _, cls := openTestHeap(t, 1<<20, false)
+	s := newSimple(t, h, cls, 77)
+	o := h.Inspect(s.Core().Ref())
+	if o.ReadInt64(simpleX) != 77 {
+		t.Fatal("Inspect read wrong data")
+	}
+	if o.ClassID() != cls.ID() {
+		t.Fatalf("ClassID = %d want %d", o.ClassID(), cls.ID())
+	}
+	if o.Size() == 0 {
+		t.Fatal("Inspect lost the size")
+	}
+}
+
+func TestResurrectionsCounter(t *testing.T) {
+	h, _, cls := openTestHeap(t, 1<<20, false)
+	s := newSimple(t, h, cls, 1)
+	if err := h.Root().Put("s", s); err != nil {
+		t.Fatal(err)
+	}
+	before := h.Resurrections()
+	for i := 0; i < 5; i++ {
+		if _, err := h.Root().Get("s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Resurrections() - before; got != 5 {
+		t.Fatalf("resurrections = %d, want 5", got)
+	}
+}
+
+func TestRecoveryStatsPopulated(t *testing.T) {
+	pool := nvm.New(1<<20, nvm.Options{})
+	cls := simpleClass()
+	h, err := Open(pool, testCfg(cls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSimple(t, h, cls, 1)
+	if err := h.Root().Put("s", s); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(pool, testCfg(simpleClass()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := h2.RecoveryStats
+	if st.Formatted {
+		t.Fatal("reopen claimed a format")
+	}
+	if !st.GraphTraversed || st.LiveObjects == 0 || st.LiveBlocks == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestAllocZeroSizeObject(t *testing.T) {
+	h, _, _ := openTestHeap(t, 1<<20, false)
+	cls := &Class{Name: "test.empty", Factory: func(o *Object) PObject { return o }}
+	if err := h.register(cls); err != nil {
+		t.Fatal(err)
+	}
+	po, err := h.Alloc(cls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.Core().Size() == 0 {
+		t.Fatal("zero-size alloc should still own a block's payload")
+	}
+}
+
+func TestClassRegistrationConflict(t *testing.T) {
+	pool := nvm.New(1<<20, nvm.Options{})
+	a := &Class{Name: "dup", Factory: func(o *Object) PObject { return o }}
+	b := &Class{Name: "dup", Factory: func(o *Object) PObject { return o }}
+	if _, err := Open(pool, Config{
+		HeapOptions: heap.Options{LogSlots: 2, LogSlotSize: 4096},
+		Classes:     []*Class{a, b},
+	}); err == nil {
+		t.Fatal("two distinct classes with one name accepted")
+	}
+}
+
+func TestMustClassPanics(t *testing.T) {
+	h, _, _ := openTestHeap(t, 1<<20, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustClass of unknown name should panic")
+		}
+	}()
+	h.MustClass("nope")
+}
+
+func TestFsckCleanHeap(t *testing.T) {
+	h, _, cls := openTestHeap(t, 1<<21, false)
+	parent := newSimple(t, h, cls, 1)
+	child := newSimple(t, h, cls, 2)
+	parent.Core().AtomicUpdateRef(simpleRef, child)
+	if err := h.Root().Put("parent", parent); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.Fsck(func(msg string) { t.Logf("fsck: %s", msg) }); n != 0 {
+		t.Fatalf("clean heap reported %d issues", n)
+	}
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	h, _, cls := openTestHeap(t, 1<<21, false)
+	s := newSimple(t, h, cls, 1)
+	if err := h.Root().Put("s", s); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: point the object's ref field at an invalid (never
+	// validated) object while keeping it reachable.
+	orphanPO, _ := h.Alloc(cls, simpleLen)
+	s.SetNext(orphanPO.Core().Ref())
+	var msgs []string
+	if n := h.Fsck(func(m string) { msgs = append(msgs, m) }); n == 0 {
+		t.Fatal("reachable->invalid reference not reported")
+	}
+
+	// Corrupt a block header with a bogus class id.
+	victim := orphanPO.Core().Ref()
+	h.Mem().WriteHeader(victim, heap.PackHeader(0x7000, true, 0))
+	if n := h.Fsck(nil); n == 0 {
+		t.Fatal("unregistered class id not reported")
+	}
+}
+
+func TestFsckDetectsCycle(t *testing.T) {
+	h, _, cls := openTestHeap(t, 1<<21, false)
+	// Build a 2-block object and loop its chain back on itself.
+	big := &Class{Name: "test.big2", Factory: func(o *Object) PObject { return o }}
+	if err := h.register(big); err != nil {
+		t.Fatal(err)
+	}
+	po, err := h.Alloc(big, 2*heap.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := po.Core().BlockRefs()
+	master := blocks[0]
+	slave := blocks[1]
+	id, valid, _ := heap.UnpackHeader(h.Mem().Header(slave))
+	// slave.next -> master: cycle.
+	h.Mem().WriteHeader(slave, heap.PackHeader(id, valid, h.Mem().BlockIndex(master)+1))
+	if n := h.Fsck(nil); n == 0 {
+		t.Fatal("cyclic chain not reported")
+	}
+	_ = cls
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+)
+
+// recoverHeap runs the recovery procedure of §4.1.3: traverse the live
+// object graph from the root map, nullify references to invalid objects,
+// call per-object Recover hooks, then sweep everything unreachable back to
+// the allocator and close with a single fence.
+//
+// With skipGraph (J-PFA-nogc, Figure 11) the traversal is replaced by a
+// linear header scan: valid masters and valid pooled slots are considered
+// live. This is cheaper but only sound if the application never crashes
+// with invalid-but-reachable objects (e.g. every allocation and insertion
+// happens inside one failure-atomic block).
+func (h *Heap) recoverHeap(skipGraph bool) error {
+	if h.RecoveryStats.Formatted {
+		return nil // a fresh heap has nothing to recover
+	}
+	if skipGraph {
+		return h.recoverByScan()
+	}
+	h.RecoveryStats.GraphTraversed = true
+	m := h.mem.NewMarkSet()
+	rootRef := h.mem.RootRef()
+	if rootRef != 0 && h.mem.Valid(rootRef) {
+		if err := h.traverse(m, rootRef); err != nil {
+			return err
+		}
+	}
+	h.mem.Sweep(m) // zeroes dead headers, rebuilds free state, fences
+	h.RecoveryStats.LiveBlocks = m.Marked()
+	return nil
+}
+
+func (h *Heap) traverse(m *heap.MarkSet, rootRef Ref) error {
+	work := []Ref{rootRef}
+	m.MarkObject(rootRef)
+	for len(work) > 0 {
+		ref := work[len(work)-1]
+		work = work[:len(work)-1]
+		h.RecoveryStats.LiveObjects++
+
+		id := h.mem.ClassOf(ref)
+		c, ok := h.byID[id]
+		if !ok {
+			name, _ := h.mem.ClassName(id)
+			return fmt.Errorf("core: recovery found instance of unregistered class id %d (%q) at %#x", id, name, ref)
+		}
+		obj := h.wrap(ref)
+		// Per-object repair hook (§3.2.1), invoked on the typed proxy.
+		po := c.Factory(obj)
+		if rec, ok := po.(Recoverer); ok {
+			rec.Recover()
+		}
+		if c.Refs == nil {
+			continue
+		}
+		for _, off := range c.Refs(obj) {
+			target := obj.ReadRef(off)
+			if target == 0 {
+				continue
+			}
+			if !h.mem.Valid(target) {
+				// A partially deleted (or never validated) object:
+				// nullify the reference (§2.4). The closing fence of
+				// Sweep persists all nullifications at once.
+				obj.WriteRef(off, 0)
+				obj.PWBField(off, 8)
+				h.RecoveryStats.NullifiedRefs++
+				continue
+			}
+			if m.MarkObject(target) {
+				work = append(work, target)
+			}
+		}
+	}
+	return nil
+}
+
+// recoverByScan rebuilds allocator state from block headers alone. It
+// scans the whole arena: the persistent bump mirror is advisory (unfenced)
+// and cannot be trusted after a crash, and untouched blocks read as zero
+// headers by construction.
+func (h *Heap) recoverByScan() error {
+	m := h.mem.NewMarkSet()
+	bump := h.mem.NBlocks()
+	for idx := uint64(0); idx < bump; idx++ {
+		r := h.mem.BlockRef(idx)
+		id, valid, sc := heap.UnpackHeader(h.mem.Header(r))
+		switch {
+		case id == heap.PoolChunkClass && valid:
+			if int(sc) >= len(heap.SlotSizes) {
+				continue // corrupt chunk: swept
+			}
+			size := uint64(heap.SlotSizes[sc])
+			for s := uint64(0); s+size <= heap.Payload; s += size {
+				slot := r + heap.HeaderSize + s
+				if h.mem.Valid(slot) {
+					m.MarkObject(slot)
+					h.RecoveryStats.LiveObjects++
+				}
+			}
+		case id != 0 && id != heap.PoolChunkClass && valid:
+			m.MarkObject(r)
+			h.RecoveryStats.LiveObjects++
+		}
+	}
+	h.mem.Sweep(m)
+	h.RecoveryStats.LiveBlocks = m.Marked()
+	return nil
+}

@@ -1,0 +1,245 @@
+package fa
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+)
+
+// Transactional field accessors. Inside a failure-atomic block the
+// generated accessors of Figure 4 behave differently (§3.2): writes to
+// valid objects are redirected to in-flight block copies, and reads see
+// the in-flight image when one exists. Go has no per-thread counter to
+// dispatch on, so the redirected accessors live on the Tx (see DESIGN.md
+// §4); they mirror core.Object's accessor set.
+
+// locate maps (object, off) to a pool offset, redirecting through the
+// in-flight copy of the containing block. forWrite creates the copy.
+func (tx *Tx) locate(o *core.Object, off uint64, n uint64, forWrite bool) (uint64, error) {
+	tx.active()
+	if off+n > o.Size() {
+		panic(fmt.Sprintf("fa: access [%d,+%d) beyond object size %d", off, n, o.Size()))
+	}
+	blocks := o.BlockRefs()
+	if blocks == nil {
+		// Pooled slots hold immutable objects (§4.4); only direct writes
+		// to a not-yet-valid slot are legal.
+		if forWrite && !tx.direct(o) {
+			return 0, fmt.Errorf("fa: cannot update immutable pooled object %#x inside a failure-atomic block", o.Ref())
+		}
+		return o.Ref() + 8 + off, nil
+	}
+	b := off / heap.Payload
+	within := off % heap.Payload
+	if within+n > heap.Payload {
+		return 0, errSpan // caller falls back to the byte loop
+	}
+	orig := blocks[b]
+	if tx.direct(o) {
+		return orig + heap.HeaderSize + within, nil
+	}
+	if forWrite {
+		inf, err := tx.inflightFor(orig)
+		if err != nil {
+			return 0, err
+		}
+		return inf + heap.HeaderSize + within, nil
+	}
+	if inf, ok := tx.inflight[orig]; ok {
+		return inf + heap.HeaderSize + within, nil
+	}
+	return orig + heap.HeaderSize + within, nil
+}
+
+var errSpan = fmt.Errorf("fa: access spans blocks")
+
+// ReadUint64 loads an 8-byte field through the block's redo view.
+func (tx *Tx) ReadUint64(o *core.Object, off uint64) (uint64, error) {
+	p, err := tx.locate(o, off, 8, false)
+	if err == errSpan {
+		var buf [8]byte
+		if err := tx.readSpan(o, off, buf[:]); err != nil {
+			return 0, err
+		}
+		v := uint64(0)
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(buf[i])
+		}
+		return v, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return tx.m.h.Pool().ReadUint64(p), nil
+}
+
+// WriteUint64 stores an 8-byte field through the redo log.
+func (tx *Tx) WriteUint64(o *core.Object, off, v uint64) error {
+	p, err := tx.locate(o, off, 8, true)
+	if err == errSpan {
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		return tx.writeSpan(o, off, buf[:])
+	}
+	if err != nil {
+		return err
+	}
+	tx.m.h.Pool().WriteUint64(p, v)
+	return nil
+}
+
+// ReadInt64 loads a signed 8-byte field.
+func (tx *Tx) ReadInt64(o *core.Object, off uint64) (int64, error) {
+	v, err := tx.ReadUint64(o, off)
+	return int64(v), err
+}
+
+// WriteInt64 stores a signed 8-byte field.
+func (tx *Tx) WriteInt64(o *core.Object, off uint64, v int64) error {
+	return tx.WriteUint64(o, off, uint64(v))
+}
+
+// ReadUint32 loads a 4-byte field.
+func (tx *Tx) ReadUint32(o *core.Object, off uint64) (uint32, error) {
+	p, err := tx.locate(o, off, 4, false)
+	if err == errSpan {
+		var buf [4]byte
+		if err := tx.readSpan(o, off, buf[:]); err != nil {
+			return 0, err
+		}
+		return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return tx.m.h.Pool().ReadUint32(p), nil
+}
+
+// WriteUint32 stores a 4-byte field.
+func (tx *Tx) WriteUint32(o *core.Object, off uint64, v uint32) error {
+	p, err := tx.locate(o, off, 4, true)
+	if err == errSpan {
+		var buf [4]byte
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		return tx.writeSpan(o, off, buf[:])
+	}
+	if err != nil {
+		return err
+	}
+	tx.m.h.Pool().WriteUint32(p, v)
+	return nil
+}
+
+func (tx *Tx) readSpan(o *core.Object, off uint64, dst []byte) error {
+	for len(dst) > 0 {
+		within := heap.Payload - off%heap.Payload
+		n := uint64(len(dst))
+		if n > within {
+			n = within
+		}
+		p, err := tx.locate(o, off, n, false)
+		if err != nil {
+			return err
+		}
+		tx.m.h.Pool().ReadInto(p, dst[:n])
+		dst = dst[n:]
+		off += n
+	}
+	return nil
+}
+
+func (tx *Tx) writeSpan(o *core.Object, off uint64, src []byte) error {
+	for len(src) > 0 {
+		within := heap.Payload - off%heap.Payload
+		n := uint64(len(src))
+		if n > within {
+			n = within
+		}
+		p, err := tx.locate(o, off, n, true)
+		if err != nil {
+			return err
+		}
+		tx.m.h.Pool().WriteBytes(p, src[:n])
+		src = src[n:]
+		off += n
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes through the redo view.
+func (tx *Tx) ReadBytes(o *core.Object, off, n uint64) ([]byte, error) {
+	out := make([]byte, n)
+	if err := tx.readSpan(o, off, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteBytes stores src through the redo log.
+func (tx *Tx) WriteBytes(o *core.Object, off uint64, src []byte) error {
+	return tx.writeSpan(o, off, src)
+}
+
+// ReadRef loads a reference field through the redo view.
+func (tx *Tx) ReadRef(o *core.Object, off uint64) (core.Ref, error) {
+	return tx.ReadUint64(o, off)
+}
+
+// WriteRef stores a reference field through the redo log.
+func (tx *Tx) WriteRef(o *core.Object, off uint64, r core.Ref) error {
+	return tx.WriteUint64(o, off, r)
+}
+
+// WriteObject stores a reference to po (nil clears the field).
+func (tx *Tx) WriteObject(o *core.Object, off uint64, po core.PObject) error {
+	if po == nil {
+		return tx.WriteRef(o, off, 0)
+	}
+	return tx.WriteRef(o, off, po.Core().Ref())
+}
+
+// ReadObject dereferences the reference field at off through the redo
+// view, resurrecting a proxy for the target.
+func (tx *Tx) ReadObject(o *core.Object, off uint64) (core.PObject, error) {
+	r, err := tx.ReadRef(o, off)
+	if err != nil || r == 0 {
+		return nil, err
+	}
+	if po, ok := tx.proxies[r]; ok {
+		return po, nil
+	}
+	return tx.m.h.Resurrect(r)
+}
+
+// ReadUint16 loads a 2-byte field through the redo view.
+func (tx *Tx) ReadUint16(o *core.Object, off uint64) (uint16, error) {
+	var buf [2]byte
+	if err := tx.readSpan(o, off, buf[:]); err != nil {
+		return 0, err
+	}
+	return uint16(buf[0]) | uint16(buf[1])<<8, nil
+}
+
+// WriteUint16 stores a 2-byte field through the redo log.
+func (tx *Tx) WriteUint16(o *core.Object, off uint64, v uint16) error {
+	return tx.writeSpan(o, off, []byte{byte(v), byte(v >> 8)})
+}
+
+// ReadUint8 loads a 1-byte field through the redo view.
+func (tx *Tx) ReadUint8(o *core.Object, off uint64) (byte, error) {
+	var buf [1]byte
+	if err := tx.readSpan(o, off, buf[:]); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+// WriteUint8 stores a 1-byte field through the redo log.
+func (tx *Tx) WriteUint8(o *core.Object, off uint64, v byte) error {
+	return tx.writeSpan(o, off, []byte{v})
+}

@@ -1,0 +1,227 @@
+package fa_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+	"repro/internal/pdt"
+)
+
+// Mirrors the account fixture of the in-package tests.
+const (
+	accRef = 16
+	accLen = 24
+)
+
+func accountClass() *core.Class {
+	return &core.Class{
+		Name:    "fa.account",
+		Factory: func(o *core.Object) core.PObject { return o },
+		Refs:    func(o *core.Object) []uint64 { return []uint64{accRef} },
+	}
+}
+
+// Coverage for the transactional accessor surface: object helpers, small
+// fields, block-spanning ranges, and the immutable-pool guard.
+
+func openWithPDT(t testing.TB) (*core.Heap, *fa.Manager) {
+	t.Helper()
+	mgr := fa.NewManager()
+	h, err := core.Open(nvm.New(1<<22, nvm.Options{}), core.Config{
+		HeapOptions: heap.Options{LogSlots: 4, LogSlotSize: 1 << 15},
+		Classes:     append(pdt.Classes(), accountClass()),
+		LogHandler:  mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, mgr
+}
+
+func TestTxObjectHelpers(t *testing.T) {
+	h, mgr := openWithPDT(t)
+	cls, _ := h.Class("fa.account")
+	parent, _ := h.Alloc(cls, accLen)
+	parent.Core().PWB()
+	parent.Core().Validate()
+	h.Root().Put("p", parent)
+
+	err := mgr.Run(func(tx *fa.Tx) error {
+		child, err := tx.Alloc(cls, accLen)
+		if err != nil {
+			return err
+		}
+		if err := tx.WriteObject(parent.Core(), accRef, child); err != nil {
+			return err
+		}
+		// Read back through the tx: must return the same proxy.
+		got, err := tx.ReadObject(parent.Core(), accRef)
+		if err != nil {
+			return err
+		}
+		if got.Core().Ref() != child.Core().Ref() {
+			t.Error("ReadObject returned a different object")
+		}
+		// Clearing with nil.
+		if err := tx.WriteObject(parent.Core(), accRef, nil); err != nil {
+			return err
+		}
+		got, err = tx.ReadObject(parent.Core(), accRef)
+		if err != nil || got != nil {
+			t.Errorf("nil clear: %v %v", got, err)
+		}
+		return tx.WriteObject(parent.Core(), accRef, child)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent.Core().ReadRef(accRef) == 0 {
+		t.Fatal("committed object link lost")
+	}
+}
+
+func TestTxSmallFieldAccessors(t *testing.T) {
+	h, mgr := openWithPDT(t)
+	cls, _ := h.Class("fa.account")
+	po, _ := h.Alloc(cls, accLen)
+	o := po.Core()
+	o.PWB()
+	o.Validate()
+	h.Root().Put("o", po)
+
+	err := mgr.Run(func(tx *fa.Tx) error {
+		if err := tx.WriteUint8(o, 0, 0xab); err != nil {
+			return err
+		}
+		if err := tx.WriteUint16(o, 2, 0xbeef); err != nil {
+			return err
+		}
+		if err := tx.WriteUint32(o, 4, 0xdeadbeef); err != nil {
+			return err
+		}
+		v8, _ := tx.ReadUint8(o, 0)
+		v16, _ := tx.ReadUint16(o, 2)
+		v32, _ := tx.ReadUint32(o, 4)
+		if v8 != 0xab || v16 != 0xbeef || v32 != 0xdeadbeef {
+			t.Errorf("tx small reads: %#x %#x %#x", v8, v16, v32)
+		}
+		// The in-place data is untouched until commit.
+		if o.ReadUint8(0) != 0 {
+			t.Error("redo leaked before commit")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ReadUint8(0) != 0xab || o.ReadUint16(2) != 0xbeef || o.ReadUint32(4) != 0xdeadbeef {
+		t.Fatal("committed small writes lost")
+	}
+}
+
+func TestTxSpanningWrites(t *testing.T) {
+	h, mgr := openWithPDT(t)
+	cls := &core.Class{Name: "fa.big", Factory: func(o *core.Object) core.PObject { return o }}
+	// Register late via a fresh heap open is overkill; use an account-class
+	// sized multiple-block object through pdt instead.
+	_ = cls
+	arr, err := pdt.NewLongArray(h, 200) // ~1.6KB: spans several blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.PWB()
+	arr.Validate()
+	h.Root().Put("arr", arr)
+
+	blob := bytes.Repeat([]byte{0x5a}, 700) // spans 3 blocks
+	err = mgr.Run(func(tx *fa.Tx) error {
+		if err := tx.WriteBytes(arr.Core(), 8, blob); err != nil {
+			return err
+		}
+		got, err := tx.ReadBytes(arr.Core(), 8, uint64(len(blob)))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, blob) {
+			t.Error("tx spanning read-your-writes failed")
+		}
+		// Spanning uint64 read/write across a block boundary, placed
+		// beyond the blob so the two writes do not overlap.
+		spanOff := uint64(3*heap.Payload - 3)
+		if err := tx.WriteUint64(arr.Core(), spanOff, 0x1122334455667788); err != nil {
+			return err
+		}
+		v, err := tx.ReadUint64(arr.Core(), spanOff)
+		if err != nil {
+			return err
+		}
+		if v != 0x1122334455667788 {
+			t.Errorf("spanning u64 = %#x", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(arr.Core().ReadBytes(8, uint64(len(blob))), blob) {
+		t.Fatal("committed spanning write lost")
+	}
+}
+
+func TestTxRejectsPooledImmutableWrite(t *testing.T) {
+	h, mgr := openWithPDT(t)
+	s, err := pdt.NewString(h, "immutable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Validate()
+	h.PSync()
+	err = mgr.Run(func(tx *fa.Tx) error {
+		return tx.WriteUint32(s.Core(), 0, 99)
+	})
+	if err == nil {
+		t.Fatal("write to a valid pooled object inside a block was accepted")
+	}
+	// But reading it transactionally is fine.
+	err = mgr.Run(func(tx *fa.Tx) error {
+		v, err := tx.ReadUint32(s.Core(), 0)
+		if err != nil {
+			return err
+		}
+		if v != uint32(len("immutable")) {
+			t.Errorf("len = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerRequiresAttachment(t *testing.T) {
+	mgr := fa.NewManager()
+	if _, err := mgr.Begin(); err == nil {
+		t.Fatal("unattached manager handed out a tx")
+	}
+}
+
+func TestFinishedTxPanics(t *testing.T) {
+	_, mgr := openWithPDT(t)
+	tx, err := mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("use of finished tx should panic")
+		}
+	}()
+	tx.Nest()
+}

@@ -1,0 +1,418 @@
+// Package fa implements J-PFA, the failure-atomic blocks of J-NVM (§4.2).
+//
+// The algorithm is the paper's adaptation of Romulus to the block heap:
+// during a block (here: a transaction, Go's idiom for the per-thread FA
+// nesting counter of §3.2), every modification goes to a per-transaction
+// persistent redo log. Writes to *valid* objects are redirected to
+// in-flight copies of the touched blocks, leaving the original data
+// intact; writes to objects allocated inside the block go straight to the
+// (invalid, hence crash-dead) object. Commit flushes log and in-flight
+// blocks, fences, durably marks the log committed, fences again, and then
+// applies the log — copying in-flight payloads over the originals,
+// validating allocations and executing deletions — without further
+// ordering. A crash replays a committed log (the apply phase is
+// idempotent) and discards an uncommitted one, whose side effects are all
+// invalid or unreachable and therefore reclaimed by the recovery GC.
+package fa
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+)
+
+// Log-slot layout (within the heap's reserved log area):
+//
+//	0:  status (8)  — 0 idle, 1 committed
+//	8:  count  (8)  — number of entries
+//	16: entries, 24 bytes each: kind (8) | a (8) | b (8)
+const (
+	slotStatus  = 0
+	slotCount   = 8
+	slotEntries = 16
+	entrySize   = 24
+
+	statusIdle      = 0
+	statusCommitted = 1
+
+	kindWrite = 1 // a = original block ref, b = in-flight block ref
+	kindAlloc = 2 // a = new object ref
+	kindFree  = 3 // a = freed object ref
+)
+
+// Manager owns the persistent log slots. It implements core.LogHandler so
+// that passing it in core.Config replays logs before the recovery GC.
+type Manager struct {
+	mu    sync.Mutex
+	h     *core.Heap
+	off   uint64
+	size  int
+	idle  []int
+	total int
+}
+
+// NewManager creates an unattached manager. Pass it as the LogHandler of
+// core.Config; it attaches to the heap during Open.
+func NewManager() *Manager { return &Manager{} }
+
+// RecoverLogs implements core.LogHandler: it binds the manager to the heap
+// and replays or discards every log slot (§4.2 recovery, which runs before
+// the recovery procedure of §4.1.3).
+func (m *Manager) RecoverLogs(h *core.Heap) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.h = h
+	off, slots, slotSize := h.Mem().LogArea()
+	m.off = off
+	m.size = slotSize
+	m.total = slots
+	m.idle = m.idle[:0]
+	pool := h.Pool()
+	replayed := false
+	for i := 0; i < slots; i++ {
+		base := off + uint64(i*slotSize)
+		if pool.ReadUint64(base+slotStatus) == statusCommitted {
+			m.replay(base)
+			pool.WriteUint64(base+slotStatus, statusIdle)
+			pool.PWB(base + slotStatus)
+			replayed = true
+		}
+		m.idle = append(m.idle, i)
+	}
+	if replayed {
+		pool.PSync()
+	}
+	return nil
+}
+
+// replay applies a committed log (idempotently: a crash mid-replay just
+// replays again on the next open).
+func (m *Manager) replay(base uint64) {
+	pool := m.h.Pool()
+	mem := m.h.Mem()
+	count := pool.ReadUint64(base + slotCount)
+	for e := uint64(0); e < count; e++ {
+		eoff := base + slotEntries + e*entrySize
+		kind := pool.ReadUint64(eoff)
+		a := pool.ReadUint64(eoff + 8)
+		b := pool.ReadUint64(eoff + 16)
+		switch kind {
+		case kindWrite:
+			pool.CopyWithin(a+heap.HeaderSize, b+heap.HeaderSize, heap.Payload)
+			pool.PWBRange(a+heap.HeaderSize, heap.Payload)
+		case kindAlloc:
+			mem.SetValid(a, true)
+		case kindFree:
+			mem.SetValid(a, false)
+		}
+	}
+}
+
+// Heap returns the attached heap (nil before recovery ran).
+func (m *Manager) Heap() *core.Heap { return m.h }
+
+// ErrLogFull is returned when a failure-atomic block outgrows its log slot.
+var ErrLogFull = fmt.Errorf("fa: failure-atomic block exceeds log capacity")
+
+// maxEntries is the per-transaction entry capacity.
+func (m *Manager) maxEntries() uint64 { return uint64((m.size - slotEntries) / entrySize) }
+
+// Tx is one failure-atomic block. It is not safe for concurrent use; the
+// application serializes access to shared objects exactly as it would in
+// the paper's Infinispan integration (lock striping).
+type Tx struct {
+	m     *Manager
+	slot  int
+	base  uint64
+	count uint64
+	depth int
+
+	inflight map[core.Ref]core.Ref // original block -> in-flight copy
+	allocs   map[core.Ref]bool     // objects allocated in this block
+	freed    []core.Ref            // proxies to neutralize at commit
+	proxies  map[core.Ref]core.PObject
+	deferred []func() // volatile follow-ups, run only after a commit
+	onAbort  []func() // volatile rollbacks, run only on abort
+}
+
+// Defer registers a volatile follow-up (mirror updates, cache fills) that
+// runs only if the block commits; an abort drops it. This replaces the
+// paper's pattern of updating volatile state after faEnd.
+func (tx *Tx) Defer(fn func()) { tx.active(); tx.deferred = append(tx.deferred, fn) }
+
+// OnAbort registers a volatile rollback that runs only if the block
+// aborts, letting libraries keep volatile mirrors coherent with the
+// persistent state they shadow.
+func (tx *Tx) OnAbort(fn func()) { tx.active(); tx.onAbort = append(tx.onAbort, fn) }
+
+// Begin opens a failure-atomic block (faStart of Figure 3). Blocks nest:
+// inner Begin/Commit pairs on the same Tx only move the nesting counter,
+// as with the paper's per-thread counter.
+func (m *Manager) Begin() (*Tx, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.h == nil {
+		return nil, fmt.Errorf("fa: manager not attached to a heap (pass it as core.Config.LogHandler)")
+	}
+	if len(m.idle) == 0 {
+		return nil, fmt.Errorf("fa: no free log slot (%d concurrent failure-atomic blocks)", m.total)
+	}
+	slot := m.idle[len(m.idle)-1]
+	m.idle = m.idle[:len(m.idle)-1]
+	return &Tx{
+		m:        m,
+		slot:     slot,
+		base:     m.off + uint64(slot*m.size),
+		depth:    1,
+		inflight: make(map[core.Ref]core.Ref),
+		allocs:   make(map[core.Ref]bool),
+		proxies:  make(map[core.Ref]core.PObject),
+	}, nil
+}
+
+// Run executes fn inside a failure-atomic block: fn either takes full
+// effect or none, across both errors, panics and crashes. This is the
+// high-level interface of §2.5 (fa="non-private"), expressed as Go's
+// transaction-function idiom.
+func (m *Manager) Run(fn func(*Tx) error) error {
+	tx, err := m.Begin()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			tx.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (tx *Tx) release() {
+	tx.m.mu.Lock()
+	tx.m.idle = append(tx.m.idle, tx.slot)
+	tx.m.mu.Unlock()
+	tx.inflight = nil
+	tx.allocs = nil
+	tx.freed = nil
+	tx.proxies = nil
+	tx.deferred = nil
+	tx.onAbort = nil
+	tx.depth = 0
+}
+
+func (tx *Tx) active() {
+	if tx.depth <= 0 {
+		panic("fa: use of a finished failure-atomic block")
+	}
+}
+
+// Nest increments the nesting level (an inner faStart).
+func (tx *Tx) Nest() { tx.active(); tx.depth++ }
+
+// appendEntry writes one log entry to NVMM (flushed lazily at commit).
+func (tx *Tx) appendEntry(kind uint64, a, b core.Ref) error {
+	if tx.count >= tx.m.maxEntries() {
+		return ErrLogFull
+	}
+	pool := tx.m.h.Pool()
+	eoff := tx.base + slotEntries + tx.count*entrySize
+	pool.WriteUint64(eoff, kind)
+	pool.WriteUint64(eoff+8, a)
+	pool.WriteUint64(eoff+16, b)
+	tx.count++
+	return nil
+}
+
+// Alloc allocates a new persistent object inside the block. The object is
+// invalid until commit, so all writes to it go direct (§4.2): if the block
+// aborts or the system crashes, recovery reclaims it.
+func (tx *Tx) Alloc(c *core.Class, size uint64) (core.PObject, error) {
+	tx.active()
+	po, err := tx.m.h.Alloc(c, size)
+	if err != nil {
+		return nil, err
+	}
+	ref := po.Core().Ref()
+	if err := tx.appendEntry(kindAlloc, ref, 0); err != nil {
+		tx.m.h.Free(po)
+		return nil, err
+	}
+	tx.allocs[ref] = true
+	tx.proxies[ref] = po
+	return po, nil
+}
+
+// AllocSmall allocates a pooled small immutable object inside the block.
+func (tx *Tx) AllocSmall(c *core.Class, payload uint64) (core.PObject, error) {
+	tx.active()
+	po, err := tx.m.h.AllocSmall(c, payload)
+	if err != nil {
+		return nil, err
+	}
+	ref := po.Core().Ref()
+	if err := tx.appendEntry(kindAlloc, ref, 0); err != nil {
+		tx.m.h.Free(po)
+		return nil, err
+	}
+	tx.allocs[ref] = true
+	tx.proxies[ref] = po
+	return po, nil
+}
+
+// Free deletes a persistent object at commit (a deletion recorded in the
+// log). The proxy stays usable until the block ends.
+func (tx *Tx) Free(po core.PObject) error {
+	tx.active()
+	ref := po.Core().Ref()
+	if ref == 0 {
+		return nil
+	}
+	if err := tx.appendEntry(kindFree, ref, 0); err != nil {
+		return err
+	}
+	tx.freed = append(tx.freed, ref)
+	tx.proxies[ref] = po
+	return nil
+}
+
+// direct reports whether writes to the object bypass the redo log: true
+// for objects that are still invalid (freshly allocated, §4.2).
+func (tx *Tx) direct(o *core.Object) bool {
+	return tx.allocs[o.Ref()] || !o.Valid()
+}
+
+// inflightFor returns the pool offset of the writable image of the block
+// origin, creating the in-flight copy on first touch.
+func (tx *Tx) inflightFor(orig core.Ref) (core.Ref, error) {
+	if inf, ok := tx.inflight[orig]; ok {
+		return inf, nil
+	}
+	mem := tx.m.h.Mem()
+	inf, err := mem.AllocRaw()
+	if err != nil {
+		return 0, err
+	}
+	pool := tx.m.h.Pool()
+	pool.CopyWithin(inf+heap.HeaderSize, orig+heap.HeaderSize, heap.Payload)
+	if err := tx.appendEntry(kindWrite, orig, inf); err != nil {
+		mem.FreeRaw(inf)
+		return 0, err
+	}
+	tx.inflight[orig] = inf
+	return inf, nil
+}
+
+// Commit ends the block (faEnd). Outermost commit runs the redo protocol.
+func (tx *Tx) Commit() error {
+	tx.active()
+	tx.depth--
+	if tx.depth > 0 {
+		return nil
+	}
+	pool := tx.m.h.Pool()
+	mem := tx.m.h.Mem()
+
+	// 1. Persist the log and the in-flight images; no fence was needed
+	//    so far because the original data is untouched (§4.2). Objects
+	//    allocated in this block were written in place (they are invalid
+	//    until the alloc entries apply), so their content flushes here too.
+	for _, inf := range tx.inflight {
+		pool.PWBRange(inf+heap.HeaderSize, heap.Payload)
+	}
+	for ref := range tx.allocs {
+		if po, ok := tx.proxies[ref]; ok {
+			po.Core().PWB()
+		}
+	}
+	pool.WriteUint64(tx.base+slotCount, tx.count)
+	pool.PWBRange(tx.base+slotCount, 8+tx.count*entrySize)
+	pool.PFence()
+
+	// 2. Durable commit point.
+	pool.WriteUint64(tx.base+slotStatus, statusCommitted)
+	pool.PWB(tx.base + slotStatus)
+	pool.PFence()
+
+	// 3. Apply, without ordering: a crash replays the committed log.
+	for e := uint64(0); e < tx.count; e++ {
+		eoff := tx.base + slotEntries + e*entrySize
+		kind := pool.ReadUint64(eoff)
+		a := pool.ReadUint64(eoff + 8)
+		b := pool.ReadUint64(eoff + 16)
+		switch kind {
+		case kindWrite:
+			pool.CopyWithin(a+heap.HeaderSize, b+heap.HeaderSize, heap.Payload)
+			pool.PWBRange(a+heap.HeaderSize, heap.Payload)
+		case kindAlloc:
+			mem.SetValid(a, true)
+		case kindFree:
+			mem.SetValid(a, false)
+		}
+	}
+	pool.PFence()
+
+	// 4. Retire the log before the slot can be reused; otherwise a crash
+	//    could replay a stale committed log polluted with fresh entries.
+	pool.WriteUint64(tx.base+slotStatus, statusIdle)
+	pool.WriteUint64(tx.base+slotCount, 0)
+	pool.PWBRange(tx.base, 16)
+	pool.PSync()
+
+	// 5. Volatile cleanup: recycle in-flight blocks, push freed objects'
+	//    blocks to the free queue, neutralize freed proxies.
+	for _, inf := range tx.inflight {
+		mem.FreeRaw(inf)
+	}
+	for _, ref := range tx.freed {
+		// Exactly one free per object: through the proxy when we hold it
+		// (which also neutralizes it), directly otherwise.
+		if po, ok := tx.proxies[ref]; ok && po.Core().Ref() == ref {
+			tx.m.h.Free(po)
+		} else {
+			mem.FreeObject(ref)
+		}
+	}
+	deferred := tx.deferred
+	tx.release()
+	for _, fn := range deferred {
+		fn()
+	}
+	return nil
+}
+
+// Abort abandons the block: nothing it did becomes visible. In-flight
+// copies and allocations are recycled; originals were never touched.
+func (tx *Tx) Abort() {
+	if tx.depth <= 0 {
+		return
+	}
+	pool := tx.m.h.Pool()
+	mem := tx.m.h.Mem()
+	pool.WriteUint64(tx.base+slotCount, 0)
+	for _, inf := range tx.inflight {
+		mem.FreeRaw(inf)
+	}
+	for ref, po := range tx.proxies {
+		if tx.allocs[ref] {
+			tx.m.h.Free(po)
+		}
+	}
+	rollbacks := tx.onAbort
+	tx.release()
+	for i := len(rollbacks) - 1; i >= 0; i-- {
+		rollbacks[i]()
+	}
+}
+
+// Manager returns the owning manager (used by libraries layered on fa).
+func (tx *Tx) Manager() *Manager { return tx.m }
+
+// Heap returns the heap this block operates on.
+func (tx *Tx) Heap() *core.Heap { return tx.m.h }

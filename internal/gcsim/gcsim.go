@@ -1,0 +1,166 @@
+// Package gcsim reproduces the integrated design the paper argues against
+// (§2.2): a managed heap whose garbage collector must traverse the whole
+// persistent dataset. It implements a stop-the-world tri-color mark-sweep
+// collector (the go-pmem collector of Figure 2 is a tri-color concurrent
+// mark without compaction; stop-the-world preserves the measured quantity —
+// CPU time proportional to live objects — without the concurrency noise),
+// triggered every Threshold allocated bytes, exactly like the paper forcing
+// a collection every 10 GB of allocation.
+//
+// On top of it, RedisLike is the go-redis-pmem stand-in: a feature-poor
+// key-value store whose records live as managed objects, so that growing
+// the persistent dataset grows every GC pass (Figure 2), and whose cache
+// experiment (Figure 1) shows GC time and tail latency growing with the
+// cache ratio.
+package gcsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Object is a managed heap object: a reference array plus an opaque
+// payload. The collector traverses Refs; Payload only contributes size.
+type Object struct {
+	Refs    []*Object
+	Payload []byte
+
+	marked bool
+	born   uint64  // allocation epoch (see Heap.epoch)
+	next   *Object // intrusive all-objects list, for the sweep
+}
+
+// Stats accumulates collector work.
+type Stats struct {
+	Collections   int
+	GCTime        time.Duration // total stop-the-world time
+	MarkedObjects uint64        // objects visited across all marks
+	SweptObjects  uint64        // objects reclaimed across all sweeps
+	LiveObjects   int
+	LiveBytes     uint64
+}
+
+// Heap is the managed heap. All methods are safe for concurrent use; a
+// collection stops the world (every allocating goroutine waits).
+type Heap struct {
+	mu        sync.Mutex
+	roots     []*Object
+	all       *Object
+	allocated uint64 // bytes since the last collection
+	threshold uint64
+	epoch     uint64 // bumped by every collection
+	stats     Stats
+}
+
+// New creates a heap that collects every threshold allocated bytes.
+func New(threshold uint64) *Heap {
+	if threshold == 0 {
+		threshold = 64 << 20
+	}
+	return &Heap{threshold: threshold}
+}
+
+// Alloc creates a managed object with room for nrefs references and a
+// payload of size bytes. Crossing the allocation threshold triggers a
+// stop-the-world collection, whose latency the caller pays — that is the
+// tail-latency effect of Figure 1(right).
+func (h *Heap) Alloc(nrefs, size int) *Object {
+	o := &Object{Payload: make([]byte, size)}
+	if nrefs > 0 {
+		o.Refs = make([]*Object, nrefs)
+	}
+	h.mu.Lock()
+	o.born = h.epoch
+	o.next = h.all
+	h.all = o
+	h.stats.LiveObjects++
+	h.stats.LiveBytes += uint64(objSize(o))
+	h.allocated += uint64(objSize(o))
+	if h.allocated >= h.threshold {
+		h.collectLocked()
+	}
+	h.mu.Unlock()
+	return o
+}
+
+func objSize(o *Object) int { return len(o.Payload) + 8*len(o.Refs) + 48 }
+
+// AddRoot registers a GC root.
+func (h *Heap) AddRoot(o *Object) {
+	h.mu.Lock()
+	h.roots = append(h.roots, o)
+	h.mu.Unlock()
+}
+
+// Collect forces a stop-the-world collection.
+func (h *Heap) Collect() {
+	h.mu.Lock()
+	h.collectLocked()
+	h.mu.Unlock()
+}
+
+// collectLocked is the tri-color mark-sweep: roots are gray, marking
+// blackens the transitive closure, the sweep unlinks white objects.
+func (h *Heap) collectLocked() {
+	start := time.Now()
+	// Mark.
+	gray := make([]*Object, 0, 1024)
+	for _, r := range h.roots {
+		if r != nil && !r.marked {
+			r.marked = true
+			gray = append(gray, r)
+		}
+	}
+	var visited uint64
+	for len(gray) > 0 {
+		o := gray[len(gray)-1]
+		gray = gray[:len(gray)-1]
+		visited++
+		for _, ref := range o.Refs {
+			if ref != nil && !ref.marked {
+				ref.marked = true
+				gray = append(gray, ref)
+			}
+		}
+	}
+	// Sweep: rebuild the all-list with only marked objects, clearing
+	// marks for the next cycle. No compaction, as in go-pmem. Objects
+	// born in the current epoch survive unconditionally (allocate-black):
+	// an allocation can trigger this collection before its caller has
+	// linked the object into the graph, and collecting it then would
+	// corrupt the heap.
+	var live *Object
+	liveCount := 0
+	var liveBytes uint64
+	var swept uint64
+	for o := h.all; o != nil; {
+		next := o.next
+		if o.marked || o.born == h.epoch {
+			o.marked = false
+			o.next = live
+			live = o
+			liveCount++
+			liveBytes += uint64(objSize(o))
+		} else {
+			swept++
+			o.next = nil // help the host GC
+		}
+		o = next
+	}
+	h.all = live
+	h.allocated = 0
+	h.epoch++
+	h.stats.Collections++
+	h.stats.GCTime += time.Since(start)
+	h.stats.MarkedObjects += visited
+	h.stats.SweptObjects += swept
+	h.stats.LiveObjects = liveCount
+	h.stats.LiveBytes = liveBytes
+}
+
+// Stats returns a snapshot of collector statistics.
+func (h *Heap) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}

@@ -1,0 +1,185 @@
+package gcsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCollectReclaimsGarbage(t *testing.T) {
+	h := New(1 << 30) // manual collections only
+	root := h.Alloc(10, 0)
+	h.AddRoot(root)
+	kept := h.Alloc(0, 100)
+	root.Refs[0] = kept
+	for i := 0; i < 50; i++ {
+		h.Alloc(0, 100) // garbage
+	}
+	// Two passes: the first keeps same-epoch allocations (allocate-black),
+	// the second reclaims the garbage.
+	h.Collect()
+	h.Collect()
+	st := h.Stats()
+	if st.LiveObjects != 2 {
+		t.Fatalf("live = %d, want 2", st.LiveObjects)
+	}
+	if st.SweptObjects != 50 {
+		t.Fatalf("swept = %d", st.SweptObjects)
+	}
+	if st.Collections != 2 {
+		t.Fatalf("collections = %d", st.Collections)
+	}
+}
+
+func TestCollectFollowsDeepGraphs(t *testing.T) {
+	h := New(1 << 30)
+	root := h.Alloc(1, 0)
+	h.AddRoot(root)
+	cur := root
+	for i := 0; i < 1000; i++ {
+		n := h.Alloc(1, 8)
+		cur.Refs[0] = n
+		cur = n
+	}
+	h.Collect()
+	h.Collect()
+	if st := h.Stats(); st.LiveObjects != 1001 {
+		t.Fatalf("live = %d", st.LiveObjects)
+	}
+}
+
+func TestThresholdTriggersCollection(t *testing.T) {
+	h := New(10_000)
+	for i := 0; i < 100; i++ {
+		h.Alloc(0, 200)
+	}
+	if st := h.Stats(); st.Collections == 0 {
+		t.Fatal("allocation threshold never triggered a collection")
+	}
+}
+
+func TestGCCostGrowsWithLiveSet(t *testing.T) {
+	// The Figure 2 mechanism in miniature: same op count, bigger live
+	// dataset, more objects visited per collection.
+	visitsFor := func(records int) uint64 {
+		h := New(1 << 30)
+		r := NewRedisLike(h, 1024)
+		for i := 0; i < records; i++ {
+			r.Set(fmt.Sprintf("k%d", i), make([]byte, 64))
+		}
+		h.Collect()
+		before := h.Stats().MarkedObjects
+		h.Collect()
+		return h.Stats().MarkedObjects - before
+	}
+	small := visitsFor(1000)
+	large := visitsFor(10000)
+	if large < 8*small {
+		t.Fatalf("mark work did not scale with the live set: %d vs %d", small, large)
+	}
+}
+
+func TestRedisLikeOps(t *testing.T) {
+	h := New(1 << 30)
+	r := NewRedisLike(h, 64)
+	r.Set("a", []byte("1"))
+	r.Set("b", []byte("2"))
+	if v, ok := r.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q %v", v, ok)
+	}
+	if _, ok := r.Get("zz"); ok {
+		t.Fatal("phantom key")
+	}
+	r.Set("a", []byte("11"))
+	if v, _ := r.Get("a"); string(v) != "11" {
+		t.Fatal("update lost")
+	}
+	if !r.RMW("a", func(v []byte) []byte { return append(v, '!') }) {
+		t.Fatal("rmw failed")
+	}
+	if v, _ := r.Get("a"); string(v) != "11!" {
+		t.Fatalf("rmw result %q", v)
+	}
+	if r.RMW("zz", func(v []byte) []byte { return v }) {
+		t.Fatal("rmw on missing key")
+	}
+	if !r.Del("b") || r.Del("b") {
+		t.Fatal("del semantics")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Deleted and overwritten values become garbage. Two passes settle
+	// the allocate-black epoch; further collections are idempotent.
+	h.Collect()
+	h.Collect()
+	before := h.Stats().LiveObjects
+	h.Collect()
+	if h.Stats().LiveObjects != before {
+		t.Fatal("idempotent collection changed liveness")
+	}
+}
+
+func TestRedisLikeSurvivesCollection(t *testing.T) {
+	h := New(1 << 30)
+	r := NewRedisLike(h, 32)
+	for i := 0; i < 500; i++ {
+		r.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	h.Collect()
+	for i := 0; i < 500; i++ {
+		if v, ok := r.Get(fmt.Sprintf("k%d", i)); !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d lost after GC: %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestManagedCacheEvictsAtCapacity(t *testing.T) {
+	h := New(1 << 30)
+	c := NewManagedCache(h, 3)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if v, ok := c.Get("k4"); !ok || v[0] != 4 {
+		t.Fatal("latest entry missing")
+	}
+	// The live managed objects track the cache size (two passes: the
+	// first keeps same-epoch allocations).
+	h.Collect()
+	h.Collect()
+	if live := h.Stats().LiveObjects; live != 4 { // root + 3 entries
+		t.Fatalf("live = %d", live)
+	}
+}
+
+func TestManagedCacheZeroCapacity(t *testing.T) {
+	h := New(1 << 30)
+	c := NewManagedCache(h, 0)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-capacity cache cached")
+	}
+}
+
+func TestManagedCacheUpdateInPlace(t *testing.T) {
+	h := New(1 << 30)
+	c := NewManagedCache(h, 2)
+	c.Put("k", []byte("a"))
+	c.Put("k", []byte("b"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if v, _ := c.Get("k"); string(v) != "b" {
+		t.Fatal("update lost")
+	}
+	h.Collect()
+	h.Collect()
+	if live := h.Stats().LiveObjects; live != 2 { // root + 1 entry
+		t.Fatalf("stale cache entry still live: %d", live)
+	}
+}

@@ -1,0 +1,197 @@
+package gcsim
+
+import (
+	"sync"
+)
+
+// RedisLike is the go-redis-pmem stand-in of Figure 2: a feature-poor
+// key-value store whose entries are managed objects. The durable graph is
+// root -> bucket table -> entry chains -> key/value objects, so every
+// collection pass visits the entire dataset; a volatile index provides the
+// O(1) operations the benchmark driver needs without hiding that cost.
+type RedisLike struct {
+	h     *Heap
+	table *Object // Refs = bucket heads
+
+	mu    sync.Mutex
+	index map[string]*Object // key -> entry object
+}
+
+// Entry object layout: Refs[0] = next in bucket, Refs[1] = value object;
+// Payload = key bytes. Value objects are pure payload.
+
+// NewRedisLike creates the store with the given bucket count.
+func NewRedisLike(h *Heap, buckets int) *RedisLike {
+	t := h.Alloc(buckets, 0)
+	h.AddRoot(t)
+	return &RedisLike{h: h, table: t, index: make(map[string]*Object)}
+}
+
+func bucketOf(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// Set binds key to a fresh value object holding val.
+func (r *RedisLike) Set(key string, val []byte) {
+	v := r.h.Alloc(0, len(val))
+	copy(v.Payload, val)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.index[key]; ok {
+		e.Refs[1] = v // old value becomes garbage for the next GC
+		return
+	}
+	e := r.h.Alloc(2, len(key))
+	copy(e.Payload, key)
+	b := bucketOf(key, len(r.table.Refs))
+	e.Refs[0] = r.table.Refs[b]
+	e.Refs[1] = v
+	r.table.Refs[b] = e
+	r.index[key] = e
+}
+
+// Get copies the value bound to key.
+func (r *RedisLike) Get(key string) ([]byte, bool) {
+	r.mu.Lock()
+	e, ok := r.index[key]
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	v := e.Refs[1]
+	out := make([]byte, len(v.Payload))
+	copy(out, v.Payload)
+	return out, true
+}
+
+// RMW reads the value, applies mutate, and stores the result as a fresh
+// value object (go-redis-pmem style: updates allocate).
+func (r *RedisLike) RMW(key string, mutate func(v []byte) []byte) bool {
+	r.mu.Lock()
+	e, ok := r.index[key]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	old := e.Refs[1].Payload
+	buf := make([]byte, len(old))
+	copy(buf, old)
+	out := mutate(buf)
+	v := r.h.Alloc(0, len(out))
+	copy(v.Payload, out)
+	r.mu.Lock()
+	e.Refs[1] = v
+	r.mu.Unlock()
+	return true
+}
+
+// Del unbinds key.
+func (r *RedisLike) Del(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.index[key]
+	if !ok {
+		return false
+	}
+	b := bucketOf(key, len(r.table.Refs))
+	if r.table.Refs[b] == e {
+		r.table.Refs[b] = e.Refs[0]
+	} else {
+		for c := r.table.Refs[b]; c != nil; c = c.Refs[0] {
+			if c.Refs[0] == e {
+				c.Refs[0] = e.Refs[0]
+				break
+			}
+		}
+	}
+	delete(r.index, key)
+	return true
+}
+
+// Len returns the number of keys.
+func (r *RedisLike) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.index)
+}
+
+// ManagedCache is the Figure 1 substrate: the volatile Infinispan cache
+// held in a managed heap. Entries (key + record payload) are managed
+// objects reachable from a cache root; the bigger the cache ratio, the
+// more live objects every collection traverses.
+type ManagedCache struct {
+	h    *Heap
+	root *Object
+
+	mu      sync.Mutex
+	slot    map[string]int // key -> slot index in root.Refs
+	order   []string       // FIFO eviction ring (slot i holds order[i])
+	nextEv  int
+	maxSize int
+}
+
+// NewManagedCache creates a cache bounded to capacity entries (0 disables
+// caching).
+func NewManagedCache(h *Heap, capacity int) *ManagedCache {
+	var root *Object
+	if capacity > 0 {
+		root = h.Alloc(capacity, 0)
+		h.AddRoot(root)
+	}
+	return &ManagedCache{h: h, root: root, slot: make(map[string]int), maxSize: capacity}
+}
+
+// Get returns the cached payload.
+func (c *ManagedCache) Get(key string) ([]byte, bool) {
+	if c.maxSize == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	i, ok := c.slot[key]
+	var payload []byte
+	if ok {
+		payload = c.root.Refs[i].Payload
+	}
+	c.mu.Unlock()
+	return payload, ok
+}
+
+// Put caches a payload, evicting FIFO when full. The replaced entry
+// becomes garbage for the next collection, as in a managed runtime.
+func (c *ManagedCache) Put(key string, payload []byte) {
+	if c.maxSize == 0 {
+		return
+	}
+	e := c.h.Alloc(0, len(payload))
+	copy(e.Payload, payload)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.slot[key]; ok {
+		c.root.Refs[i] = e
+		return
+	}
+	if len(c.order) < c.maxSize {
+		i := len(c.order)
+		c.root.Refs[i] = e
+		c.order = append(c.order, key)
+		c.slot[key] = i
+		return
+	}
+	victim := c.order[c.nextEv]
+	delete(c.slot, victim)
+	c.root.Refs[c.nextEv] = e
+	c.order[c.nextEv] = key
+	c.slot[key] = c.nextEv
+	c.nextEv = (c.nextEv + 1) % c.maxSize
+}
+
+// Len returns the number of cached entries.
+func (c *ManagedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slot)
+}

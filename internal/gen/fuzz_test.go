@@ -1,0 +1,28 @@
+package gen
+
+import "testing"
+
+// FuzzGenerateSource hardens the code generator against arbitrary input
+// files: it may reject them, but must never panic, and whatever it emits
+// must be gofmt-valid (GenerateSource formats internally and errors
+// otherwise).
+func FuzzGenerateSource(f *testing.F) {
+	f.Add("package p\n//jnvm:persistent\ntype T struct{ X int64 }\n")
+	f.Add("package p\ntype T struct{ X int64 }\n")
+	f.Add("package p\n//jnvm:persistent\ntype T struct{ R uint64 `jnvm:\"ref\"` }\n")
+	f.Add("package p\n//jnvm:persistent\ntype T struct{ B [8]byte; S string `jnvm:\"transient\"` }\n")
+	f.Add("not go at all")
+	f.Add("package p\n//jnvm:persistent\ntype T int\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		out, err := GenerateSource("fuzz.go", []byte(src), SrcOptions{})
+		if err != nil {
+			return
+		}
+		if out == nil {
+			return // no marked structs
+		}
+		if len(out) == 0 {
+			t.Fatal("empty output accepted")
+		}
+	})
+}

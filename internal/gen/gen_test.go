@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+)
+
+type demo struct {
+	A   int64
+	B   int32
+	C   bool
+	D   float64
+	E   uint16
+	F   [12]byte
+	Ref core.Ref `jnvm:"ref"`
+	T   string   `jnvm:"transient"`
+	h   int      // unexported: volatile
+}
+
+func TestLayoutOffsetsAndSize(t *testing.T) {
+	l, err := For(&demo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A:0(8) B:8(4) C:12(1) D:16(8) E:24(2) F:26(12) Ref:40(8) => size 48
+	want := map[string]uint64{"A": 0, "B": 8, "C": 12, "D": 16, "E": 24, "F": 26, "Ref": 40}
+	for name, off := range want {
+		got, ok := l.Offset(name)
+		if !ok || got != off {
+			t.Fatalf("offset(%s) = %d,%v want %d", name, got, ok, off)
+		}
+	}
+	if _, ok := l.Offset("T"); ok {
+		t.Fatal("transient field got an offset")
+	}
+	if _, ok := l.Offset("h"); ok {
+		t.Fatal("unexported field got an offset")
+	}
+	if l.Size != 48 {
+		t.Fatalf("size = %d", l.Size)
+	}
+	if len(l.RefOffsets()) != 1 || l.RefOffsets()[0] != 40 {
+		t.Fatalf("ref offsets = %v", l.RefOffsets())
+	}
+}
+
+func TestLayoutRejectsBadTypes(t *testing.T) {
+	type badString struct{ S string }
+	if _, err := For(badString{}); err == nil {
+		t.Fatal("string field accepted")
+	}
+	type badSlice struct{ S []byte }
+	if _, err := For(badSlice{}); err == nil {
+		t.Fatal("slice field accepted")
+	}
+	type badRef struct {
+		R int32 `jnvm:"ref"`
+	}
+	if _, err := For(badRef{}); err == nil {
+		t.Fatal("non-uint64 ref accepted")
+	}
+	type empty struct {
+		S string `jnvm:"transient"`
+	}
+	if _, err := For(empty{}); err == nil {
+		t.Fatal("empty layout accepted")
+	}
+	if _, err := For(42); err == nil {
+		t.Fatal("non-struct accepted")
+	}
+}
+
+func TestLayoutStoreLoadRoundTrip(t *testing.T) {
+	pool := nvm.New(1<<20, nvm.Options{})
+	l, err := For(&demo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := l.Class("gen.demo", nil)
+	h, err := core.Open(pool, core.Config{
+		HeapOptions: heap.Options{LogSlots: 2, LogSlotSize: 4096},
+		Classes:     []*core.Class{cls},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := h.Alloc(cls, l.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := demo{A: -7, B: 123456, C: true, D: 2.75, E: 65000, Ref: 0xdead}
+	copy(src.F[:], "hello-layout")
+	if err := l.Store(po.Core(), &src); err != nil {
+		t.Fatal(err)
+	}
+	var dst demo
+	dst.T = "keepme"
+	if err := l.Load(po.Core(), &dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.A != src.A || dst.B != src.B || dst.C != src.C || dst.D != src.D ||
+		dst.E != src.E || dst.F != src.F || dst.Ref != src.Ref {
+		t.Fatalf("round trip mismatch: %+v vs %+v", dst, src)
+	}
+	if dst.T != "keepme" {
+		t.Fatal("Load touched a transient field")
+	}
+	// Type confusion is rejected.
+	type other struct{ X int64 }
+	if err := l.Store(po.Core(), other{}); err == nil {
+		t.Fatal("Store of wrong type accepted")
+	}
+	if err := l.Load(po.Core(), &other{}); err == nil {
+		t.Fatal("Load into wrong type accepted")
+	}
+}
+
+func TestSrcgenMatchesCommittedOutput(t *testing.T) {
+	src, err := os.ReadFile("genexample/types.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateSource("internal/gen/genexample/types.go", src, SrcOptions{Module: "repro"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("genexample/types_jnvm.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("generator output drifted from the committed types_jnvm.go; " +
+			"re-run: go run ./cmd/jnvmgen internal/gen/genexample/types.go")
+	}
+}
+
+func TestSrcgenAgreesWithRuntimeBinder(t *testing.T) {
+	// The two halves of the generator must produce identical layouts.
+	type mirror struct {
+		Quantity int64
+		Price    float64
+		Active   bool
+		Flags    uint16
+		Code     [16]byte
+		Name     core.Ref `jnvm:"ref"`
+	}
+	l, err := For(mirror{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := os.ReadFile("genexample/types.go")
+	out, err := GenerateSource("types.go", src, SrcOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check: the emitted size constant matches the binder.
+	wantSize := "const ItemPSize = 48"
+	if l.Size != 48 {
+		t.Fatalf("binder size = %d", l.Size)
+	}
+	if !contains(string(out), wantSize) {
+		t.Fatalf("generated output missing %q", wantSize)
+	}
+	for _, want := range []string{
+		"ItemPOffQuantity = 0", "ItemPOffPrice    = 8", "ItemPOffActive   = 16",
+		"ItemPOffFlags    = 18", "ItemPOffCode     = 20", "ItemPOffName     = 40",
+	} {
+		if !contains(string(out), want) {
+			t.Fatalf("generated output missing %q", want)
+		}
+	}
+}
+
+func TestSrcgenErrors(t *testing.T) {
+	cases := map[string]string{
+		"string field": `package p
+//jnvm:persistent
+type T struct{ S string }`,
+		"marked non-struct": `package p
+//jnvm:persistent
+type T int`,
+		"no persistent fields": `package p
+//jnvm:persistent
+type T struct{ s string }`,
+		"slice field": `package p
+//jnvm:persistent
+type T struct{ B []byte }`,
+	}
+	for name, src := range cases {
+		if _, err := GenerateSource("t.go", []byte(src), SrcOptions{}); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	// A file without markers yields no output and no error.
+	out, err := GenerateSource("t.go", []byte("package p\ntype T struct{ X int64 }"), SrcOptions{})
+	if err != nil || out != nil {
+		t.Fatalf("unmarked file: %v %v", out, err)
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && (func() bool {
+		for i := 0; i+len(needle) <= len(haystack); i++ {
+			if haystack[i:i+len(needle)] == needle {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,189 @@
+package genexample
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+	"repro/internal/pdt"
+)
+
+// These tests exercise the committed generator output end to end: the
+// generated proxies must behave like hand-written ones.
+
+func openExample(t testing.TB, pool *nvm.Pool) (*core.Heap, *fa.Manager) {
+	t.Helper()
+	mgr := fa.NewManager()
+	classes := append(pdt.Classes(), ItemPClass(), ShelfPClass())
+	h, err := core.Open(pool, core.Config{
+		HeapOptions: heap.Options{LogSlots: 4, LogSlotSize: 1 << 14},
+		Classes:     classes,
+		LogHandler:  mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, mgr
+}
+
+func TestGeneratedAccessors(t *testing.T) {
+	pool := nvm.New(1<<21, nvm.Options{})
+	h, _ := openExample(t, pool)
+	item, err := NewItemP(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item.SetQuantity(-42)
+	item.SetPrice(19.99)
+	item.SetActive(true)
+	item.SetFlags(0xbeef)
+	item.SetCode([]byte("0123456789abcdef"))
+	if item.Quantity() != -42 || item.Price() != 19.99 || !item.Active() || item.Flags() != 0xbeef {
+		t.Fatalf("accessors: %d %v %v %#x", item.Quantity(), item.Price(), item.Active(), item.Flags())
+	}
+	if !bytes.Equal(item.Code(), []byte("0123456789abcdef")) {
+		t.Fatalf("code = %q", item.Code())
+	}
+	item.PWBQuantity()
+	item.PWBPrice()
+	item.PWBActive()
+	item.PWBFlags()
+	item.PWBCode()
+	item.PWB()
+	item.Validate()
+
+	// Ref field + atomic publication.
+	name, err := pdt.NewString(h, "widget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	item.AtomicSetName(name)
+	if item.Name() != name.Ref() {
+		t.Fatal("AtomicSetName did not store the ref")
+	}
+	if !name.Valid() {
+		t.Fatal("AtomicSetName did not validate the target")
+	}
+	// Replace frees the old string.
+	oldRef := name.Ref()
+	name2, _ := pdt.NewString(h, "gadget")
+	item.ReplaceName(name2)
+	if h.Mem().Valid(oldRef) {
+		t.Fatal("ReplaceName leaked the old string")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetCode with wrong length must panic")
+			}
+		}()
+		item.SetCode([]byte("short"))
+	}()
+}
+
+func TestGeneratedPersistsAcrossReopen(t *testing.T) {
+	pool := nvm.New(1<<21, nvm.Options{})
+	h, _ := openExample(t, pool)
+	item, _ := NewItemP(h)
+	item.SetQuantity(7)
+	item.SetPrice(1.5)
+	name, _ := pdt.NewString(h, "persisted")
+	item.SetName(name.Ref())
+	name.Validate()
+	item.PWB()
+	if err := h.Root().Put("item", item); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, _ := openExample(t, pool)
+	po, err := h2.Root().Get("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := po.(*ItemP)
+	if got.Quantity() != 7 || got.Price() != 1.5 {
+		t.Fatalf("fields lost: %d %v", got.Quantity(), got.Price())
+	}
+	npo, err := h2.Resurrect(got.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if npo.(*pdt.PString).Value() != "persisted" {
+		t.Fatal("ref target lost")
+	}
+}
+
+func TestGeneratedTxAccessors(t *testing.T) {
+	pool := nvm.New(1<<21, nvm.Options{})
+	h, mgr := openExample(t, pool)
+	item, _ := NewItemP(h)
+	item.SetQuantity(10)
+	item.PWB()
+	item.Validate()
+	if err := h.Root().Put("item", item); err != nil {
+		t.Fatal(err)
+	}
+
+	err := mgr.Run(func(tx *fa.Tx) error {
+		q, err := item.QuantityTx(tx)
+		if err != nil {
+			return err
+		}
+		if err := item.SetQuantityTx(tx, q+5); err != nil {
+			return err
+		}
+		if err := item.SetActiveTx(tx, true); err != nil {
+			return err
+		}
+		if err := item.SetPriceTx(tx, 9.5); err != nil {
+			return err
+		}
+		if err := item.SetFlagsTx(tx, 3); err != nil {
+			return err
+		}
+		return item.SetCodeTx(tx, []byte("fedcba9876543210"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.Quantity() != 15 || !item.Active() || item.Price() != 9.5 || item.Flags() != 3 {
+		t.Fatal("tx writes lost")
+	}
+	if !bytes.Equal(item.Code(), []byte("fedcba9876543210")) {
+		t.Fatal("tx byte-array write lost")
+	}
+
+	// A shelf allocated and linked inside a block.
+	err = mgr.Run(func(tx *fa.Tx) error {
+		shelf, err := NewShelfPTx(tx)
+		if err != nil {
+			return err
+		}
+		if err := shelf.SetRowTx(tx, 3); err != nil {
+			return err
+		}
+		if err := shelf.SetColTx(tx, 4); err != nil {
+			return err
+		}
+		if err := shelf.SetFirstTx(tx, item.Ref()); err != nil {
+			return err
+		}
+		return tx.Heap().Root().WPut("shelf", shelf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.PSync()
+	po, err := h.Root().Get("shelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shelf := po.(*ShelfP)
+	if shelf.Row() != 3 || shelf.Col() != 4 || shelf.First() != item.Ref() {
+		t.Fatal("shelf fields lost")
+	}
+}

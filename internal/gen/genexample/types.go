@@ -1,0 +1,25 @@
+// Package genexample is the fixture for the source generator: types.go is
+// the input, types_jnvm.go is committed generator output (the test suite
+// regenerates it and fails on drift).
+package genexample
+
+import "repro/internal/core"
+
+//jnvm:persistent
+type Item struct {
+	Quantity int64
+	Price    float64
+	Active   bool
+	Flags    uint16
+	Code     [16]byte
+	Name     core.Ref `jnvm:"ref"`
+	hits     int      // volatile: unexported and untagged
+}
+
+//jnvm:persistent
+type Shelf struct {
+	Row   int32
+	Col   int32
+	First core.Ref `jnvm:"ref"`
+	Cache []string `jnvm:"transient"`
+}

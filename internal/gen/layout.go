@@ -1,0 +1,275 @@
+// Package gen plays the role of the paper's code generator (§2.5, §3): it
+// turns an annotated type into the persistent layout, accessors and class
+// metadata that the ASM-based tool emits in Java.
+//
+// Two flavors are provided:
+//
+//   - a runtime binder (this file): reflect over a tagged Go struct,
+//     compute field offsets, and move data between struct values and a
+//     persistent object; and
+//   - a source generator (srcgen.go, fronted by cmd/jnvmgen): parse a Go
+//     file, find structs marked //jnvm:persistent, and emit typed proxy
+//     code — getters, setters, per-field flush methods, transactional
+//     accessors and the core.Class descriptor.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"repro/internal/core"
+)
+
+// Kind classifies a persistent field.
+type Kind int
+
+// Field kinds.
+const (
+	KindBool Kind = iota
+	KindInt8
+	KindInt16
+	KindInt32
+	KindInt64
+	KindUint8
+	KindUint16
+	KindUint32
+	KindUint64
+	KindFloat64
+	KindRef     // a persistent reference (tag jnvm:"ref")
+	KindByteArr // [N]byte, stored inline
+)
+
+func (k Kind) size() uint64 {
+	switch k {
+	case KindBool, KindInt8, KindUint8:
+		return 1
+	case KindInt16, KindUint16:
+		return 2
+	case KindInt32, KindUint32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// FieldInfo describes one persistent field of a layout.
+type FieldInfo struct {
+	Name   string
+	Kind   Kind
+	Offset uint64
+	Size   uint64 // payload size (byte arrays only; primitives use Kind)
+	index  int    // struct field index
+}
+
+// Layout is the computed persistent layout of a struct type: the paper's
+// generated field table.
+type Layout struct {
+	Type    reflect.Type
+	Fields  []FieldInfo
+	Size    uint64
+	refOffs []uint64
+	byName  map[string]int
+}
+
+// For computes the layout of the sample struct (a value or pointer).
+// Exported fields become persistent in declaration order,
+// aligned to their size; fields tagged `jnvm:"transient"` stay volatile;
+// fields tagged `jnvm:"ref"` must be uint64-compatible and are treated as
+// persistent references (walked by the recovery GC).
+func For(sample any) (*Layout, error) {
+	t := reflect.TypeOf(sample)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("gen: %s is not a struct", t)
+	}
+	l := &Layout{Type: t, byName: make(map[string]int)}
+	off := uint64(0)
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag := f.Tag.Get("jnvm")
+		if tag == "transient" {
+			continue
+		}
+		if !f.IsExported() {
+			if tag == "" {
+				continue // unexported, untagged: volatile by default
+			}
+			return nil, fmt.Errorf("gen: field %s.%s is tagged but unexported", t, f.Name)
+		}
+		fi := FieldInfo{Name: f.Name, index: i}
+		switch {
+		case tag == "ref":
+			if f.Type.Kind() != reflect.Uint64 {
+				return nil, fmt.Errorf("gen: ref field %s.%s must be uint64/core.Ref", t, f.Name)
+			}
+			fi.Kind = KindRef
+		case f.Type.Kind() == reflect.Bool:
+			fi.Kind = KindBool
+		case f.Type.Kind() == reflect.Int8:
+			fi.Kind = KindInt8
+		case f.Type.Kind() == reflect.Int16:
+			fi.Kind = KindInt16
+		case f.Type.Kind() == reflect.Int32:
+			fi.Kind = KindInt32
+		case f.Type.Kind() == reflect.Int64 || f.Type.Kind() == reflect.Int:
+			fi.Kind = KindInt64
+		case f.Type.Kind() == reflect.Uint8:
+			fi.Kind = KindUint8
+		case f.Type.Kind() == reflect.Uint16:
+			fi.Kind = KindUint16
+		case f.Type.Kind() == reflect.Uint32:
+			fi.Kind = KindUint32
+		case f.Type.Kind() == reflect.Uint64 || f.Type.Kind() == reflect.Uint:
+			fi.Kind = KindUint64
+		case f.Type.Kind() == reflect.Float64:
+			fi.Kind = KindFloat64
+		case f.Type.Kind() == reflect.Array && f.Type.Elem().Kind() == reflect.Uint8:
+			fi.Kind = KindByteArr
+			fi.Size = uint64(f.Type.Len())
+		default:
+			return nil, fmt.Errorf("gen: field %s.%s has unsupported persistent type %s "+
+				"(use a J-PDT type behind a jnvm:\"ref\" field, or mark it jnvm:\"transient\")",
+				t, f.Name, f.Type)
+		}
+		align := fi.Kind.size()
+		if fi.Kind == KindByteArr {
+			align = 1
+			fi.Size = uint64(f.Type.Len())
+		} else {
+			fi.Size = fi.Kind.size()
+		}
+		off = (off + align - 1) &^ (align - 1)
+		fi.Offset = off
+		off += fi.Size
+		if fi.Kind == KindRef {
+			l.refOffs = append(l.refOffs, fi.Offset)
+		}
+		l.byName[fi.Name] = len(l.Fields)
+		l.Fields = append(l.Fields, fi)
+	}
+	l.Size = off
+	if l.Size == 0 {
+		return nil, fmt.Errorf("gen: %s has no persistent fields", t)
+	}
+	return l, nil
+}
+
+// Offset returns the persistent offset of a field.
+func (l *Layout) Offset(name string) (uint64, bool) {
+	i, ok := l.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return l.Fields[i].Offset, true
+}
+
+// RefOffsets returns the reference-field offsets (for core.Class.Refs).
+func (l *Layout) RefOffsets() []uint64 { return l.refOffs }
+
+// Class builds a core.Class for this layout. The factory wraps the proxy
+// core; pass nil for an untyped proxy.
+func (l *Layout) Class(name string, factory func(*core.Object) core.PObject) *core.Class {
+	if factory == nil {
+		factory = func(o *core.Object) core.PObject { return o }
+	}
+	refs := l.refOffs
+	c := &core.Class{Name: name, Factory: factory}
+	if len(refs) > 0 {
+		c.Refs = func(*core.Object) []uint64 { return refs }
+	}
+	return c
+}
+
+// Store copies the persistent fields of src (a struct or pointer) into the
+// object. It does not flush or validate; callers follow the constructor
+// discipline of Figure 4.
+func (l *Layout) Store(o *core.Object, src any) error {
+	v := reflect.ValueOf(src)
+	for v.Kind() == reflect.Pointer {
+		v = v.Elem()
+	}
+	if v.Type() != l.Type {
+		return fmt.Errorf("gen: Store of %s into layout of %s", v.Type(), l.Type)
+	}
+	for _, fi := range l.Fields {
+		fv := v.Field(fi.index)
+		switch fi.Kind {
+		case KindBool:
+			b := byte(0)
+			if fv.Bool() {
+				b = 1
+			}
+			o.WriteUint8(fi.Offset, b)
+		case KindInt8, KindUint8:
+			o.WriteUint8(fi.Offset, byte(intBits(fv)))
+		case KindInt16, KindUint16:
+			o.WriteUint16(fi.Offset, uint16(intBits(fv)))
+		case KindInt32, KindUint32:
+			o.WriteUint32(fi.Offset, uint32(intBits(fv)))
+		case KindInt64, KindUint64, KindFloat64, KindRef:
+			o.WriteUint64(fi.Offset, intBits(fv))
+		case KindByteArr:
+			buf := make([]byte, fi.Size)
+			reflect.Copy(reflect.ValueOf(buf), fv)
+			o.WriteBytes(fi.Offset, buf)
+		}
+	}
+	return nil
+}
+
+// Load copies the persistent fields of the object into dst (a struct
+// pointer), leaving transient fields untouched.
+func (l *Layout) Load(o *core.Object, dst any) error {
+	v := reflect.ValueOf(dst)
+	if v.Kind() != reflect.Pointer || v.Elem().Type() != l.Type {
+		return fmt.Errorf("gen: Load needs *%s, got %T", l.Type, dst)
+	}
+	v = v.Elem()
+	for _, fi := range l.Fields {
+		fv := v.Field(fi.index)
+		switch fi.Kind {
+		case KindBool:
+			fv.SetBool(o.ReadUint8(fi.Offset) != 0)
+		case KindInt8:
+			fv.SetInt(int64(int8(o.ReadUint8(fi.Offset))))
+		case KindUint8:
+			fv.SetUint(uint64(o.ReadUint8(fi.Offset)))
+		case KindInt16:
+			fv.SetInt(int64(int16(o.ReadUint16(fi.Offset))))
+		case KindUint16:
+			fv.SetUint(uint64(o.ReadUint16(fi.Offset)))
+		case KindInt32:
+			fv.SetInt(int64(int32(o.ReadUint32(fi.Offset))))
+		case KindUint32:
+			fv.SetUint(uint64(o.ReadUint32(fi.Offset)))
+		case KindInt64:
+			fv.SetInt(int64(o.ReadUint64(fi.Offset)))
+		case KindUint64, KindRef:
+			fv.SetUint(o.ReadUint64(fi.Offset))
+		case KindFloat64:
+			fv.SetFloat(math.Float64frombits(o.ReadUint64(fi.Offset)))
+		case KindByteArr:
+			reflect.Copy(fv, reflect.ValueOf(o.ReadBytes(fi.Offset, fi.Size)))
+		}
+	}
+	return nil
+}
+
+func intBits(v reflect.Value) uint64 {
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			return 1
+		}
+		return 0
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return uint64(v.Int())
+	case reflect.Float64:
+		return math.Float64bits(v.Float())
+	default:
+		return v.Uint()
+	}
+}

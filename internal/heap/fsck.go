@@ -1,0 +1,111 @@
+package heap
+
+import "fmt"
+
+// Fsck verifies the structural invariants of the persistent heap, the way
+// a file-system checker verifies a disk. It is read-only and reports every
+// violation through report. The returned count is the number of issues.
+//
+// Checked invariants:
+//
+//   - every block header is well-formed: the class id is registered (or 0,
+//     or the pool-chunk id), and the next index is in bounds;
+//   - object chains are acyclic, stay in bounds, and never include another
+//     master block;
+//   - no block belongs to two chains;
+//   - pool chunks carry a known size class, and every valid slot has a
+//     registered class and a payload length that fits its slot.
+func (h *Heap) Fsck(report func(msg string)) int {
+	issues := 0
+	complain := func(format string, args ...any) {
+		issues++
+		if report != nil {
+			report(fmt.Sprintf(format, args...))
+		}
+	}
+
+	owner := make(map[uint64]uint64) // block index -> owning master index
+	for idx := uint64(0); idx < h.nBlocks; idx++ {
+		r := h.BlockRef(idx)
+		hdr := h.Header(r)
+		if hdr == 0 {
+			continue
+		}
+		id, valid, next := UnpackHeader(hdr)
+		if next > h.nBlocks {
+			complain("block %d: next index %d out of arena (%d blocks)", idx, next, h.nBlocks)
+			continue
+		}
+		switch {
+		case id == PoolChunkClass:
+			h.fsckChunk(idx, r, valid, next, complain)
+		case id != 0:
+			if _, ok := h.ClassName(id); !ok {
+				complain("block %d: master of unregistered class id %d", idx, id)
+			}
+			h.fsckChain(idx, owner, complain)
+		default:
+			// id 0: slave or free; ownership is checked from its master.
+		}
+	}
+	return issues
+}
+
+func (h *Heap) fsckChain(master uint64, owner map[uint64]uint64, complain func(string, ...any)) {
+	seen := map[uint64]bool{}
+	cur := master
+	for {
+		if seen[cur] {
+			complain("object at block %d: cyclic chain through block %d", master, cur)
+			return
+		}
+		seen[cur] = true
+		if prev, taken := owner[cur]; taken {
+			complain("block %d claimed by masters %d and %d", cur, prev, master)
+			return
+		}
+		owner[cur] = master
+		id, _, next := UnpackHeader(h.Header(h.BlockRef(cur)))
+		if cur != master && id != 0 {
+			complain("object at block %d: chain includes non-slave block %d (class %d)", master, cur, id)
+			return
+		}
+		if next == 0 {
+			return
+		}
+		if next-1 >= h.nBlocks {
+			complain("object at block %d: next %d out of arena", master, next-1)
+			return
+		}
+		cur = next - 1
+	}
+}
+
+func (h *Heap) fsckChunk(idx uint64, r Ref, valid bool, sc uint64, complain func(string, ...any)) {
+	if !valid {
+		complain("pool chunk at block %d is invalid (chunks are created valid)", idx)
+	}
+	if int(sc) >= len(SlotSizes) {
+		complain("pool chunk at block %d: unknown size class %d", idx, sc)
+		return
+	}
+	size := uint64(SlotSizes[sc])
+	for s := uint64(0); s+size <= Payload; s += size {
+		slot := r + HeaderSize + s
+		hdr := h.pool.ReadUint64(slot)
+		if hdr == 0 {
+			continue
+		}
+		if !slotValid(hdr) {
+			continue // allocated-but-unvalidated slot: legal transient state
+		}
+		id := slotClass(hdr)
+		if _, ok := h.ClassName(id); !ok {
+			complain("chunk %d slot +%d: unregistered class id %d", idx, s, id)
+		}
+		if uint64(slotLen(hdr)) > size-8 {
+			complain("chunk %d slot +%d: payload length %d exceeds slot payload %d",
+				idx, s, slotLen(hdr), size-8)
+		}
+	}
+}

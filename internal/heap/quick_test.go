@@ -1,0 +1,154 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nvm"
+)
+
+// Property tests over randomized object graphs and slot churn.
+
+// TestQuickMarkSweepAccounting builds a random forest of objects, marks a
+// random live subset (with all their blocks), sweeps, and checks the
+// fundamental invariant: bump == free + live blocks, and every live
+// object's data survives intact.
+func TestQuickMarkSweepAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := Format(nvm.New(1<<21, nvm.Options{}), Options{LogSlots: 2, LogSlotSize: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type obj struct {
+			ref  Ref
+			size uint64
+			tag  byte
+		}
+		var objs []obj
+		n := 20 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			size := uint64(1 + rng.Intn(1000))
+			ref, _, err := h.AllocObject(uint16(1+rng.Intn(100)), size)
+			if err != nil {
+				return true // OOM acceptable
+			}
+			tag := byte(rng.Intn(255) + 1)
+			h.Pool().WriteUint8(ref+HeaderSize, tag)
+			h.SetValid(ref, true)
+			objs = append(objs, obj{ref, size, tag})
+		}
+		m := h.NewMarkSet()
+		var live []obj
+		for _, o := range objs {
+			if rng.Intn(2) == 0 {
+				m.MarkObject(o.ref)
+				live = append(live, o)
+			}
+		}
+		h.Sweep(m)
+		bumped, free, _ := h.Stats()
+		liveBlocks := uint64(0)
+		for _, o := range live {
+			liveBlocks += uint64(len(h.Blocks(o.ref)))
+			if h.Pool().ReadUint8(o.ref+HeaderSize) != o.tag {
+				return false // live data damaged
+			}
+			if !h.Valid(o.ref) {
+				return false
+			}
+		}
+		return bumped == free+liveBlocks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSlotChurn hammers the pool allocator with random alloc/free
+// cycles across size classes: no slot is ever handed to two live objects
+// and freed slots always come back.
+func TestQuickSlotChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := Format(nvm.New(1<<20, nvm.Options{}), Options{LogSlots: 2, LogSlotSize: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveSet := map[Ref]bool{}
+		var liveList []Ref
+		for i := 0; i < 400; i++ {
+			if len(liveList) > 0 && rng.Intn(3) == 0 {
+				idx := rng.Intn(len(liveList))
+				r := liveList[idx]
+				h.FreeObject(r)
+				delete(liveSet, r)
+				liveList[idx] = liveList[len(liveList)-1]
+				liveList = liveList[:len(liveList)-1]
+				continue
+			}
+			payload := uint64(1 + rng.Intn(SlotPayloadMax))
+			r, err := h.AllocSmall(uint16(1+rng.Intn(50)), payload)
+			if err != nil {
+				return true
+			}
+			if liveSet[r] {
+				return false // double allocation of a live slot
+			}
+			liveSet[r] = true
+			liveList = append(liveList, r)
+			h.SetValid(r, true)
+		}
+		// Every live slot still valid and class-readable.
+		for r := range liveSet {
+			if !h.Valid(r) || h.ClassOf(r) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSmallAlloc(t *testing.T) {
+	h, err := Format(nvm.New(1<<22, nvm.Options{}), Options{LogSlots: 2, LogSlotSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([][]Ref, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			var mine []Ref
+			for i := 0; i < 500; i++ {
+				r, err := h.AllocSmall(3, 32)
+				if err != nil {
+					break
+				}
+				mine = append(mine, r)
+				if i%4 == 0 {
+					h.FreeObject(mine[0])
+					mine = mine[1:]
+				}
+			}
+			results[w] = mine
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	seen := map[Ref]bool{}
+	for _, mine := range results {
+		for _, r := range mine {
+			if seen[r] {
+				t.Fatalf("slot %#x owned by two workers", r)
+			}
+			seen[r] = true
+		}
+	}
+}

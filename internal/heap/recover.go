@@ -1,0 +1,156 @@
+package heap
+
+import "fmt"
+
+// MarkSet accumulates the reachability information of the recovery
+// procedure (§4.1.3): one bit per arena block, plus per-slot bits for pool
+// chunks. The object layer (package core) drives the graph traversal and
+// calls MarkObject; Sweep then rebuilds the volatile allocator state.
+type MarkSet struct {
+	h      *Heap
+	blocks []uint64
+	slots  map[uint64]uint64 // block index -> bitmask of live slots
+	marked uint64
+	maxIdx uint64 // highest marked index (valid when marked > 0)
+}
+
+// NewMarkSet creates an empty mark set sized for the heap's arena.
+func (h *Heap) NewMarkSet() *MarkSet {
+	return &MarkSet{
+		h:      h,
+		blocks: make([]uint64, (h.nBlocks+63)/64),
+		slots:  make(map[uint64]uint64),
+	}
+}
+
+func (m *MarkSet) markBlock(idx uint64) bool {
+	w, b := idx/64, idx%64
+	if m.blocks[w]&(1<<b) != 0 {
+		return false
+	}
+	m.blocks[w] |= 1 << b
+	m.marked++
+	if idx > m.maxIdx {
+		m.maxIdx = idx
+	}
+	return true
+}
+
+// BlockMarked reports whether the arena block idx was marked live.
+func (m *MarkSet) BlockMarked(idx uint64) bool {
+	return m.blocks[idx/64]&(1<<(idx%64)) != 0
+}
+
+// Marked returns the number of live blocks found so far.
+func (m *MarkSet) Marked() uint64 { return m.marked }
+
+// MarkObject marks the object at r live. For block objects every block of
+// the chain is marked; for pooled objects the containing chunk and the slot
+// bit are. It reports whether the object was newly marked, letting the
+// traversal avoid revisiting shared subgraphs.
+func (m *MarkSet) MarkObject(r Ref) bool {
+	if r == 0 {
+		return false
+	}
+	if m.h.IsBlockRef(r) {
+		first := m.markBlock(m.h.BlockIndex(r))
+		if !first {
+			return false
+		}
+		for _, b := range m.h.Blocks(r)[1:] {
+			m.markBlock(m.h.BlockIndex(b))
+		}
+		return true
+	}
+	block := m.h.ContainingBlock(r)
+	idx := m.h.BlockIndex(block)
+	hdr := m.h.Header(block)
+	id, _, sc := UnpackHeader(hdr)
+	if id != PoolChunkClass || int(sc) >= len(SlotSizes) {
+		panic(fmt.Sprintf("heap: interior ref %#x into non-chunk block (header %#x)", r, hdr))
+	}
+	slot := (r - block - HeaderSize) / uint64(SlotSizes[sc])
+	bit := uint64(1) << slot
+	if m.slots[idx]&bit != 0 {
+		return false
+	}
+	m.slots[idx] |= bit
+	m.markBlock(idx)
+	return true
+}
+
+// Sweep finishes recovery: every unmarked block below the bump pointer is
+// zeroed (clearing stale valid bits, per §4.1.3) and pushed to the volatile
+// free queue; live pool chunks have their dead slots reclaimed and the
+// volatile slot lists rebuilt; the bump pointer shrinks to just above the
+// highest live block. A single fence closes the procedure, exactly as the
+// paper prescribes.
+func (h *Heap) Sweep(m *MarkSet) {
+	h.small.reset()
+	// Recovery runs single-threaded before the application resumes, so
+	// rebuilding the free list in place is safe.
+	for i := range h.free.shards {
+		h.free.shards[i].idxs = nil
+	}
+	// The persistent bump mirror is advisory only (its stores are
+	// unfenced), so recovery must never trust it: a crash can lose the
+	// mirror while live blocks sit above the stale value, and honoring it
+	// would let the allocator overwrite them. The new bump comes from the
+	// mark set alone.
+	maxLive := uint64(0)
+	if m.marked > 0 {
+		maxLive = m.maxIdx + 1
+	}
+	// Pass 1: below the new bump, dead blocks join the free queue; live
+	// pool chunks get their dead slots reclaimed.
+	for idx := uint64(0); idx < maxLive; idx++ {
+		r := h.BlockRef(idx)
+		if !m.BlockMarked(idx) {
+			if h.Header(r) != 0 {
+				h.WriteHeader(r, 0)
+				h.pool.PWB(r)
+			}
+			h.free.push(idx)
+			continue
+		}
+		id, _, sc := UnpackHeader(h.Header(r))
+		if id == PoolChunkClass {
+			h.sweepChunk(r, idx, int(sc), m.slots[idx])
+		}
+	}
+	// Pass 2: above the new bump everything is virgin again; scrub stale
+	// headers (whatever a torn bump mirror claims) so neither a later
+	// header-scan recovery nor a bump allocation can misread them. Virgin
+	// blocks read zero, so this costs one load per untouched block.
+	for idx := maxLive; idx < h.nBlocks; idx++ {
+		r := h.BlockRef(idx)
+		if h.Header(r) != 0 {
+			h.WriteHeader(r, 0)
+			h.pool.PWB(r)
+		}
+	}
+	h.bump.Store(maxLive)
+	h.bumpMu.Lock()
+	h.bumpMirror = maxLive
+	h.pool.WriteUint64(sbBump, maxLive)
+	h.bumpMu.Unlock()
+	h.pool.PWB(sbBump)
+	h.pool.PFence()
+}
+
+func (h *Heap) sweepChunk(block Ref, idx uint64, sc int, liveMask uint64) {
+	size := uint64(SlotSizes[sc])
+	n := Payload / size
+	c := &h.small.classes[sc]
+	for s := uint64(0); s < n; s++ {
+		r := block + HeaderSize + s*size
+		if liveMask&(1<<s) != 0 {
+			continue
+		}
+		if h.pool.ReadUint64(r) != 0 {
+			h.pool.WriteUint64(r, 0)
+			h.pool.PWB(r)
+		}
+		c.free = append(c.free, r)
+	}
+}

@@ -1,0 +1,60 @@
+//go:build linux
+
+package nvm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// fileBacking holds the resources of a file-backed (DAX-style) pool.
+type fileBacking struct {
+	f    *os.File
+	mmap []byte
+}
+
+func (b *fileBacking) close() error {
+	err := syscall.Munmap(b.mmap)
+	if cerr := b.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenFile creates or opens a file-backed pool, the moral equivalent of the
+// paper's DAX-mapped /mnt/pmem region. The file is created (and extended)
+// to size bytes if needed; an existing file larger than size keeps its
+// length, and the whole file is mapped.
+//
+// File-backed pools run in Direct mode: the page cache plus msync-on-Close
+// stand in for the ADR domain. Crash-consistency testing uses in-memory
+// tracked pools instead, where failures are injectable deterministically.
+func OpenFile(path string, size int, opts Options) (*Pool, error) {
+	if opts.Tracked {
+		return nil, fmt.Errorf("nvm: tracked mode is not supported on file-backed pools")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: stat %s: %w", path, err)
+	}
+	if st.Size() < int64(size) {
+		if err := f.Truncate(int64(size)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("nvm: grow %s to %d: %w", path, size, err)
+		}
+	} else {
+		size = int(st.Size())
+	}
+	mm, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: mmap %s: %w", path, err)
+	}
+	return &Pool{data: mm, opts: opts, backing: &fileBacking{f: f, mmap: mm}}, nil
+}

@@ -1,0 +1,56 @@
+package nvm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// spinSink defeats dead-code elimination of the calibration and wait loops.
+var spinSink atomic.Uint64
+
+// spinIterPerNs is the calibrated number of spin-loop iterations per
+// nanosecond. Calibrated lazily on first use.
+var spinIterPerNs atomic.Uint64
+
+func calibrateSpin() uint64 {
+	const probe = 1 << 16
+	start := time.Now()
+	var s uint64
+	for i := 0; i < probe; i++ {
+		s += uint64(i) ^ (s >> 3)
+	}
+	spinSink.Add(s)
+	elapsed := time.Since(start).Nanoseconds()
+	if elapsed < 1 {
+		elapsed = 1
+	}
+	iters := uint64(probe) / uint64(elapsed)
+	if iters == 0 {
+		iters = 1
+	}
+	return iters
+}
+
+// spinWait busy-waits for approximately ns nanoseconds without yielding the
+// processor, modeling the stall a store fence to NVMM inflicts on the
+// pipeline (§3.2.3: "calling pfence prevents out-of-order execution").
+// Sleeping would be wrong here: the paper's cost is CPU time, not latency
+// that the scheduler could overlap.
+func spinWait(ns int) {
+	iters := spinIterPerNs.Load()
+	if iters == 0 {
+		iters = calibrateSpin()
+		spinIterPerNs.Store(iters)
+	}
+	n := uint64(ns) * iters
+	var s uint64
+	for i := uint64(0); i < n; i++ {
+		s += i ^ (s >> 3)
+	}
+	spinSink.Add(s)
+}
+
+// SpinWait busy-waits for approximately ns nanoseconds of CPU time. It is
+// exported for latency models layered above the pool (e.g. the JNI-gate
+// cost of the PCJ backend in the store package).
+func SpinWait(ns int) { spinWait(ns) }

@@ -1,0 +1,724 @@
+package pdt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/fa"
+)
+
+// MirrorKind selects the volatile logic of a persistent map (§4.3.2: "for
+// a hash table, we use a Java HashMap, and for a persistent binary tree, a
+// Java TreeMap"). The kind is persisted in the map header so resurrection
+// rebuilds the right mirror.
+type MirrorKind uint64
+
+const (
+	// MirrorHash mirrors with a Go map (unordered, O(1)).
+	MirrorHash MirrorKind = 1
+	// MirrorTree mirrors with a red-black tree (ordered).
+	MirrorTree MirrorKind = 2
+	// MirrorSkip mirrors with a skip list (ordered).
+	MirrorSkip MirrorKind = 3
+)
+
+// CacheMode selects the proxy-caching variant (§4.3.2 "base, cached and
+// eager maps and sets").
+type CacheMode int
+
+const (
+	// CacheNone is the base implementation: a fresh value proxy per Get.
+	CacheNone CacheMode = iota
+	// CacheOnDemand keeps every resurrected value proxy (cached variant).
+	CacheOnDemand
+	// CacheEager populates the proxy cache during resurrection.
+	CacheEager
+	// CacheHot keeps only the hottest proxies in a bounded LRU — the
+	// extension §4.3.2 sketches ("it would be possible to extend this
+	// code to include only the hottest proxies"). Configure the bound
+	// with SetCacheHot.
+	CacheHot
+)
+
+// proxyCache abstracts the volatile proxy store of the cached variants.
+type proxyCache interface {
+	get(key string) (core.PObject, bool)
+	put(key string, po core.PObject)
+	del(key string)
+}
+
+// unboundedCache is the paper's default: "the cache contains all proxies".
+type unboundedCache struct{ m sync.Map }
+
+func (c *unboundedCache) get(k string) (core.PObject, bool) {
+	v, ok := c.m.Load(k)
+	if !ok {
+		return nil, false
+	}
+	return v.(core.PObject), true
+}
+func (c *unboundedCache) put(k string, po core.PObject) { c.m.Store(k, po) }
+func (c *unboundedCache) del(k string)                  { c.m.Delete(k) }
+
+// hotCache bounds the proxy set with an LRU.
+type hotCache struct {
+	mu  sync.Mutex
+	lru *container.LRU[core.PObject]
+}
+
+func (c *hotCache) get(k string) (core.PObject, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Get(k)
+}
+func (c *hotCache) put(k string, po core.PObject) {
+	c.mu.Lock()
+	c.lru.Put(k, po)
+	c.mu.Unlock()
+}
+func (c *hotCache) del(k string) {
+	c.mu.Lock()
+	c.lru.Remove(k)
+	c.mu.Unlock()
+}
+
+// mirror is the volatile lookup structure: key -> slot index in the
+// persistent reference array.
+type mirror interface {
+	get(key string) (int, bool)
+	put(key string, idx int)
+	del(key string) bool
+	len() int
+	forEach(fn func(key string, idx int) bool)
+	ascend(from string, fn func(key string, idx int) bool)
+	ordered() bool
+}
+
+// Map is the persistent map of §4.3.2. The durable state is a PRefArray
+// whose slots reference key/value pair objects; adding or removing a
+// binding is a single reference write in NVMM, so the structure is always
+// crash-consistent without failure-atomic blocks. All lookup logic lives
+// in the volatile mirror, rebuilt at resurrection.
+//
+// Header layout: arrRef (8) | kind (8).
+//
+// Map is safe for concurrent use; in the store integration the surrounding
+// lock striping (the Infinispan locks of §5.3.2) already serializes
+// per-key access, so the internal RWMutex is uncontended in practice.
+type Map struct {
+	*core.Object
+
+	mu    sync.RWMutex
+	arr   *PRefArray
+	kind  MirrorKind
+	mir   mirror
+	slots []int // free slot indices
+	mode  CacheMode
+	cache proxyCache // nil in base mode
+}
+
+const (
+	mapArrRef = 0
+	mapKind   = 8
+
+	mapInitialSlots = 16
+
+	pairKey = 0
+	pairVal = 8
+	pairLen = 16
+)
+
+// NewMap creates an empty persistent map with the given mirror kind. The
+// map object is validated; the caller publishes it (root map, field
+// write).
+func NewMap(h *core.Heap, kind MirrorKind) (*Map, error) {
+	arr, err := NewRefArray(h, mapInitialSlots)
+	if err != nil {
+		return nil, err
+	}
+	po, err := h.Alloc(mustClass(h, ClassMap), 16)
+	if err != nil {
+		return nil, err
+	}
+	m := po.(*Map)
+	m.WriteRef(mapArrRef, arr.Ref())
+	m.WriteUint64(mapKind, uint64(kind))
+	m.PWB()
+	arr.Validate()
+	m.Validate()
+	m.arr = arr
+	m.kind = kind
+	m.mir = newMirror(kind)
+	for i := arr.Cap() - 1; i >= 0; i-- {
+		m.slots = append(m.slots, i)
+	}
+	return m, nil
+}
+
+func newMirror(kind MirrorKind) mirror {
+	switch kind {
+	case MirrorTree:
+		return &treeMirror{t: container.NewRBTree[int]()}
+	case MirrorSkip:
+		return &skipMirror{s: container.NewSkipList[int](0x5eed)}
+	default:
+		return &hashMirror{m: make(map[string]int)}
+	}
+}
+
+// OnResurrect rebuilds the volatile mirror and the free-slot list by
+// scanning the persistent array (§4.3.2 resurrection). Bindings whose key
+// or value reference was nullified by the recovery GC are retired here.
+func (m *Map) OnResurrect() {
+	h := m.Heap()
+	m.arr = &PRefArray{Object: h.Inspect(m.ReadRef(mapArrRef))}
+	m.kind = MirrorKind(m.ReadUint64(mapKind))
+	m.mir = newMirror(m.kind)
+	m.slots = m.slots[:0]
+	cleaned := false
+	for i := 0; i < m.arr.Cap(); i++ {
+		pref := m.arr.GetRef(i)
+		if pref == 0 {
+			m.slots = append(m.slots, i)
+			continue
+		}
+		pair := h.Inspect(pref)
+		kref := pair.ReadRef(pairKey)
+		vref := pair.ReadRef(pairVal)
+		if kref == 0 || vref == 0 {
+			// A crash raced the publication: the recovery traversal
+			// nullified half the binding. Retire the slot entirely.
+			m.arr.SetRef(i, 0)
+			if kref != 0 {
+				h.Mem().FreeObject(kref)
+			}
+			h.Mem().FreeObject(pref)
+			m.slots = append(m.slots, i)
+			cleaned = true
+			continue
+		}
+		m.mir.put(readStringAt(h, kref), i)
+	}
+	if cleaned {
+		h.PFence()
+	}
+}
+
+// SetCacheMode switches the proxy-caching variant. CacheEager resurrects
+// every value immediately (§4.3.2: "the eager implementation populates the
+// cache during resurrection").
+func (m *Map) SetCacheMode(mode CacheMode) error {
+	if mode == CacheHot {
+		return fmt.Errorf("pdt: use SetCacheHot for the bounded variant")
+	}
+	m.mu.Lock()
+	m.mode = mode
+	if mode == CacheNone {
+		m.cache = nil
+	} else {
+		m.cache = &unboundedCache{}
+	}
+	m.mu.Unlock()
+	if mode != CacheEager {
+		return nil
+	}
+	var err error
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h := m.Heap()
+	m.mir.forEach(func(key string, idx int) bool {
+		pair := h.Inspect(m.arr.GetRef(idx))
+		po, e := h.Resurrect(pair.ReadRef(pairVal))
+		if e != nil {
+			err = e
+			return false
+		}
+		m.cache.put(key, po)
+		return true
+	})
+	return err
+}
+
+// SetCacheHot switches to the bounded hottest-proxies variant with the
+// given capacity.
+func (m *Map) SetCacheHot(capacity int) {
+	m.mu.Lock()
+	m.mode = CacheHot
+	m.cache = &hotCache{lru: container.NewLRU[core.PObject](capacity, nil)}
+	m.mu.Unlock()
+}
+
+// Kind returns the persisted mirror kind.
+func (m *Map) Kind() MirrorKind { return MirrorKind(m.ReadUint64(mapKind)) }
+
+// Len returns the number of bindings.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.mir.len()
+}
+
+// Contains reports whether key is bound.
+func (m *Map) Contains(key string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.mir.get(key)
+	return ok
+}
+
+// GetRef returns the value reference bound to key (0 if unbound), without
+// building a proxy.
+func (m *Map) GetRef(key string) core.Ref {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	idx, ok := m.mir.get(key)
+	if !ok {
+		return 0
+	}
+	return m.Heap().Inspect(m.arr.GetRef(idx)).ReadRef(pairVal)
+}
+
+// Get resurrects the value bound to key (nil if unbound). In the cached
+// and eager variants the proxy comes from the cache when possible,
+// avoiding the resurrection cost §4.3.2 describes.
+func (m *Map) Get(key string) (core.PObject, error) {
+	if c := m.cache; c != nil {
+		if po, ok := c.get(key); ok {
+			return po, nil
+		}
+	}
+	ref := m.GetRef(key)
+	if ref == 0 {
+		return nil, nil
+	}
+	po, err := m.Heap().Resurrect(ref)
+	if err != nil {
+		return nil, err
+	}
+	if c := m.cache; c != nil {
+		c.put(key, po)
+	}
+	return po, nil
+}
+
+// Put binds key to the persistent object val. A new binding allocates a
+// key string and a pair, publishes everything under a single fence, and
+// writes one reference slot; an existing binding atomically replaces (and
+// frees) the previous value (§4.1.6). The map owns keys and pairs; values
+// passed in become owned by the map.
+func (m *Map) Put(key string, val core.PObject) error {
+	h := m.Heap()
+	// Fast path: updating an existing binding mutates only that pair, so
+	// the map lock is held in read mode and concurrent updates to other
+	// keys proceed in parallel (same-key exclusion is the caller's, e.g.
+	// the grid's lock striping, as with Infinispan in §5.3.2).
+	m.mu.RLock()
+	if idx, ok := m.mir.get(key); ok {
+		pair := h.Inspect(m.arr.GetRef(idx))
+		pair.AtomicReplaceRef(pairVal, val)
+		c := m.cache
+		m.mu.RUnlock()
+		if c != nil {
+			c.put(key, val)
+		}
+		return nil
+	}
+	m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-check: another goroutine may have inserted the key meanwhile.
+	if idx, ok := m.mir.get(key); ok {
+		pair := h.Inspect(m.arr.GetRef(idx))
+		pair.AtomicReplaceRef(pairVal, val)
+		if m.cache != nil {
+			m.cache.put(key, val)
+		}
+		return nil
+	}
+	idx, err := m.takeSlotLocked()
+	if err != nil {
+		return err
+	}
+	ks, err := NewString(h, key)
+	if err != nil {
+		m.slots = append(m.slots, idx)
+		return err
+	}
+	pairPO, err := h.Alloc(mustClass(h, ClassPair), pairLen)
+	if err != nil {
+		h.Free(ks)
+		m.slots = append(m.slots, idx)
+		return err
+	}
+	pair := pairPO.Core()
+	pair.WriteRef(pairKey, ks.Ref())
+	pair.WriteRef(pairVal, val.Core().Ref())
+	pair.PWB()
+	ks.Validate()
+	val.Core().Validate()
+	pair.Validate()
+	h.PFence()
+	m.arr.SetRef(idx, pair.Ref())
+	m.mir.put(key, idx)
+	m.slotsPushCancel(idx)
+	if m.cache != nil {
+		m.cache.put(key, val)
+	}
+	return nil
+}
+
+// slotsPushCancel is a no-op marker kept for symmetry; the slot was
+// already popped by takeSlotLocked.
+func (m *Map) slotsPushCancel(int) {}
+
+// Delete unbinds key and frees the pair, the key string and the value.
+// It reports whether the key was bound.
+func (m *Map) Delete(key string) bool {
+	h := m.Heap()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx, ok := m.mir.get(key)
+	if !ok {
+		return false
+	}
+	pref := m.arr.GetRef(idx)
+	pair := h.Inspect(pref)
+	kref := pair.ReadRef(pairKey)
+	vref := pair.ReadRef(pairVal)
+	// One reference write unbinds; the fence orders it before the frees'
+	// invalidations (§4.1.5: a single fence covers a graph of frees).
+	m.arr.SetRef(idx, 0)
+	h.PFence()
+	h.Mem().FreeObject(pref)
+	h.Mem().FreeObject(kref)
+	if vref != 0 && vref != kref { // sets bind keys to themselves
+		h.Mem().FreeObject(vref)
+	}
+	m.mir.del(key)
+	m.slots = append(m.slots, idx)
+	if m.cache != nil {
+		m.cache.del(key)
+	}
+	return true
+}
+
+// Remove unbinds key like Delete but hands the value back to the caller
+// instead of freeing it.
+func (m *Map) Remove(key string) (core.PObject, error) {
+	h := m.Heap()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx, ok := m.mir.get(key)
+	if !ok {
+		return nil, nil
+	}
+	pref := m.arr.GetRef(idx)
+	pair := h.Inspect(pref)
+	kref := pair.ReadRef(pairKey)
+	vref := pair.ReadRef(pairVal)
+	m.arr.SetRef(idx, 0)
+	h.PFence()
+	h.Mem().FreeObject(pref)
+	if kref != vref {
+		h.Mem().FreeObject(kref)
+	}
+	m.mir.del(key)
+	m.slots = append(m.slots, idx)
+	if m.cache != nil {
+		m.cache.del(key)
+	}
+	return h.Resurrect(vref)
+}
+
+// Keys returns all keys; sorted for ordered mirrors, unspecified order
+// otherwise.
+func (m *Map) Keys() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, m.mir.len())
+	m.mir.forEach(func(k string, _ int) bool {
+		out = append(out, k)
+		return true
+	})
+	if !m.mir.ordered() {
+		sort.Strings(out)
+	}
+	return out
+}
+
+// ForEach calls fn for each binding until it returns false. The value
+// proxy is resurrected per call (base-variant cost model).
+func (m *Map) ForEach(fn func(key string, val core.PObject) bool) error {
+	type kv struct {
+		key string
+		idx int
+	}
+	m.mu.RLock()
+	snapshot := make([]kv, 0, m.mir.len())
+	m.mir.forEach(func(k string, idx int) bool {
+		snapshot = append(snapshot, kv{k, idx})
+		return true
+	})
+	m.mu.RUnlock()
+	h := m.Heap()
+	for _, e := range snapshot {
+		m.mu.RLock()
+		pref := m.arr.GetRef(e.idx)
+		m.mu.RUnlock()
+		if pref == 0 {
+			continue
+		}
+		po, err := h.Resurrect(h.Inspect(pref).ReadRef(pairVal))
+		if err != nil {
+			return err
+		}
+		if !fn(e.key, po) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Ascend iterates bindings with key >= from in key order; it requires an
+// ordered mirror (tree or skip list).
+func (m *Map) Ascend(from string, fn func(key string, val core.PObject) bool) error {
+	m.mu.RLock()
+	if !m.mir.ordered() {
+		m.mu.RUnlock()
+		return fmt.Errorf("pdt: Ascend requires an ordered mirror (kind %d is hash)", m.kind)
+	}
+	type kv struct {
+		key string
+		idx int
+	}
+	var snapshot []kv
+	m.mir.ascend(from, func(k string, idx int) bool {
+		snapshot = append(snapshot, kv{k, idx})
+		return true
+	})
+	m.mu.RUnlock()
+	h := m.Heap()
+	for _, e := range snapshot {
+		po, err := h.Resurrect(h.Inspect(m.arr.GetRef(e.idx)).ReadRef(pairVal))
+		if err != nil {
+			return err
+		}
+		if !fn(e.key, po) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// takeSlotLocked pops a free slot, growing the persistent array when none
+// remain (atomic swing, §4.1.6).
+func (m *Map) takeSlotLocked() (int, error) {
+	if n := len(m.slots); n > 0 {
+		idx := m.slots[n-1]
+		m.slots = m.slots[:n-1]
+		return idx, nil
+	}
+	h := m.Heap()
+	oldCap := m.arr.Cap()
+	bigger, err := NewRefArray(h, oldCap*2)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < oldCap; i++ {
+		bigger.WriteRef(uint64(i)*8, m.arr.GetRef(i))
+	}
+	bigger.PWB()
+	m.AtomicReplaceRef(mapArrRef, bigger)
+	m.arr = bigger
+	for i := bigger.Cap() - 1; i > oldCap; i-- {
+		m.slots = append(m.slots, i)
+	}
+	return oldCap, nil
+}
+
+// ---- Transactional operations (the J-PFA backend path) ----
+
+// PutTx binds key to val inside a failure-atomic block. val must have been
+// allocated in the same block (it is validated by the commit). The caller
+// must serialize access to the map across the whole block, as the store's
+// lock striping does.
+func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
+	h := m.Heap()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx, ok := m.mir.get(key); ok {
+		pair := h.Inspect(m.arr.GetRef(idx))
+		oldRef, err := tx.ReadRef(pair, pairVal)
+		if err != nil {
+			return err
+		}
+		if err := tx.WriteRef(pair, pairVal, val.Core().Ref()); err != nil {
+			return err
+		}
+		if oldRef != 0 {
+			old, err := h.Resurrect(oldRef)
+			if err != nil {
+				return err
+			}
+			if err := tx.Free(old); err != nil {
+				return err
+			}
+		}
+		if m.cache != nil {
+			tx.Defer(func() { m.cache.put(key, val) })
+		}
+		return nil
+	}
+	idx, err := m.takeSlotLocked()
+	if err != nil {
+		return err
+	}
+	ks, err := NewStringTx(tx, key)
+	if err != nil {
+		return err
+	}
+	pairPO, err := tx.Alloc(mustClass(h, ClassPair), pairLen)
+	if err != nil {
+		return err
+	}
+	pair := pairPO.Core()
+	// Direct writes: the pair is invalid until commit.
+	pair.WriteRef(pairKey, ks.Ref())
+	pair.WriteRef(pairVal, val.Core().Ref())
+	if err := tx.WriteRef(m.arr.Object, uint64(idx)*8, pair.Ref()); err != nil {
+		return err
+	}
+	m.mir.put(key, idx)
+	tx.OnAbort(func() {
+		m.mu.Lock()
+		m.mir.del(key)
+		m.slots = append(m.slots, idx)
+		m.mu.Unlock()
+	})
+	if m.cache != nil {
+		tx.Defer(func() { m.cache.put(key, val) })
+	}
+	return nil
+}
+
+// DeleteTx unbinds key inside a failure-atomic block, freeing pair, key
+// and value at commit.
+func (m *Map) DeleteTx(tx *fa.Tx, key string) (bool, error) {
+	h := m.Heap()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx, ok := m.mir.get(key)
+	if !ok {
+		return false, nil
+	}
+	pref := m.arr.GetRef(idx)
+	pair := h.Inspect(pref)
+	kref := pair.ReadRef(pairKey)
+	vref, err := tx.ReadRef(pair, pairVal)
+	if err != nil {
+		return false, err
+	}
+	if err := tx.WriteRef(m.arr.Object, uint64(idx)*8, 0); err != nil {
+		return false, err
+	}
+	frees := []core.Ref{pref, kref}
+	if vref != 0 && vref != kref { // sets bind keys to themselves
+		frees = append(frees, vref)
+	}
+	for _, ref := range frees {
+		po, err := h.Resurrect(ref)
+		if err != nil {
+			return false, err
+		}
+		if err := tx.Free(po); err != nil {
+			return false, err
+		}
+	}
+	m.mir.del(key)
+	m.slots = append(m.slots, idx)
+	tx.OnAbort(func() {
+		m.mu.Lock()
+		m.mir.put(key, idx)
+		for i, s := range m.slots {
+			if s == idx {
+				m.slots = append(m.slots[:i], m.slots[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+	})
+	tx.Defer(func() {
+		if m.cache != nil {
+			m.cache.del(key)
+		}
+	})
+	return true, nil
+}
+
+// ---- mirrors ----
+
+type hashMirror struct{ m map[string]int }
+
+func (h *hashMirror) get(k string) (int, bool) { v, ok := h.m[k]; return v, ok }
+func (h *hashMirror) put(k string, v int)      { h.m[k] = v }
+func (h *hashMirror) del(k string) bool {
+	if _, ok := h.m[k]; !ok {
+		return false
+	}
+	delete(h.m, k)
+	return true
+}
+func (h *hashMirror) len() int      { return len(h.m) }
+func (h *hashMirror) ordered() bool { return false }
+func (h *hashMirror) forEach(fn func(string, int) bool) {
+	for k, v := range h.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+func (h *hashMirror) ascend(from string, fn func(string, int) bool) {
+	keys := make([]string, 0, len(h.m))
+	for k := range h.m {
+		if k >= from {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(k, h.m[k]) {
+			return
+		}
+	}
+}
+
+type treeMirror struct{ t *container.RBTree[int] }
+
+func (t *treeMirror) get(k string) (int, bool) { return t.t.Get(k) }
+func (t *treeMirror) put(k string, v int)      { t.t.Put(k, v) }
+func (t *treeMirror) del(k string) bool        { return t.t.Delete(k) }
+func (t *treeMirror) len() int                 { return t.t.Len() }
+func (t *treeMirror) ordered() bool            { return true }
+func (t *treeMirror) forEach(fn func(string, int) bool) {
+	t.t.Ascend("", fn)
+}
+func (t *treeMirror) ascend(from string, fn func(string, int) bool) {
+	t.t.Ascend(from, fn)
+}
+
+type skipMirror struct{ s *container.SkipList[int] }
+
+func (s *skipMirror) get(k string) (int, bool) { return s.s.Get(k) }
+func (s *skipMirror) put(k string, v int)      { s.s.Put(k, v) }
+func (s *skipMirror) del(k string) bool        { return s.s.Delete(k) }
+func (s *skipMirror) len() int                 { return s.s.Len() }
+func (s *skipMirror) ordered() bool            { return true }
+func (s *skipMirror) forEach(fn func(string, int) bool) {
+	s.s.Ascend("", fn)
+}
+func (s *skipMirror) ascend(from string, fn func(string, int) bool) {
+	s.s.Ascend(from, fn)
+}

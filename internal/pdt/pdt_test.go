@@ -1,0 +1,189 @@
+package pdt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+)
+
+func openPDT(t testing.TB, size int, tracked bool) (*core.Heap, *fa.Manager, *nvm.Pool) {
+	t.Helper()
+	pool := nvm.New(size, nvm.Options{Tracked: tracked})
+	return reopenPDT(t, pool)
+}
+
+func reopenPDT(t testing.TB, pool *nvm.Pool) (*core.Heap, *fa.Manager, *nvm.Pool) {
+	t.Helper()
+	mgr := fa.NewManager()
+	h, err := core.Open(pool, core.Config{
+		HeapOptions: heap.Options{LogSlots: 4, LogSlotSize: 1 << 14},
+		Classes:     Classes(),
+		LogHandler:  mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, mgr, pool
+}
+
+func TestPStringSmallAndLarge(t *testing.T) {
+	h, _, _ := openPDT(t, 1<<21, false)
+	small, err := NewString(h, "hello, NVMM!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Value() != "hello, NVMM!" || small.Len() != 12 {
+		t.Fatalf("small string: %q/%d", small.Value(), small.Len())
+	}
+	if h.Mem().IsBlockRef(small.Ref()) {
+		t.Fatal("small string not pool-allocated")
+	}
+	if !small.Equals("hello, NVMM!") || small.Equals("hello") || small.Equals("hello, nvmm?") {
+		t.Fatal("Equals broken")
+	}
+	if fmt.Sprint(small) != "hello, NVMM!" {
+		t.Fatal("Stringer broken")
+	}
+
+	big, err := NewString(h, strings.Repeat("x", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Mem().IsBlockRef(big.Ref()) {
+		t.Fatal("large string should be block-allocated")
+	}
+	if big.Len() != 1000 || big.Value() != strings.Repeat("x", 1000) {
+		t.Fatal("large string content")
+	}
+}
+
+func TestPStringSurvivesReopen(t *testing.T) {
+	h, _, pool := openPDT(t, 1<<21, false)
+	s, _ := NewString(h, "durable")
+	if err := h.Root().Put("s", s); err != nil {
+		t.Fatal(err)
+	}
+	h2, _, _ := reopenPDT(t, pool)
+	po, err := h2.Root().Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.(*PString).Value() != "durable" {
+		t.Fatal("string content lost")
+	}
+}
+
+func TestPBytesRoundTrip(t *testing.T) {
+	h, _, _ := openPDT(t, 1<<21, false)
+	data := []byte{0, 1, 2, 255, 254, 7}
+	b, err := NewBytes(h, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.Value()
+	if len(got) != len(data) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: %d vs %d", i, got[i], data[i])
+		}
+	}
+	big, _ := NewBytes(h, make([]byte, 5000))
+	if big.Len() != 5000 {
+		t.Fatal("large bytes")
+	}
+}
+
+func TestPLongArray(t *testing.T) {
+	h, _, pool := openPDT(t, 1<<21, false)
+	a, err := NewLongArray(h, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 100 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i := 0; i < 100; i++ {
+		a.Set(i, int64(i*i)-50)
+		a.FlushElem(i)
+	}
+	a.Flush()
+	if err := h.Root().Put("arr", a); err != nil {
+		t.Fatal(err)
+	}
+	h2, _, _ := reopenPDT(t, pool)
+	po, _ := h2.Root().Get("arr")
+	a2 := po.(*PLongArray)
+	for i := 0; i < 100; i++ {
+		if a2.Get(i) != int64(i*i)-50 {
+			t.Fatalf("elem %d = %d", i, a2.Get(i))
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("OOB access must panic")
+			}
+		}()
+		a2.Get(100)
+	}()
+}
+
+func TestPExtArrayAppendGrowReopen(t *testing.T) {
+	h, _, pool := openPDT(t, 1<<22, false)
+	e, err := NewExtArray(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Validate()
+	if err := h.Root().Put("ext", e); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50 // several growths past the initial capacity of 8
+	for i := 0; i < n; i++ {
+		s, err := NewString(h, fmt.Sprintf("elem-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Len() != n || e.Cap() < n {
+		t.Fatalf("len %d cap %d", e.Len(), e.Cap())
+	}
+	// Replace one element; the old one must be freed.
+	old := e.Get(7)
+	repl, _ := NewString(h, "replacement")
+	e.Set(7, repl)
+	if h.Mem().Valid(old) {
+		t.Fatal("Set did not free the old element")
+	}
+	h.PSync()
+
+	h2, _, _ := reopenPDT(t, pool)
+	po, _ := h2.Root().Get("ext")
+	e2 := po.(*PExtArray)
+	if e2.Len() != n {
+		t.Fatalf("reopen len %d", e2.Len())
+	}
+	for i := 0; i < n; i++ {
+		vpo, err := e2.GetObject(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("elem-%d", i)
+		if i == 7 {
+			want = "replacement"
+		}
+		if got := vpo.(*PString).Value(); got != want {
+			t.Fatalf("elem %d = %q, want %q", i, got, want)
+		}
+	}
+}

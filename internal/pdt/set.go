@@ -1,0 +1,123 @@
+package pdt
+
+import (
+	"repro/internal/core"
+	"repro/internal/fa"
+)
+
+// Set is the persistent set of §4.3: "a persistent map that associates
+// each key with itself" — each pair's value reference equals its key
+// reference, so a set entry costs one string and one pair.
+type Set struct{ m *Map }
+
+// NewSet creates an empty persistent set over the given mirror kind.
+func NewSet(h *core.Heap, kind MirrorKind) (*Set, error) {
+	m, err := NewMap(h, kind)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{m: m}, nil
+}
+
+// AsSet views a resurrected persistent map as a set.
+func AsSet(m *Map) *Set { return &Set{m: m} }
+
+// Core exposes the underlying persistent object (for root-map publication).
+func (s *Set) Core() *core.Object { return s.m.Core() }
+
+// Map exposes the underlying map (diagnostics, Ascend).
+func (s *Set) Map() *Map { return s.m }
+
+// Len returns the number of members.
+func (s *Set) Len() int { return s.m.Len() }
+
+// Contains reports membership.
+func (s *Set) Contains(key string) bool { return s.m.Contains(key) }
+
+// Add inserts key; it is a no-op if already present.
+func (s *Set) Add(key string) error {
+	m := s.m
+	h := m.Heap()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.mir.get(key); ok {
+		return nil
+	}
+	idx, err := m.takeSlotLocked()
+	if err != nil {
+		return err
+	}
+	ks, err := NewString(h, key)
+	if err != nil {
+		m.slots = append(m.slots, idx)
+		return err
+	}
+	pairPO, err := h.Alloc(mustClass(h, ClassPair), pairLen)
+	if err != nil {
+		h.Free(ks)
+		m.slots = append(m.slots, idx)
+		return err
+	}
+	pair := pairPO.Core()
+	pair.WriteRef(pairKey, ks.Ref())
+	pair.WriteRef(pairVal, ks.Ref()) // key bound to itself
+	pair.PWB()
+	ks.Validate()
+	pair.Validate()
+	h.PFence()
+	m.arr.SetRef(idx, pair.Ref())
+	m.mir.put(key, idx)
+	return nil
+}
+
+// AddTx inserts key inside a failure-atomic block.
+func (s *Set) AddTx(tx *fa.Tx, key string) error {
+	m := s.m
+	h := m.Heap()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.mir.get(key); ok {
+		return nil
+	}
+	idx, err := m.takeSlotLocked()
+	if err != nil {
+		return err
+	}
+	ks, err := NewStringTx(tx, key)
+	if err != nil {
+		m.slots = append(m.slots, idx)
+		return err
+	}
+	pairPO, err := tx.Alloc(mustClass(h, ClassPair), pairLen)
+	if err != nil {
+		m.slots = append(m.slots, idx)
+		return err
+	}
+	pair := pairPO.Core()
+	pair.WriteRef(pairKey, ks.Ref())
+	pair.WriteRef(pairVal, ks.Ref())
+	if err := tx.WriteRef(m.arr.Object, uint64(idx)*8, pair.Ref()); err != nil {
+		return err
+	}
+	m.mir.put(key, idx)
+	tx.OnAbort(func() {
+		m.mu.Lock()
+		m.mir.del(key)
+		m.slots = append(m.slots, idx)
+		m.mu.Unlock()
+	})
+	return nil
+}
+
+// Delete removes key, freeing its storage; it reports prior membership.
+func (s *Set) Delete(key string) bool { return s.m.Delete(key) }
+
+// Members returns the member keys (sorted for ordered mirrors).
+func (s *Set) Members() []string { return s.m.Keys() }
+
+// ForEach iterates members until fn returns false.
+func (s *Set) ForEach(fn func(key string) bool) {
+	s.m.mu.RLock()
+	defer s.m.mu.RUnlock()
+	s.m.mir.forEach(func(k string, _ int) bool { return fn(k) })
+}

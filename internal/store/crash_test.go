@@ -1,0 +1,199 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nvm"
+)
+
+// Crash-injection property tests: run a randomized workload over a J-NVM
+// backend on a tracked pool, crash at a random point under a random
+// policy, reopen, and compare against an oracle of the durably-synced
+// prefix.
+
+type oracleState struct {
+	// fenced is the last state known durable (a PSync happened after it).
+	fenced map[string]*Record
+}
+
+func cloneOracle(m map[string]*Record) map[string]*Record {
+	out := make(map[string]*Record, len(m))
+	for k, v := range m {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+func TestCrashWorkloadJPDT(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			h, _, pool := openStoreHeap(t, 1<<23, true)
+			b, err := NewJPDTBackend(h, "kv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := map[string]*Record{}
+			oracle := oracleState{fenced: map[string]*Record{}}
+			steps := 15 + rng.Intn(25)
+			for i := 0; i < steps; i++ {
+				key := fmt.Sprintf("key%d", rng.Intn(10))
+				switch rng.Intn(4) {
+				case 0: // insert
+					if _, ok := live[key]; !ok {
+						rec := testRecord(3, fmt.Sprintf("s%d-i%d", seed, i))
+						if err := b.Insert(key, rec); err != nil {
+							t.Fatal(err)
+						}
+						live[key] = rec.Clone()
+					}
+				case 1: // update
+					if rec, ok := live[key]; ok {
+						f := Field{Name: "field1", Value: []byte(fmt.Sprintf("u%d", i))}
+						if _, err := b.Update(key, []Field{f}); err != nil {
+							t.Fatal(err)
+						}
+						rec.Set(f.Name, f.Value)
+					}
+				case 2: // delete
+					if _, ok := live[key]; ok {
+						if _, err := b.Delete(key); err != nil {
+							t.Fatal(err)
+						}
+						delete(live, key)
+					}
+				case 3: // durable point
+					h.PSync()
+					oracle.fenced = cloneOracle(live)
+				}
+			}
+			policy := []nvm.CrashPolicy{nvm.CrashStrict, nvm.CrashAll, nvm.CrashRandom}[rng.Intn(3)]
+			img := pool.CrashImage(policy, rng)
+			h2, _, _ := reopenStoreHeap(t, img)
+			b2, err := NewJPDTBackend(h2, "kv")
+			if err != nil {
+				t.Fatalf("seed %d (%v): reopen: %v", seed, policy, err)
+			}
+			// 1. Every record that survives must be readable without
+			//    corruption: at most the schema's 3 fields, every
+			//    surviving field named (a torn field may have been
+			//    dropped by recovery under CrashRandom, never mangled).
+			for i := 0; i < 10; i++ {
+				key := fmt.Sprintf("key%d", i)
+				rec, ok := readAll(t, b2, key)
+				if !ok {
+					continue
+				}
+				if len(rec.Fields) > 3 {
+					t.Fatalf("seed %d: %s has %d fields", seed, key, len(rec.Fields))
+				}
+				for _, f := range rec.Fields {
+					if len(f.Name) == 0 {
+						t.Fatalf("seed %d: %s has a nameless field", seed, key)
+					}
+				}
+				if policy != nvm.CrashRandom && len(rec.Fields) != 3 {
+					t.Fatalf("seed %d: %s lost fields under %v", seed, key, policy)
+				}
+			}
+			// 2. Under CrashAll (nothing lost), the final state matches
+			//    the live oracle exactly.
+			if policy == nvm.CrashAll {
+				if b2.Count() != len(live) {
+					t.Fatalf("seed %d: count %d vs oracle %d", seed, b2.Count(), len(live))
+				}
+				for key, want := range live {
+					got, ok := readAll(t, b2, key)
+					if !ok {
+						t.Fatalf("seed %d: %s lost under CrashAll", seed, key)
+					}
+					for _, f := range want.Fields {
+						gv, _ := got.Get(f.Name)
+						if !bytes.Equal(gv, f.Value) {
+							t.Fatalf("seed %d: %s.%s = %q want %q", seed, key, f.Name, gv, f.Value)
+						}
+					}
+				}
+			}
+			// 3. The backend must remain fully writable after recovery.
+			if err := b2.Insert("post-crash", testRecord(3, "post")); err != nil {
+				t.Fatalf("seed %d: post-crash insert: %v", seed, err)
+			}
+			if rec, ok := readAll(t, b2, "post-crash"); !ok || len(rec.Fields) != 3 {
+				t.Fatalf("seed %d: post-crash readback failed", seed)
+			}
+		})
+	}
+}
+
+func TestCrashWorkloadJPFA(t *testing.T) {
+	// The J-PFA variant: every mutation is failure-atomic, so *every*
+	// completed operation (not just fenced ones) must survive any crash —
+	// the stronger guarantee the redo log buys.
+	for seed := int64(100); seed < 110; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			h, mgr, pool := openStoreHeap(t, 1<<23, true)
+			b, err := NewJPFABackend(h, mgr, "kv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := map[string]*Record{}
+			steps := 10 + rng.Intn(20)
+			for i := 0; i < steps; i++ {
+				key := fmt.Sprintf("key%d", rng.Intn(8))
+				switch rng.Intn(3) {
+				case 0:
+					if _, ok := live[key]; !ok {
+						rec := testRecord(3, fmt.Sprintf("s%d-i%d", seed, i))
+						if err := b.Insert(key, rec); err != nil {
+							t.Fatal(err)
+						}
+						live[key] = rec.Clone()
+					}
+				case 1:
+					if rec, ok := live[key]; ok {
+						f := Field{Name: "field2", Value: []byte(fmt.Sprintf("u%d", i))}
+						if _, err := b.Update(key, []Field{f}); err != nil {
+							t.Fatal(err)
+						}
+						rec.Set(f.Name, f.Value)
+					}
+				case 2:
+					if _, ok := live[key]; ok {
+						if _, err := b.Delete(key); err != nil {
+							t.Fatal(err)
+						}
+						delete(live, key)
+					}
+				}
+			}
+			img := pool.CrashImage(nvm.CrashStrict, rng)
+			h2, mgr2, _ := reopenStoreHeap(t, img)
+			b2, err := NewJPFABackend(h2, mgr2, "kv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b2.Count() != len(live) {
+				t.Fatalf("seed %d: count %d vs oracle %d", seed, b2.Count(), len(live))
+			}
+			for key, want := range live {
+				got, ok := readAll(t, b2, key)
+				if !ok {
+					t.Fatalf("seed %d: committed record %s lost", seed, key)
+				}
+				for _, f := range want.Fields {
+					gv, _ := got.Get(f.Name)
+					if !bytes.Equal(gv, f.Value) {
+						t.Fatalf("seed %d: %s.%s = %q want %q", seed, key, f.Name, gv, f.Value)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the record codec against hostile input: no input
+// may panic, and every accepted input must round-trip.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Marshal(testRecordFuzz(0)))
+	f.Add(Marshal(testRecordFuzz(3)))
+	f.Add(Marshal(testRecordFuzz(10)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // huge field count
+	f.Add([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(Marshal(rec))
+		if err != nil {
+			t.Fatalf("re-unmarshal of accepted input failed: %v", err)
+		}
+		if len(again.Fields) != len(rec.Fields) {
+			t.Fatalf("round trip changed field count: %d vs %d", len(again.Fields), len(rec.Fields))
+		}
+		for i := range rec.Fields {
+			if again.Fields[i].Name != rec.Fields[i].Name ||
+				!bytes.Equal(again.Fields[i].Value, rec.Fields[i].Value) {
+				t.Fatalf("round trip changed field %d", i)
+			}
+		}
+	})
+}
+
+func testRecordFuzz(n int) *Record {
+	rec := &Record{}
+	for i := 0; i < n; i++ {
+		rec.Fields = append(rec.Fields, Field{Name: "f", Value: []byte{byte(i)}})
+	}
+	return rec
+}

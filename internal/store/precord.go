@@ -1,0 +1,151 @@
+package store
+
+import (
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/pdt"
+)
+
+// ClassRecord is the persistent record class of the J-NVM backends: a
+// table of (name, value) object references, so that a single field update
+// is one new immutable value plus one atomic reference swing (§4.1.6) —
+// never a whole-record rewrite, and never any marshalling.
+//
+// Layout: nfields (4) | pad (4) | per field: nameRef (8) | valRef (8).
+const ClassRecord = "store.record"
+
+type pRecord struct{ *core.Object }
+
+const (
+	recCount  = 0
+	recFields = 8
+)
+
+func fieldNameOff(i int) uint64 { return recFields + uint64(i)*16 }
+func fieldValOff(i int) uint64  { return recFields + uint64(i)*16 + 8 }
+
+// Classes returns the store's persistent class descriptors; register them
+// together with pdt.Classes().
+func Classes() []*core.Class {
+	return []*core.Class{
+		{
+			Name:    ClassRecord,
+			Factory: func(o *core.Object) core.PObject { return &pRecord{Object: o} },
+			Refs: func(o *core.Object) []uint64 {
+				n := int(o.ReadUint32(recCount))
+				offs := make([]uint64, 0, 2*n)
+				for i := 0; i < n; i++ {
+					offs = append(offs, fieldNameOff(i), fieldValOff(i))
+				}
+				return offs
+			},
+		},
+	}
+}
+
+func (r *pRecord) fieldCount() int { return int(r.ReadUint32(recCount)) }
+
+// fieldIndex locates a field by name (reading names straight from NVMM).
+func (r *pRecord) fieldIndex(h *core.Heap, name string) int {
+	n := r.fieldCount()
+	for i := 0; i < n; i++ {
+		nref := r.ReadRef(fieldNameOff(i))
+		if nref == 0 {
+			continue
+		}
+		if string(pdt.ReadBlob(h, nref)) == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// newPRecord builds an invalid record object with all field objects
+// allocated and flushed, ready for validation + publication.
+func newPRecord(h *core.Heap, rec *Record) (*pRecord, []core.PObject, error) {
+	po, err := h.Alloc(mustClass(h, ClassRecord), recFields+uint64(len(rec.Fields))*16)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := po.(*pRecord)
+	r.WriteUint32(recCount, uint32(len(rec.Fields)))
+	children := make([]core.PObject, 0, 2*len(rec.Fields))
+	for i, f := range rec.Fields {
+		ns, err := pdt.NewString(h, f.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		vb, err := pdt.NewBytes(h, f.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.WriteRef(fieldNameOff(i), ns.Ref())
+		r.WriteRef(fieldValOff(i), vb.Ref())
+		children = append(children, ns, vb)
+	}
+	r.PWB()
+	return r, children, nil
+}
+
+// newPRecordTx is the failure-atomic flavor: everything is allocated in
+// the block and validated only at commit.
+func newPRecordTx(tx *fa.Tx, rec *Record) (*pRecord, error) {
+	h := tx.Heap()
+	po, err := tx.Alloc(mustClass(h, ClassRecord), recFields+uint64(len(rec.Fields))*16)
+	if err != nil {
+		return nil, err
+	}
+	r := po.(*pRecord)
+	r.WriteUint32(recCount, uint32(len(rec.Fields)))
+	for i, f := range rec.Fields {
+		ns, err := pdt.NewStringTx(tx, f.Name)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := pdt.NewBytesTx(tx, f.Value)
+		if err != nil {
+			return nil, err
+		}
+		r.WriteRef(fieldNameOff(i), ns.Ref())
+		r.WriteRef(fieldValOff(i), vb.Ref())
+	}
+	return r, nil
+}
+
+// read streams every field to consume, copying values out of NVMM without
+// any marshalling step (the decisive J-NVM advantage of Figure 8).
+func (r *pRecord) read(h *core.Heap, consume func(name string, value []byte)) {
+	n := r.fieldCount()
+	for i := 0; i < n; i++ {
+		nref := r.ReadRef(fieldNameOff(i))
+		vref := r.ReadRef(fieldValOff(i))
+		if nref == 0 || vref == 0 {
+			// The recovery GC nullified a field torn by a crash that
+			// raced the record's publication; the rest of the record is
+			// intact and stays readable.
+			continue
+		}
+		// Zero-copy views: the grid hands them to the consumer under the
+		// key's stripe lock, so the object cannot be freed concurrently.
+		consume(string(pdt.ReadBlobView(h, nref)), pdt.ReadBlobView(h, vref))
+	}
+}
+
+// freeChildren frees every name and value object of the record (the record
+// itself and the map bookkeeping are freed by the caller). No fence: the
+// caller unlinked the record under a fence already (§4.1.5).
+func (r *pRecord) freeChildren(h *core.Heap) {
+	n := r.fieldCount()
+	for i := 0; i < n; i++ {
+		h.Mem().FreeObject(r.ReadRef(fieldNameOff(i)))
+		h.Mem().FreeObject(r.ReadRef(fieldValOff(i)))
+	}
+}
+
+func mustClass(h *core.Heap, name string) *core.Class {
+	c, ok := h.Class(name)
+	if !ok {
+		panic("store: class " + name + " not registered; pass store.Classes() to core.Open")
+	}
+	return c
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/pdt"
+)
+
+// Scan support — an extension beyond the paper. §5.2 skips YCSB-E because
+// Infinispan only exposes scans through JPQL; a J-PDT map with an ordered
+// mirror (red-black tree or skip list) supports range scans directly, at
+// mirror speed, with the records themselves still read straight out of
+// NVMM.
+
+// Scanner is the optional backend capability for ordered range scans.
+type Scanner interface {
+	// Scan visits up to limit records with key >= start in key order,
+	// streaming each record's fields.
+	Scan(start string, limit int, consume func(key, field string, value []byte)) error
+}
+
+// ErrNoScan is returned by Grid.Scan when the backend has no order.
+var ErrNoScan = fmt.Errorf("store: backend does not support scans")
+
+// Scan implements ordered range scans over backends that support them.
+// Scans bypass the record cache (they are not per-key operations).
+func (g *Grid) Scan(start string, limit int, consume func(key, field string, value []byte)) error {
+	s, ok := g.backend.(Scanner)
+	if !ok {
+		return ErrNoScan
+	}
+	return s.Scan(start, limit, consume)
+}
+
+// NewJPDTBackendKind creates a J-PDT backend whose persistent map uses the
+// chosen mirror; MirrorTree or MirrorSkip enable Scan.
+func NewJPDTBackendKind(h *core.Heap, rootName string, kind pdt.MirrorKind) (*JPDTBackend, error) {
+	if h.Root().Exists(rootName) {
+		return NewJPDTBackend(h, rootName)
+	}
+	m, err := pdt.NewMap(h, kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Root().Put(rootName, m); err != nil {
+		return nil, err
+	}
+	return NewJPDTBackend(h, rootName)
+}
+
+// Scan implements Scanner for the J-PDT backend (ordered mirrors only).
+func (b *JPDTBackend) Scan(start string, limit int, consume func(key, field string, value []byte)) error {
+	n := 0
+	return b.m.Ascend(start, func(key string, po core.PObject) bool {
+		po.(*pRecord).read(b.h, func(name string, val []byte) {
+			consume(key, name, val)
+		})
+		n++
+		return n < limit
+	})
+}
+
+// Scan implements Scanner for the volatile backend (sorted on demand — the
+// reference baseline for the extension benchmark).
+func (b *VolatileBackend) Scan(start string, limit int, consume func(key, field string, value []byte)) error {
+	b.mu.RLock()
+	keys := make([]string, 0, len(b.data))
+	for k := range b.data {
+		if k >= start {
+			keys = append(keys, k)
+		}
+	}
+	b.mu.RUnlock()
+	sort.Strings(keys)
+	if len(keys) > limit {
+		keys = keys[:limit]
+	}
+	for _, k := range keys {
+		b.mu.RLock()
+		rec := b.data[k]
+		b.mu.RUnlock()
+		if rec == nil {
+			continue
+		}
+		for _, f := range rec.Fields {
+			consume(k, f.Name, f.Value)
+		}
+	}
+	return nil
+}

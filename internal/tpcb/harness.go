@@ -1,0 +1,192 @@
+package tpcb
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// System abstracts one Figure 11 configuration: how to start the bank and
+// how to restart it after a crash (reopening durable state, or starting
+// blank for Volatile).
+type System struct {
+	Name string
+	// Start creates the bank (including initial account creation).
+	Start func() (Bank, error)
+	// Crash discards the volatile half of the system (the paper's
+	// SIGKILL on the container). May be nil.
+	Crash func(Bank)
+	// Restart reopens the bank from its durable state and returns it
+	// ready to serve. Recovery work (log replay, recovery GC, cache
+	// warming) happens inside and is timed by the harness.
+	Restart func() (Bank, error)
+}
+
+// Point is one bucket of the throughput timeline.
+type Point struct {
+	T   time.Duration // bucket start, relative to the run start
+	Ops int           // transfers completed in the bucket
+}
+
+// Timeline is the outcome of one crash/recovery run.
+type Timeline struct {
+	System       string
+	Points       []Point
+	CrashAt      time.Duration
+	RestartDelay time.Duration // crash -> first request served
+	SetupTime    time.Duration
+}
+
+// NominalBefore returns the mean throughput (ops/s) over the buckets
+// preceding the crash.
+func (tl *Timeline) NominalBefore() float64 {
+	return tl.meanOps(0, tl.CrashAt)
+}
+
+// NominalAfter returns the mean throughput over the post-recovery tail.
+func (tl *Timeline) NominalAfter() float64 {
+	if len(tl.Points) == 0 {
+		return 0
+	}
+	last := tl.Points[len(tl.Points)-1].T
+	from := tl.CrashAt + tl.RestartDelay + (last-tl.CrashAt-tl.RestartDelay)/2
+	return tl.meanOps(from, last+time.Hour)
+}
+
+func (tl *Timeline) meanOps(from, to time.Duration) float64 {
+	if len(tl.Points) < 2 {
+		return 0
+	}
+	bucket := tl.Points[1].T - tl.Points[0].T
+	total, n := 0, 0
+	for _, p := range tl.Points {
+		if p.T >= from && p.T < to {
+			total += p.Ops
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / (float64(n) * bucket.Seconds())
+}
+
+// RunOptions configures the harness.
+type RunOptions struct {
+	Accounts int
+	Clients  int
+	// RunFor is the total injection time excluding the restart gap.
+	RunFor time.Duration
+	// CrashAfter is when the SIGKILL lands.
+	CrashAfter time.Duration
+	// Bucket is the timeline resolution.
+	Bucket time.Duration
+	Seed   int64
+}
+
+func (o RunOptions) defaults() RunOptions {
+	if o.Accounts == 0 {
+		o.Accounts = 10_000
+	}
+	if o.Clients == 0 {
+		o.Clients = 4
+	}
+	if o.RunFor == 0 {
+		o.RunFor = 2 * time.Second
+	}
+	if o.CrashAfter == 0 {
+		o.CrashAfter = o.RunFor / 2
+	}
+	if o.Bucket == 0 {
+		o.Bucket = 50 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// Run drives the Figure 11 experiment against one system: inject continuous
+// random transfers, crash at CrashAfter, restart, keep injecting, and
+// report the bucketed throughput timeline plus the restart delay.
+func Run(sys System, opts RunOptions) (*Timeline, error) {
+	opts = opts.defaults()
+	setupStart := time.Now()
+	bank, err := sys.Start()
+	if err != nil {
+		return nil, err
+	}
+	tl := &Timeline{System: sys.Name, SetupTime: time.Since(setupStart)}
+
+	nBuckets := int(opts.RunFor/opts.Bucket) + 2
+	buckets := make([]atomic.Int64, nBuckets)
+	start := time.Now()
+	var clock atomic.Int64 // accumulated paused time (restart gap)
+
+	inject := func(b Bank, stop <-chan struct{}) {
+		var wg sync.WaitGroup
+		for c := 0; c < opts.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opts.Seed + int64(c)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					from := rng.Intn(opts.Accounts)
+					to := rng.Intn(opts.Accounts)
+					if err := b.Transfer(from, to, int64(rng.Intn(100))); err != nil {
+						continue
+					}
+					idx := int((time.Since(start) - time.Duration(clock.Load())) / opts.Bucket)
+					if idx >= 0 && idx < nBuckets {
+						buckets[idx].Add(1)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: until the crash.
+	stop1 := make(chan struct{})
+	done1 := make(chan struct{})
+	go func() { inject(bank, stop1); close(done1) }()
+	time.Sleep(opts.CrashAfter)
+	close(stop1)
+	<-done1
+	tl.CrashAt = opts.CrashAfter
+
+	// The crash: volatile state is gone.
+	if sys.Crash != nil {
+		sys.Crash(bank)
+	}
+	restartStart := time.Now()
+	bank, err = sys.Restart()
+	if err != nil {
+		return nil, err
+	}
+	// First request marks the end of the outage.
+	if err := bank.Transfer(0, 1, 1); err != nil {
+		return nil, err
+	}
+	tl.RestartDelay = time.Since(restartStart)
+	clock.Store(int64(tl.RestartDelay)) // timeline excludes the gap
+
+	// Phase 2: the remainder of the injection time.
+	stop2 := make(chan struct{})
+	done2 := make(chan struct{})
+	go func() { inject(bank, stop2); close(done2) }()
+	time.Sleep(opts.RunFor - opts.CrashAfter)
+	close(stop2)
+	<-done2
+
+	for i := range buckets {
+		tl.Points = append(tl.Points, Point{T: time.Duration(i) * opts.Bucket, Ops: int(buckets[i].Load())})
+	}
+	return tl, nil
+}

@@ -1,0 +1,121 @@
+// Package ycsb reimplements the Yahoo! Cloud Serving Benchmark core
+// (Cooper et al., SoCC'10) as used by the paper's evaluation (§5.2):
+// workloads A, B, C, D and F, the zipfian / scrambled-zipfian / latest /
+// uniform request distributions, the default record shape (3M records of
+// 10 fields x 100 B, scaled down by default here), a multi-threaded driver
+// and latency histograms. Workload E (scans) is skipped exactly as the
+// paper skips it.
+package ycsb
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync/atomic"
+)
+
+// KeyChooser picks record indices according to a request distribution.
+// Implementations are safe for concurrent use given per-goroutine rngs.
+type KeyChooser interface {
+	Next(rng *rand.Rand) int
+}
+
+// Uniform picks uniformly over a (possibly growing) key space.
+type Uniform struct{ n *atomic.Int64 }
+
+// NewUniform creates a uniform chooser over the counter's current value.
+func NewUniform(n *atomic.Int64) *Uniform { return &Uniform{n: n} }
+
+// Next implements KeyChooser.
+func (u *Uniform) Next(rng *rand.Rand) int { return rng.Intn(int(u.n.Load())) }
+
+// Zipfian is the Gray et al. zipfian generator used by YCSB, with the
+// standard constant 0.99. It favors low indices.
+type Zipfian struct {
+	n            int
+	theta        float64
+	alpha        float64
+	zetan, zeta2 float64
+	eta          float64
+}
+
+// ZipfianConstant is YCSB's default skew.
+const ZipfianConstant = 0.99
+
+// NewZipfian builds a zipfian chooser over [0, n).
+func NewZipfian(n int) *Zipfian {
+	z := &Zipfian{n: n, theta: ZipfianConstant}
+	z.zetan = zeta(n, z.theta)
+	z.zeta2 = zeta(2, z.theta)
+	z.alpha = 1.0 / (1.0 - z.theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements KeyChooser.
+func (z *Zipfian) Next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads the zipfian popularity over the whole key space
+// by hashing, YCSB's default for workloads A-C and F.
+type ScrambledZipfian struct {
+	z *Zipfian
+	n int
+}
+
+// NewScrambledZipfian builds the scrambled chooser over [0, n).
+func NewScrambledZipfian(n int) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n), n: n}
+}
+
+// Next implements KeyChooser.
+func (s *ScrambledZipfian) Next(rng *rand.Rand) int {
+	v := s.z.Next(rng)
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(s.n))
+}
+
+// Latest skews towards recently inserted records (workload D): index =
+// last - zipf, recomputed against the live insert counter.
+type Latest struct {
+	z     *Zipfian
+	count *atomic.Int64
+}
+
+// NewLatest builds the chooser over the counter (the number of inserted
+// records, which grows during the run).
+func NewLatest(count *atomic.Int64) *Latest {
+	return &Latest{z: NewZipfian(int(count.Load())), count: count}
+}
+
+// Next implements KeyChooser.
+func (l *Latest) Next(rng *rand.Rand) int {
+	n := int(l.count.Load())
+	off := l.z.Next(rng)
+	if off >= n {
+		off = off % n
+	}
+	return n - 1 - off
+}

@@ -1,0 +1,179 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// DB is the key-value interface the driver exercises; *store.Grid
+// implements it directly.
+type DB interface {
+	Read(key string, consume func(name string, value []byte)) error
+	Update(key string, fields []store.Field) error
+	Insert(key string, rec *store.Record) error
+	ReadModifyWrite(key string, mutate func(rec *store.Record) []store.Field) error
+}
+
+// ScanDB is the optional capability workload E needs (ordered backends).
+type ScanDB interface {
+	Scan(start string, limit int, consume func(key, field string, value []byte)) error
+}
+
+// Load executes the YCSB load phase: RecordCount inserts spread over the
+// configured threads.
+func Load(db DB, cfg Config) error {
+	cfg = cfg.Defaults()
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.RecordCount {
+					return
+				}
+				if err := db.Insert(Key(i), cfg.BuildRecord(i)); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Run executes the YCSB run phase and returns merged statistics.
+func Run(db DB, cfg Config) (*Result, error) {
+	cfg = cfg.Defaults()
+	if p := cfg.ReadProp + cfg.UpdateProp + cfg.InsertProp + cfg.RMWProp + cfg.ScanProp; p < 0.999 || p > 1.001 {
+		return nil, fmt.Errorf("ycsb: op proportions sum to %v", p)
+	}
+	if cfg.ScanProp > 0 {
+		if _, ok := db.(ScanDB); !ok {
+			return nil, fmt.Errorf("ycsb: workload has scans but the DB does not implement ScanDB")
+		}
+	}
+
+	inserted := &atomic.Int64{}
+	inserted.Store(int64(cfg.RecordCount))
+	chooser, err := newChooser(cfg, inserted)
+	if err != nil {
+		return nil, err
+	}
+
+	type threadStats struct {
+		perOp map[OpType]*Histogram
+		errs  uint64
+	}
+	stats := make([]threadStats, cfg.Threads)
+	opsPerThread := cfg.Operations / cfg.Threads
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			st := threadStats{perOp: map[OpType]*Histogram{}}
+			hist := func(op OpType) *Histogram {
+				h := st.perOp[op]
+				if h == nil {
+					h = &Histogram{}
+					st.perOp[op] = h
+				}
+				return h
+			}
+			for i := 0; i < opsPerThread; i++ {
+				op := chooseOp(cfg, rng)
+				t0 := time.Now()
+				var err error
+				switch op {
+				case OpRead:
+					key := Key(chooser.Next(rng))
+					err = db.Read(key, func(string, []byte) {})
+				case OpUpdate:
+					rec := chooser.Next(rng)
+					err = db.Update(Key(rec), cfg.updateFields(rng, rec, i+1))
+				case OpInsert:
+					idx := int(inserted.Add(1)) - 1
+					err = db.Insert(Key(idx), cfg.BuildRecord(idx))
+				case OpRMW:
+					rec := chooser.Next(rng)
+					fields := cfg.updateFields(rng, rec, i+1)
+					err = db.ReadModifyWrite(Key(rec), func(*store.Record) []store.Field {
+						return fields
+					})
+				case OpScan:
+					start := Key(chooser.Next(rng))
+					n := 1 + rng.Intn(cfg.MaxScanLen)
+					err = db.(ScanDB).Scan(start, n, func(string, string, []byte) {})
+				}
+				hist(op).Record(time.Since(t0))
+				if err != nil {
+					st.errs++
+				}
+			}
+			stats[t] = st
+		}(t)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Workload: cfg.Name,
+		Duration: time.Since(start),
+		PerOp:    map[OpType]*Histogram{},
+	}
+	for _, st := range stats {
+		res.Errors += st.errs
+		for op, h := range st.perOp {
+			if res.PerOp[op] == nil {
+				res.PerOp[op] = &Histogram{}
+			}
+			res.PerOp[op].Merge(h)
+			res.Operations += h.Count()
+		}
+	}
+	return res, nil
+}
+
+func newChooser(cfg Config, inserted *atomic.Int64) (KeyChooser, error) {
+	switch cfg.Distribution {
+	case "zipfian":
+		return NewScrambledZipfian(cfg.RecordCount), nil
+	case "latest":
+		return NewLatest(inserted), nil
+	case "uniform":
+		return NewUniform(inserted), nil
+	default:
+		return nil, fmt.Errorf("ycsb: unknown distribution %q", cfg.Distribution)
+	}
+}
+
+func chooseOp(cfg Config, rng *rand.Rand) OpType {
+	p := rng.Float64()
+	switch {
+	case p < cfg.ReadProp:
+		return OpRead
+	case p < cfg.ReadProp+cfg.UpdateProp:
+		return OpUpdate
+	case p < cfg.ReadProp+cfg.UpdateProp+cfg.InsertProp:
+		return OpInsert
+	case p < cfg.ReadProp+cfg.UpdateProp+cfg.InsertProp+cfg.RMWProp:
+		return OpRMW
+	default:
+		return OpScan
+	}
+}
