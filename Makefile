@@ -1,0 +1,24 @@
+GO ?= go
+
+# Packages with lock-free fast paths and shared mutable state; always get
+# a race-detector pass in addition to the plain suite.
+RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/...
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .

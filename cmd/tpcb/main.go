@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,7 +24,14 @@ func main() {
 	runFor := flag.Duration("run", 4*time.Second, "total injection time")
 	crashAt := flag.Duration("crash", 0, "crash instant (default run/2)")
 	bucket := flag.Duration("bucket", 100*time.Millisecond, "timeline bucket")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics JSON + pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		obs.Serve(*metricsAddr, func(err error) {
+			fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
+		})
+	}
 
 	tls, err := bench.Fig11(bench.Fig11Config{
 		Accounts:   *accounts,

@@ -12,11 +12,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,7 +26,16 @@ func main() {
 	records := flag.Int("records", 0, "record count (0 = scaled default)")
 	ops := flag.Int("ops", 0, "operation count (0 = scaled default)")
 	threads := flag.Int("threads", 1, "client threads (the paper defaults to a sequential client)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics JSON + pprof on this address (e.g. :6060)")
+	jsonOut := flag.String("json", "", "also write experiment rows (with embedded per-run metrics) as JSON to this file")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		obs.Serve(*metricsAddr, func(err error) {
+			fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
+		})
+	}
+	results := map[string]any{}
 
 	sc := bench.DefaultScale()
 	if *records > 0 {
@@ -43,48 +54,56 @@ func main() {
 				return err
 			}
 			bench.PrintFig7(os.Stdout, rows)
+			results[name] = rows
 		case "fig8":
 			rows, err := bench.Fig8(sc, nil)
 			if err != nil {
 				return err
 			}
 			bench.PrintFig8(os.Stdout, rows)
+			results[name] = rows
 		case "fig9a":
 			rows, err := bench.Fig9a(sc, nil)
 			if err != nil {
 				return err
 			}
 			bench.PrintFig9(os.Stdout, "Figure 9a — impact of the cache ratio (YCSB-A)", rows)
+			results[name] = rows
 		case "fig9b":
 			rows, err := bench.Fig9b(sc, nil)
 			if err != nil {
 				return err
 			}
 			bench.PrintFig9(os.Stdout, "Figure 9b — impact of the number of records (YCSB-A)", rows)
+			results[name] = rows
 		case "fig9c":
 			rows, err := bench.Fig9c(sc, nil)
 			if err != nil {
 				return err
 			}
 			bench.PrintFig9(os.Stdout, "Figure 9c — impact of the number of fields (YCSB-A)", rows)
+			results[name] = rows
 		case "fig9d":
 			rows, err := bench.Fig9d(sc, nil)
 			if err != nil {
 				return err
 			}
 			bench.PrintFig9(os.Stdout, "Figure 9d — impact of the record size (YCSB-A)", rows)
+			results[name] = rows
 		case "fig10":
 			rows, err := bench.Fig10(sc, nil)
 			if err != nil {
 				return err
 			}
 			bench.PrintFig10(os.Stdout, rows)
+			results[name] = rows
 		case "exte":
 			rows, err := bench.ExtE(sc, 0)
 			if err != nil {
 				return err
 			}
 			bench.PrintExtE(os.Stdout, rows)
+			results[name] = rows
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -101,5 +120,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
 	}
 }

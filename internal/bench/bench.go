@@ -13,6 +13,7 @@ import (
 	"repro/internal/fa"
 	"repro/internal/heap"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/pdt"
 	"repro/internal/store"
 )
@@ -70,8 +71,9 @@ func EstimatePoolBytes(records, fieldCount, fieldLen int) int {
 // Env is one ready-to-run grid with its lifecycle.
 type Env struct {
 	Grid    *store.Grid
-	Heap    *core.Heap // nil for non-J-NVM backends
-	Pool    *nvm.Pool  // nil for non-J-NVM backends
+	Heap    *core.Heap  // nil for non-J-NVM backends
+	Pool    *nvm.Pool   // nil for non-J-NVM backends
+	Mgr     *fa.Manager // nil for non-J-NVM backends
 	cleanup func()
 }
 
@@ -82,6 +84,39 @@ func (e *Env) Close() {
 	}
 }
 
+// Snapshot assembles one coherent metrics view across every layer the
+// environment owns (grid always; nvm/heap/fa for the J-NVM backends).
+// Experiments diff two snapshots to report interval metrics.
+func (e *Env) Snapshot() *obs.StackSnapshot {
+	s := &obs.StackSnapshot{}
+	if e.Grid != nil {
+		g := e.Grid.ObsSnapshot()
+		s.Grid = &g
+	}
+	if e.Pool != nil {
+		n := e.Pool.Obs().Snapshot()
+		s.NVM = &n
+	}
+	if e.Heap != nil {
+		hs := e.Heap.Mem().ObsSnapshot()
+		s.Heap = &hs
+	}
+	if e.Mgr != nil {
+		f := e.Mgr.ObsSnapshot()
+		s.FA = &f
+	}
+	s.Finalize()
+	return s
+}
+
+// publish exposes the environment on the default metrics registry (the
+// -metrics-addr listener); replace semantics keep the live env visible as
+// experiments cycle through environments.
+func (e *Env) publish() *Env {
+	obs.Default.Publish("bench_env", func() any { return e.Snapshot() })
+	return e
+}
+
 // NewEnv builds a grid over the requested backend, with a freshly
 // formatted heap for the J-NVM backends.
 func NewEnv(cfg GridConfig) (*Env, error) {
@@ -90,11 +125,11 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 	}
 	switch cfg.Backend {
 	case Volatile:
-		return &Env{Grid: store.NewGrid(store.NewVolatileBackend(), store.Options{CacheEntries: cfg.CacheEntries})}, nil
+		return (&Env{Grid: store.NewGrid(store.NewVolatileBackend(), store.Options{CacheEntries: cfg.CacheEntries})}).publish(), nil
 	case TmpFS:
-		return &Env{Grid: store.NewGrid(store.NewTmpFSBackend(), store.Options{CacheEntries: cfg.CacheEntries})}, nil
+		return (&Env{Grid: store.NewGrid(store.NewTmpFSBackend(), store.Options{CacheEntries: cfg.CacheEntries})}).publish(), nil
 	case NullFS:
-		return &Env{Grid: store.NewGrid(store.NewNullFSBackend(), store.Options{CacheEntries: cfg.CacheEntries})}, nil
+		return (&Env{Grid: store.NewGrid(store.NewNullFSBackend(), store.Options{CacheEntries: cfg.CacheEntries})}).publish(), nil
 	case FS:
 		dir := cfg.Dir
 		var cleanup func()
@@ -110,7 +145,7 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Env{Grid: store.NewGrid(b, store.Options{CacheEntries: cfg.CacheEntries}), cleanup: cleanup}, nil
+		return (&Env{Grid: store.NewGrid(b, store.Options{CacheEntries: cfg.CacheEntries}), cleanup: cleanup}).publish(), nil
 	case JPDT, JPFA, PCJ:
 		pool := nvm.New(EstimatePoolBytes(cfg.Records, cfg.FieldCount, cfg.FieldLen),
 			nvm.Options{FenceLatency: cfg.FenceNs})
@@ -152,7 +187,7 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 		}
 		// The paper disables record caching for the J-NVM backends
 		// (§5.3.1: "caching brings almost no performance benefits").
-		return &Env{Grid: store.NewGrid(backend, store.Options{}), Heap: h, Pool: pool}, nil
+		return (&Env{Grid: store.NewGrid(backend, store.Options{}), Heap: h, Pool: pool, Mgr: mgr}).publish(), nil
 	}
 	return nil, fmt.Errorf("bench: unknown backend %q", cfg.Backend)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/gcsim"
 	"repro/internal/heap"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/pdt"
 	"repro/internal/store"
 	"repro/internal/tpcb"
@@ -32,13 +33,20 @@ func DefaultScale() Scale { return Scale{Records: 20_000, Operations: 60_000, Th
 
 // ---- Figure 7: YCSB throughput across backends ----
 
-// Fig7Row is one (workload, backend) measurement.
+// Fig7Row is one (workload, backend) measurement. PWBPerOp/PFencePerOp are
+// the Table-3-style persistence-primitive rates for the run interval,
+// sourced from the shared obs layer (zero for backends that bypass NVMM).
 type Fig7Row struct {
-	Workload string
-	Backend  BackendKind
-	KopsSec  float64
-	MeanRead time.Duration
-	Errors   uint64
+	Workload    string
+	Backend     BackendKind
+	KopsSec     float64
+	MeanRead    time.Duration
+	Errors      uint64
+	PWBPerOp    float64
+	PFencePerOp float64
+	// Stack is the full per-run metrics snapshot (run interval only),
+	// embedded in JSON result files.
+	Stack *obs.StackSnapshot `json:",omitempty"`
 }
 
 // Fig7 runs workloads A,B,C,D,F over the four persistent backends of
@@ -67,12 +75,16 @@ func Fig7(sc Scale, backends []BackendKind) ([]Fig7Row, error) {
 				env.Close()
 				return nil, fmt.Errorf("load %s/%s: %w", w, bk, err)
 			}
+			before := env.Snapshot()
 			res, err := ycsb.Run(env.Grid, cfg)
+			stack := env.Snapshot().Sub(*before)
 			env.Close()
 			if err != nil {
 				return nil, fmt.Errorf("run %s/%s: %w", w, bk, err)
 			}
-			row := Fig7Row{Workload: w, Backend: bk, KopsSec: res.Throughput() / 1000, Errors: res.Errors}
+			res.Stack = &stack
+			row := Fig7Row{Workload: w, Backend: bk, KopsSec: res.Throughput() / 1000, Errors: res.Errors,
+				PWBPerOp: stack.PWBPerOp, PFencePerOp: stack.PFencePerOp, Stack: &stack}
 			if h := res.PerOp[ycsb.OpRead]; h != nil {
 				row.MeanRead = h.Mean()
 			}
@@ -371,6 +383,7 @@ func Fig11(cfg Fig11Config) ([]*tpcb.Timeline, error) {
 	// J-PFA: full recovery GC at restart.
 	{
 		pool := nvm.New(poolBytes, nvm.Options{FenceLatency: DefaultFenceNs})
+		obs.Default.Publish("tpcb_jpfa_nvm", func() any { return pool.Obs().Snapshot() })
 		systems = append(systems, tpcb.System{
 			Name:    "J-PFA",
 			Start:   func() (tpcb.Bank, error) { return tpcb.OpenJNVMBank(pool, cfg.Accounts, false) },
@@ -380,6 +393,7 @@ func Fig11(cfg Fig11Config) ([]*tpcb.Timeline, error) {
 	// J-PFA-nogc: header-scan recovery.
 	{
 		pool := nvm.New(poolBytes, nvm.Options{FenceLatency: DefaultFenceNs})
+		obs.Default.Publish("tpcb_jpfa_nogc_nvm", func() any { return pool.Obs().Snapshot() })
 		systems = append(systems, tpcb.System{
 			Name:    "J-PFA-nogc",
 			Start:   func() (tpcb.Bank, error) { return tpcb.OpenJNVMBank(pool, cfg.Accounts, true) },

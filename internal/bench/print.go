@@ -44,6 +44,30 @@ func PrintFig7(w io.Writer, rows []Fig7Row) {
 		}
 		fmt.Fprintln(w)
 	}
+	// Persistence-primitive rates per operation, from the shared obs layer
+	// (the accounting Table 3 does per data-structure op). NVMM-backed
+	// backends only; the FS family never issues pwb/pfence.
+	printed := false
+	for _, r := range rows {
+		if r.PWBPerOp == 0 && r.PFencePerOp == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Fprintf(w, "# persistence per op: %-10s%-10s%10s%10s\n", "workload", "backend", "pwb/op", "pfence/op")
+			printed = true
+		}
+		fmt.Fprintf(w, "#                     %-10s%-10s%10.2f%10.2f\n",
+			r.Workload, r.Backend, r.PWBPerOp, r.PFencePerOp)
+	}
+	// Cross-layer drill-down for the headline cell (YCSB-A on J-PDT),
+	// straight from the shared obs reporter.
+	for _, r := range rows {
+		if r.Workload == "A" && r.Backend == JPDT && r.Stack != nil {
+			fmt.Fprintf(w, "# YCSB-A / %s cross-layer detail:\n", JPDT)
+			r.Stack.Report(w)
+			break
+		}
+	}
 }
 
 func orderedBackends(int) []BackendKind {
@@ -172,11 +196,12 @@ func PrintFig2(w io.Writer, rows []Fig2Row) {
 	}
 }
 
-// PrintTable3 renders the block-bandwidth table.
+// PrintTable3 renders the block-bandwidth table with the flush/fence rates
+// each cell measured through the shared obs layer.
 func PrintTable3(w io.Writer, rows []Table3Row) {
 	fmt.Fprintf(w, "Table 3 — 256B block access (GB/s)\n")
 	fmt.Fprintf(w, "%-10s%14s%14s%14s%14s\n", "", "seq read", "seq write", "rand read", "rand write")
-	cell := map[string]map[string]float64{"J-NVM": {}, "native": {}}
+	cell := map[string]map[string]Table3Row{"J-NVM": {}, "native": {}}
 	for _, r := range rows {
 		key := "rand"
 		if r.Sequential {
@@ -187,12 +212,17 @@ func PrintTable3(w io.Writer, rows []Table3Row) {
 		} else {
 			key += " read"
 		}
-		cell[r.Path][key] = r.GBps
+		cell[r.Path][key] = r
 	}
 	for _, p := range []string{"J-NVM", "native"} {
 		m := cell[p]
 		fmt.Fprintf(w, "%-10s%14.2f%14.2f%14.2f%14.2f\n", p,
-			m["seq read"], m["seq write"], m["rand read"], m["rand write"])
+			m["seq read"].GBps, m["seq write"].GBps, m["rand read"].GBps, m["rand write"].GBps)
+	}
+	for _, p := range []string{"J-NVM", "native"} {
+		sw, rw := cell[p]["seq write"], cell[p]["rand write"]
+		fmt.Fprintf(w, "# %-8s writes: %.2f pwb + %.2f pfence per block (seq), %.2f + %.2f (rand)\n",
+			p, sw.PWBPerOp, sw.PFencePerOp, rw.PWBPerOp, rw.PFencePerOp)
 	}
 }
 

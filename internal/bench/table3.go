@@ -12,12 +12,16 @@ import (
 func newRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
 
 // Table3Row is one cell of Table 3: GB/s for a (path, pattern, direction)
-// combination over 256 B blocks.
+// combination over 256 B blocks, plus the persistence-primitive rates for
+// that cell measured by the shared obs layer (pwb and pfence issued per
+// block access — the paper's flush/fence accounting).
 type Table3Row struct {
-	Path       string // "J-NVM" (framework accessors) or "native" (raw copy)
-	Sequential bool
-	Write      bool
-	GBps       float64
+	Path        string // "J-NVM" (framework accessors) or "native" (raw copy)
+	Sequential  bool
+	Write       bool
+	GBps        float64
+	PWBPerOp    float64
+	PFencePerOp float64
 }
 
 // Table3 measures 256 B block access throughput through the framework
@@ -59,16 +63,25 @@ func Table3(totalMB int) ([]Table3Row, error) {
 	copy(rnd, seq)
 	newRand().Shuffle(len(rnd), func(i, j int) { rnd[i], rnd[j] = rnd[j], rnd[i] })
 
-	measure := func(idx []uint64, fn func(off uint64)) float64 {
+	// measure times one access pattern and reads the pwb/pfence counts for
+	// the interval from the pool's obs counters, normalized per block
+	// access — the cell's primitive rate columns.
+	measure := func(row Table3Row, idx []uint64, fn func(off uint64)) Table3Row {
 		const passes = 2
+		before := pool.Obs().Snapshot()
 		start := time.Now()
 		for p := 0; p < passes; p++ {
 			for _, b := range idx {
 				fn(b * blockSize)
 			}
 		}
-		bytes := float64(passes) * float64(len(idx)) * blockSize
-		return bytes / time.Since(start).Seconds() / 1e9
+		elapsed := time.Since(start)
+		d := pool.Obs().Snapshot().Sub(before)
+		ops := float64(passes) * float64(len(idx))
+		row.GBps = ops * blockSize / elapsed.Seconds() / 1e9
+		row.PWBPerOp = float64(d.PWBs) / ops
+		row.PFencePerOp = float64(d.Fences()) / ops
+		return row
 	}
 
 	jnvmRead := func(off uint64) { obj.ReadInto(off, buf) }
@@ -85,13 +98,13 @@ func Table3(totalMB int) ([]Table3Row, error) {
 	}
 
 	return []Table3Row{
-		{Path: "J-NVM", Sequential: true, Write: false, GBps: measure(seq, jnvmRead)},
-		{Path: "native", Sequential: true, Write: false, GBps: measure(seq, nativeRead)},
-		{Path: "J-NVM", Sequential: true, Write: true, GBps: measure(seq, jnvmWrite)},
-		{Path: "native", Sequential: true, Write: true, GBps: measure(seq, nativeWrite)},
-		{Path: "J-NVM", Sequential: false, Write: false, GBps: measure(rnd, jnvmRead)},
-		{Path: "native", Sequential: false, Write: false, GBps: measure(rnd, nativeRead)},
-		{Path: "J-NVM", Sequential: false, Write: true, GBps: measure(rnd, jnvmWrite)},
-		{Path: "native", Sequential: false, Write: true, GBps: measure(rnd, nativeWrite)},
+		measure(Table3Row{Path: "J-NVM", Sequential: true, Write: false}, seq, jnvmRead),
+		measure(Table3Row{Path: "native", Sequential: true, Write: false}, seq, nativeRead),
+		measure(Table3Row{Path: "J-NVM", Sequential: true, Write: true}, seq, jnvmWrite),
+		measure(Table3Row{Path: "native", Sequential: true, Write: true}, seq, nativeWrite),
+		measure(Table3Row{Path: "J-NVM", Sequential: false, Write: false}, rnd, jnvmRead),
+		measure(Table3Row{Path: "native", Sequential: false, Write: false}, rnd, nativeRead),
+		measure(Table3Row{Path: "J-NVM", Sequential: false, Write: true}, rnd, jnvmWrite),
+		measure(Table3Row{Path: "native", Sequential: false, Write: true}, rnd, nativeWrite),
 	}, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/heap"
+	"repro/internal/obs"
 )
 
 // Log-slot layout (within the heap's reserved log area):
@@ -51,6 +52,18 @@ type Manager struct {
 	size  int
 	idle  []int
 	total int
+	stats obs.FAStats
+}
+
+// Obs returns the manager's live counters.
+func (m *Manager) Obs() *obs.FAStats { return &m.stats }
+
+// ObsSnapshot captures the counters plus slot-occupancy gauges.
+func (m *Manager) ObsSnapshot() obs.FASnapshot {
+	m.mu.Lock()
+	total, inUse := uint64(m.total), uint64(m.total-len(m.idle))
+	m.mu.Unlock()
+	return m.stats.Snapshot(total, inUse)
 }
 
 // NewManager creates an unattached manager. Pass it as the LogHandler of
@@ -77,6 +90,7 @@ func (m *Manager) RecoverLogs(h *core.Heap) error {
 			m.replay(base)
 			pool.WriteUint64(base+slotStatus, statusIdle)
 			pool.PWB(base + slotStatus)
+			m.stats.Replays.Inc()
 			replayed = true
 		}
 		m.idle = append(m.idle, i)
@@ -161,6 +175,7 @@ func (m *Manager) Begin() (*Tx, error) {
 	}
 	slot := m.idle[len(m.idle)-1]
 	m.idle = m.idle[:len(m.idle)-1]
+	m.stats.Begun.Inc()
 	return &Tx{
 		m:        m,
 		slot:     slot,
@@ -227,6 +242,7 @@ func (tx *Tx) appendEntry(kind uint64, a, b core.Ref) error {
 	pool.WriteUint64(eoff+8, a)
 	pool.WriteUint64(eoff+16, b)
 	tx.count++
+	tx.m.stats.LogEntries.Inc()
 	return nil
 }
 
@@ -380,6 +396,7 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	deferred := tx.deferred
+	tx.m.stats.Committed.Inc()
 	tx.release()
 	for _, fn := range deferred {
 		fn()
@@ -405,6 +422,7 @@ func (tx *Tx) Abort() {
 		}
 	}
 	rollbacks := tx.onAbort
+	tx.m.stats.Aborted.Inc()
 	tx.release()
 	for i := len(rollbacks) - 1; i >= 0; i-- {
 		rollbacks[i]()

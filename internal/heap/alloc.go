@@ -74,6 +74,7 @@ var ErrOutOfMemory = fmt.Errorf("heap: out of NVMM")
 // recovery procedure recomputes it from reachability.
 func (h *Heap) allocBlock() (uint64, error) {
 	if idx, ok := h.free.pop(); ok {
+		h.stats.ReuseAllocs.Inc()
 		return idx, nil
 	}
 	for {
@@ -92,6 +93,7 @@ func (h *Heap) allocBlock() (uint64, error) {
 				h.pool.WriteUint64(sbBump, cur+1)
 			}
 			h.bumpMu.Unlock()
+			h.stats.BumpAllocs.Inc()
 			return cur, nil
 		}
 	}
@@ -142,6 +144,7 @@ func (h *Heap) AllocObject(classID uint16, size uint64) (Ref, []Ref, error) {
 		h.WriteHeader(refs[i], PackHeader(id, false, next))
 		h.pool.Zero(refs[i]+HeaderSize, Payload)
 	}
+	h.stats.ObjAllocs.Inc()
 	return refs[0], refs, nil
 }
 
@@ -181,6 +184,7 @@ func (h *Heap) FreeObject(r Ref) {
 	for _, b := range blocks {
 		h.free.push(h.BlockIndex(b))
 	}
+	h.stats.ObjFrees.Inc()
 }
 
 // Stats reports occupancy: blocks handed out from the arena top, blocks in

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/nvm"
+	"repro/internal/obs"
 )
 
 // Ref is a persistent reference: the pool offset of an object's master
@@ -137,6 +138,8 @@ type Heap struct {
 	classNames  []string // index id-1
 
 	small smallAllocator
+
+	stats obs.HeapStats // allocator counters (object, small-pool, block source)
 }
 
 // Format initializes a pool as an empty heap and returns it opened. Any
@@ -217,6 +220,15 @@ func (h *Heap) Bump() uint64 { return h.bump.Load() }
 // redo-log region reserved for failure-atomic blocks.
 func (h *Heap) LogArea() (off uint64, slots, slotSize int) {
 	return h.logOff, h.logSlots, h.logSlotSize
+}
+
+// Obs exposes the heap's allocator counters to the observability layer.
+func (h *Heap) Obs() *obs.HeapStats { return &h.stats }
+
+// ObsSnapshot captures the allocator counters together with the
+// point-in-time gauges (bump high-water, free-queue depth, capacity).
+func (h *Heap) ObsSnapshot() obs.HeapSnapshot {
+	return h.stats.Snapshot(h.bump.Load(), uint64(h.free.len()), h.nBlocks)
 }
 
 // RootRef returns the persistent root-map reference recorded in the

@@ -97,6 +97,7 @@ func (s *smallAllocator) carve(sc int) ([]Ref, error) {
 	for i := uint64(0); i < n; i++ {
 		slots = append(slots, block+HeaderSize+i*size)
 	}
+	s.h.stats.Carves.Inc()
 	return slots, nil
 }
 
@@ -122,6 +123,7 @@ func (s *smallAllocator) alloc(classID uint16, payload uint64) (Ref, error) {
 	c.mu.Unlock()
 	s.h.pool.WriteUint64(r, packSlot(classID, false, sc, uint32(payload)))
 	s.h.pool.Zero(r+8, uint64(SlotSizes[sc]-8))
+	s.h.stats.SmallAllocs.Inc()
 	return r, nil
 }
 
@@ -137,6 +139,7 @@ func (s *smallAllocator) free(r Ref) {
 	c.mu.Lock()
 	c.free = append(c.free, r)
 	c.mu.Unlock()
+	s.h.stats.SmallFrees.Inc()
 }
 
 // reset drops all volatile slot lists (used before recovery rebuilds them).

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // LineSize is the modeled CPU cache-line size in bytes. PWB operates at
@@ -84,10 +86,7 @@ type Pool struct {
 	dirty   map[uint64]bool   // lines stored to since their last PWB
 	queued  map[uint64][]byte // lines PWB'd but not yet fenced: pwb-time snapshot
 
-	statMu  sync.Mutex
-	nFence  uint64
-	nFlush  uint64
-	nStores uint64
+	stats obs.NVMStats // lock-free primitive counters (stores/pwb/pfence/psync)
 }
 
 // New creates an in-memory pool of the given size.
@@ -231,9 +230,7 @@ func (p *Pool) CopyWithin(dst, src, n uint64) {
 // next fence, and only for the content the line had when PWB was called.
 func (p *Pool) PWB(off uint64) {
 	p.check(off, 1)
-	p.statMu.Lock()
-	p.nFlush++
-	p.statMu.Unlock()
+	p.stats.PWBs.Inc()
 	if p.opts.Tracked {
 		p.queueLine(off &^ (LineSize - 1))
 	}
@@ -251,9 +248,7 @@ func (p *Pool) PWBRange(off, n uint64) {
 	first := off &^ (LineSize - 1)
 	last := (off + n - 1) &^ (LineSize - 1)
 	lines := (last-first)/LineSize + 1
-	p.statMu.Lock()
-	p.nFlush += lines
-	p.statMu.Unlock()
+	p.stats.PWBs.Add(lines)
 	if p.opts.Tracked {
 		for l := first; l <= last; l += LineSize {
 			p.queueLine(l)
@@ -269,19 +264,18 @@ func (p *Pool) PWBRange(off, n uint64) {
 // thanks to ADR — a fence after clwb makes the queued lines durable. The
 // tracked model therefore drains the write-pending queue here.
 func (p *Pool) PFence() {
+	p.stats.PFences.Inc()
 	p.fence()
 }
 
 // PSync behaves as PFence and additionally guarantees the write-pending
 // queue reached NVMM (identical on the modeled hardware; see §4.4).
 func (p *Pool) PSync() {
+	p.stats.PSyncs.Inc()
 	p.fence()
 }
 
 func (p *Pool) fence() {
-	p.statMu.Lock()
-	p.nFence++
-	p.statMu.Unlock()
 	if p.opts.Tracked {
 		p.mu.Lock()
 		for line, snap := range p.queued {
@@ -295,19 +289,21 @@ func (p *Pool) fence() {
 	}
 }
 
-// Stats reports cumulative primitive counts: stores, PWBs, fences.
+// Stats reports cumulative primitive counts: stores, PWBs, fences (PFence
+// and PSync combined, as both are sfence on the modeled hardware).
 func (p *Pool) Stats() (stores, flushes, fences uint64) {
-	p.statMu.Lock()
-	defer p.statMu.Unlock()
-	return p.nStores, p.nFlush, p.nFence
+	s := p.stats.Snapshot()
+	return s.Stores, s.PWBs, s.Fences()
 }
+
+// Obs exposes the pool's primitive counters to the observability layer;
+// callers snapshot them with Obs().Snapshot().
+func (p *Pool) Obs() *obs.NVMStats { return &p.stats }
 
 // ---- Tracked-mode internals ----
 
 func (p *Pool) noteStore(off, n uint64) {
-	p.statMu.Lock()
-	p.nStores++
-	p.statMu.Unlock()
+	p.stats.Stores.Inc()
 	if !p.opts.Tracked || n == 0 {
 		return
 	}

@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Per-layer stat holders. Each layer of the stack embeds one of these and
+// bumps its counters on the hot path; snapshots assemble into a
+// StackSnapshot for reporting.
+
+// ---- NVMM primitives (internal/nvm) ----
+
+// NVMStats counts the hardware-level persistence primitives of §3.2.2 —
+// the currency in which the paper prices everything (Table 3).
+type NVMStats struct {
+	Stores  Counter // individual store calls (any width)
+	PWBs    Counter // cache-line write-backs (clwb)
+	PFences Counter // ordering fences
+	PSyncs  Counter // durability fences (sfence on the paper's hardware)
+}
+
+// NVMSnapshot is an immutable copy of NVMStats.
+type NVMSnapshot struct {
+	Stores  uint64 `json:"stores"`
+	PWBs    uint64 `json:"pwbs"`
+	PFences uint64 `json:"pfences"`
+	PSyncs  uint64 `json:"psyncs"`
+}
+
+// Snapshot captures the current counter values.
+func (s *NVMStats) Snapshot() NVMSnapshot {
+	return NVMSnapshot{
+		Stores:  s.Stores.Load(),
+		PWBs:    s.PWBs.Load(),
+		PFences: s.PFences.Load(),
+		PSyncs:  s.PSyncs.Load(),
+	}
+}
+
+// Sub returns the delta since prev.
+func (s NVMSnapshot) Sub(prev NVMSnapshot) NVMSnapshot {
+	return NVMSnapshot{
+		Stores:  s.Stores - prev.Stores,
+		PWBs:    s.PWBs - prev.PWBs,
+		PFences: s.PFences - prev.PFences,
+		PSyncs:  s.PSyncs - prev.PSyncs,
+	}
+}
+
+// Fences returns ordering plus durability fences — the paper's combined
+// "pfence" column (both map to sfence on x86).
+func (s NVMSnapshot) Fences() uint64 { return s.PFences + s.PSyncs }
+
+// ---- Block heap (internal/heap) ----
+
+// HeapStats counts allocator activity: object allocations and frees,
+// pool-allocator (small-object) traffic of §4.4, and where blocks come
+// from (bump pointer vs recycled free queue).
+type HeapStats struct {
+	ObjAllocs   Counter // block-chain objects allocated
+	ObjFrees    Counter // block-chain objects freed
+	SmallAllocs Counter // pooled small-object slots allocated (§4.4 hits)
+	SmallFrees  Counter // pooled slots freed
+	Carves      Counter // pool chunks carved from fresh blocks
+	BumpAllocs  Counter // blocks taken from the bump pointer
+	ReuseAllocs Counter // blocks recycled from the volatile free queue
+}
+
+// HeapSnapshot combines the counters with point-in-time gauges supplied by
+// the heap (free-list depth, bump high-water, arena capacity).
+type HeapSnapshot struct {
+	ObjAllocs   uint64 `json:"obj_allocs"`
+	ObjFrees    uint64 `json:"obj_frees"`
+	SmallAllocs uint64 `json:"small_allocs"`
+	SmallFrees  uint64 `json:"small_frees"`
+	Carves      uint64 `json:"pool_chunk_carves"`
+	BumpAllocs  uint64 `json:"bump_allocs"`
+	ReuseAllocs uint64 `json:"reuse_allocs"`
+
+	// Gauges (not deltaed by Sub).
+	Bump        uint64 `json:"bump_high_water"`
+	FreeBlocks  uint64 `json:"free_list_depth"`
+	TotalBlocks uint64 `json:"total_blocks"`
+}
+
+// Snapshot captures the counters plus the supplied allocator gauges.
+func (s *HeapStats) Snapshot(bump, freeBlocks, totalBlocks uint64) HeapSnapshot {
+	return HeapSnapshot{
+		ObjAllocs:   s.ObjAllocs.Load(),
+		ObjFrees:    s.ObjFrees.Load(),
+		SmallAllocs: s.SmallAllocs.Load(),
+		SmallFrees:  s.SmallFrees.Load(),
+		Carves:      s.Carves.Load(),
+		BumpAllocs:  s.BumpAllocs.Load(),
+		ReuseAllocs: s.ReuseAllocs.Load(),
+		Bump:        bump,
+		FreeBlocks:  freeBlocks,
+		TotalBlocks: totalBlocks,
+	}
+}
+
+// Sub returns the delta since prev; gauges keep their current values.
+func (s HeapSnapshot) Sub(prev HeapSnapshot) HeapSnapshot {
+	out := s
+	out.ObjAllocs -= prev.ObjAllocs
+	out.ObjFrees -= prev.ObjFrees
+	out.SmallAllocs -= prev.SmallAllocs
+	out.SmallFrees -= prev.SmallFrees
+	out.Carves -= prev.Carves
+	out.BumpAllocs -= prev.BumpAllocs
+	out.ReuseAllocs -= prev.ReuseAllocs
+	return out
+}
+
+// ---- Failure-atomic blocks (internal/fa) ----
+
+// FAStats counts the redo-log protocol of §4.2.
+type FAStats struct {
+	Begun      Counter // failure-atomic blocks opened
+	Committed  Counter // outermost commits completed
+	Aborted    Counter // blocks abandoned
+	LogEntries Counter // redo-log entries appended
+	Replays    Counter // committed logs replayed at recovery
+}
+
+// FASnapshot combines the counters with slot-occupancy gauges.
+type FASnapshot struct {
+	Begun      uint64 `json:"begun"`
+	Committed  uint64 `json:"committed"`
+	Aborted    uint64 `json:"aborted"`
+	LogEntries uint64 `json:"log_entries"`
+	Replays    uint64 `json:"recovery_replays"`
+
+	// Gauges.
+	SlotsTotal uint64 `json:"log_slots_total"`
+	SlotsInUse uint64 `json:"log_slots_in_use"`
+}
+
+// Snapshot captures the counters plus the supplied occupancy gauges.
+func (s *FAStats) Snapshot(slotsTotal, slotsInUse uint64) FASnapshot {
+	return FASnapshot{
+		Begun:      s.Begun.Load(),
+		Committed:  s.Committed.Load(),
+		Aborted:    s.Aborted.Load(),
+		LogEntries: s.LogEntries.Load(),
+		Replays:    s.Replays.Load(),
+		SlotsTotal: slotsTotal,
+		SlotsInUse: slotsInUse,
+	}
+}
+
+// Sub returns the delta since prev; gauges keep their current values.
+func (s FASnapshot) Sub(prev FASnapshot) FASnapshot {
+	out := s
+	out.Begun -= prev.Begun
+	out.Committed -= prev.Committed
+	out.Aborted -= prev.Aborted
+	out.LogEntries -= prev.LogEntries
+	out.Replays -= prev.Replays
+	return out
+}
+
+// ---- Data grid (internal/store) ----
+
+// Grid operation names, in display order.
+var GridOps = []string{"insert", "read", "update", "rmw", "delete", "scan"}
+
+// GridStats holds the per-operation latency histograms of the grid front
+// door plus the record-cache counters (lock-free: the hit/miss counters
+// used to take a mutex on every read).
+type GridStats struct {
+	CacheHits   Counter
+	CacheMisses Counter
+
+	Insert Histogram
+	Read   Histogram
+	Update Histogram
+	RMW    Histogram
+	Delete Histogram
+	Scan   Histogram
+}
+
+// Op returns the histogram for the named operation (nil if unknown).
+func (s *GridStats) Op(name string) *Histogram {
+	switch name {
+	case "insert":
+		return &s.Insert
+	case "read":
+		return &s.Read
+	case "update":
+		return &s.Update
+	case "rmw":
+		return &s.RMW
+	case "delete":
+		return &s.Delete
+	case "scan":
+		return &s.Scan
+	}
+	return nil
+}
+
+// GridSnapshot is an immutable copy of GridStats.
+type GridSnapshot struct {
+	CacheHits   uint64                       `json:"cache_hits"`
+	CacheMisses uint64                       `json:"cache_misses"`
+	PerOp       map[string]HistogramSnapshot `json:"per_op"`
+}
+
+// Snapshot captures the counters and every per-op histogram.
+func (s *GridStats) Snapshot() GridSnapshot {
+	out := GridSnapshot{
+		CacheHits:   s.CacheHits.Load(),
+		CacheMisses: s.CacheMisses.Load(),
+		PerOp:       make(map[string]HistogramSnapshot, len(GridOps)),
+	}
+	for _, op := range GridOps {
+		if h := s.Op(op); h.Count() > 0 {
+			out.PerOp[op] = h.Snapshot()
+		}
+	}
+	return out
+}
+
+// Ops returns the total operations across all histograms.
+func (s GridSnapshot) Ops() uint64 {
+	var n uint64
+	for _, h := range s.PerOp {
+		n += h.Count
+	}
+	return n
+}
+
+// Sub returns the delta since prev; gauge-less, so everything subtracts.
+func (s GridSnapshot) Sub(prev GridSnapshot) GridSnapshot {
+	out := GridSnapshot{
+		CacheHits:   s.CacheHits - prev.CacheHits,
+		CacheMisses: s.CacheMisses - prev.CacheMisses,
+		PerOp:       make(map[string]HistogramSnapshot, len(s.PerOp)),
+	}
+	for op, h := range s.PerOp {
+		d := h.Sub(prev.PerOp[op])
+		if d.Count == 0 {
+			// Min/max are not interval-subtractable; a zero-count delta
+			// would leak the cumulative extremes, so drop the op entirely.
+			continue
+		}
+		out.PerOp[op] = d
+	}
+	return out
+}
+
+// ---- The whole stack ----
+
+// StackSnapshot assembles one coherent view across every layer, plus the
+// derived Table-3-style per-operation primitive rates.
+type StackSnapshot struct {
+	NVM  *NVMSnapshot  `json:"nvm,omitempty"`
+	Heap *HeapSnapshot `json:"heap,omitempty"`
+	FA   *FASnapshot   `json:"fa,omitempty"`
+	Grid *GridSnapshot `json:"grid,omitempty"`
+
+	// Derived: persistence primitives per grid operation — the columns
+	// the paper's Table 3 reports per data-structure operation.
+	Ops         uint64  `json:"ops"`
+	PWBPerOp    float64 `json:"pwb_per_op"`
+	PFencePerOp float64 `json:"pfence_per_op"`
+	StoresPerOp float64 `json:"stores_per_op"`
+}
+
+// Finalize recomputes the derived per-op columns from the layer
+// snapshots. Call it after assembling or deltaing a StackSnapshot.
+func (s *StackSnapshot) Finalize() {
+	s.Ops = 0
+	s.PWBPerOp, s.PFencePerOp, s.StoresPerOp = 0, 0, 0
+	if s.Grid != nil {
+		s.Ops = s.Grid.Ops()
+	}
+	if s.NVM != nil && s.Ops > 0 {
+		s.PWBPerOp = float64(s.NVM.PWBs) / float64(s.Ops)
+		s.PFencePerOp = float64(s.NVM.Fences()) / float64(s.Ops)
+		s.StoresPerOp = float64(s.NVM.Stores) / float64(s.Ops)
+	}
+}
+
+// Sub returns the interval delta since prev, with derived columns
+// recomputed over the interval.
+func (s StackSnapshot) Sub(prev StackSnapshot) StackSnapshot {
+	var out StackSnapshot
+	if s.NVM != nil {
+		d := *s.NVM
+		if prev.NVM != nil {
+			d = d.Sub(*prev.NVM)
+		}
+		out.NVM = &d
+	}
+	if s.Heap != nil {
+		d := *s.Heap
+		if prev.Heap != nil {
+			d = d.Sub(*prev.Heap)
+		}
+		out.Heap = &d
+	}
+	if s.FA != nil {
+		d := *s.FA
+		if prev.FA != nil {
+			d = d.Sub(*prev.FA)
+		}
+		out.FA = &d
+	}
+	if s.Grid != nil {
+		d := s.Grid.Sub(GridSnapshot{})
+		if prev.Grid != nil {
+			d = s.Grid.Sub(*prev.Grid)
+		}
+		out.Grid = &d
+	}
+	out.Finalize()
+	return out
+}
+
+// Report pretty-prints the snapshot: per-op latency distribution first
+// (the figures), then the per-op primitive rates (Table 3), then raw
+// layer counters.
+func (s StackSnapshot) Report(w io.Writer) {
+	if s.Grid != nil && len(s.Grid.PerOp) > 0 {
+		fmt.Fprintf(w, "%-10s%12s%12s%12s%12s%12s%12s\n",
+			"op", "count", "mean", "p50", "p95", "p99", "max")
+		ops := make([]string, 0, len(s.Grid.PerOp))
+		for op := range s.Grid.PerOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			h := s.Grid.PerOp[op]
+			fmt.Fprintf(w, "%-10s%12d%12s%12s%12s%12s%12s\n", op, h.Count,
+				ns(h.Mean()), ns(h.Percentile(0.50)), ns(h.Percentile(0.95)),
+				ns(h.Percentile(0.99)), ns(h.Max))
+		}
+		fmt.Fprintf(w, "cache: %d hits, %d misses\n", s.Grid.CacheHits, s.Grid.CacheMisses)
+	}
+	if s.NVM != nil {
+		if s.Ops > 0 {
+			fmt.Fprintf(w, "persistence per op: %.2f pwb, %.2f pfence, %.1f stores (%d ops)\n",
+				s.PWBPerOp, s.PFencePerOp, s.StoresPerOp, s.Ops)
+		}
+		fmt.Fprintf(w, "nvm: %d stores, %d pwb, %d pfence, %d psync\n",
+			s.NVM.Stores, s.NVM.PWBs, s.NVM.PFences, s.NVM.PSyncs)
+	}
+	if s.Heap != nil {
+		fmt.Fprintf(w, "heap: %d/%d obj alloc/free, %d/%d small alloc/free, %d carves; bump %d, free %d of %d blocks\n",
+			s.Heap.ObjAllocs, s.Heap.ObjFrees, s.Heap.SmallAllocs, s.Heap.SmallFrees,
+			s.Heap.Carves, s.Heap.Bump, s.Heap.FreeBlocks, s.Heap.TotalBlocks)
+	}
+	if s.FA != nil {
+		fmt.Fprintf(w, "fa: %d begun, %d committed, %d aborted, %d log entries, %d replays; %d/%d slots in use\n",
+			s.FA.Begun, s.FA.Committed, s.FA.Aborted, s.FA.LogEntries, s.FA.Replays,
+			s.FA.SlotsInUse, s.FA.SlotsTotal)
+	}
+}
+
+func ns(v uint64) string { return time.Duration(v).Round(10 * time.Nanosecond).String() }

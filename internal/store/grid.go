@@ -2,10 +2,11 @@ package store
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
+	"time"
 
 	"repro/internal/container"
+	"repro/internal/obs"
 )
 
 // Backend is a persistence plug for the grid, at field granularity so the
@@ -40,9 +41,7 @@ type Grid struct {
 	cacheMu sync.Mutex
 	cache   *container.LRU[*Record] // nil when caching is disabled
 
-	statMu sync.Mutex
-	hits   uint64
-	misses uint64
+	stats obs.GridStats
 }
 
 // Options configures a Grid.
@@ -66,15 +65,28 @@ func (g *Grid) Backend() Backend { return g.backend }
 
 // CacheStats reports cache hits and misses since creation.
 func (g *Grid) CacheStats() (hits, misses uint64) {
-	g.statMu.Lock()
-	defer g.statMu.Unlock()
-	return g.hits, g.misses
+	return g.stats.CacheHits.Load(), g.stats.CacheMisses.Load()
 }
 
+// Obs returns the grid's live per-operation histograms and cache counters.
+func (g *Grid) Obs() *obs.GridStats { return &g.stats }
+
+// ObsSnapshot captures the current grid metrics.
+func (g *Grid) ObsSnapshot() obs.GridSnapshot { return g.stats.Snapshot() }
+
+// stripe maps a key to its lock with an inlined FNV-1a: hash.Hash32 would
+// cost two heap allocations (digest + []byte(key)) per operation.
 func (g *Grid) stripe(key string) *sync.Mutex {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &g.stripes[h.Sum32()%uint32(len(g.stripes))]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &g.stripes[h%uint32(len(g.stripes))]
 }
 
 func (g *Grid) cacheGet(key string) (*Record, bool) {
@@ -84,13 +96,11 @@ func (g *Grid) cacheGet(key string) (*Record, bool) {
 	g.cacheMu.Lock()
 	rec, ok := g.cache.Get(key)
 	g.cacheMu.Unlock()
-	g.statMu.Lock()
 	if ok {
-		g.hits++
+		g.stats.CacheHits.Inc()
 	} else {
-		g.misses++
+		g.stats.CacheMisses.Inc()
 	}
-	g.statMu.Unlock()
 	return rec, ok
 }
 
@@ -117,6 +127,8 @@ var ErrNotFound = fmt.Errorf("store: key not found")
 
 // Insert stores a new record (write-through: backend first, then cache).
 func (g *Grid) Insert(key string, rec *Record) error {
+	start := time.Now()
+	defer func() { g.stats.Insert.Observe(time.Since(start)) }()
 	mu := g.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -124,6 +136,8 @@ func (g *Grid) Insert(key string, rec *Record) error {
 		return err
 	}
 	if g.cache != nil {
+		// Clone: the caller keeps rec and may mutate it after Insert
+		// returns; Clone also copies field values into fresh slices.
 		g.cachePut(key, rec.Clone())
 	}
 	return nil
@@ -132,6 +146,8 @@ func (g *Grid) Insert(key string, rec *Record) error {
 // Read streams the record's fields to consume, from the cache when
 // possible.
 func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
+	start := time.Now()
+	defer func() { g.stats.Read.Observe(time.Since(start)) }()
 	mu := g.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -148,7 +164,14 @@ func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 	ok, err := g.backend.Read(key, func(name string, value []byte) {
 		consume(name, value)
 		if filled != nil {
-			filled.Fields = append(filled.Fields, Field{Name: name, Value: value})
+			// Deep-copy the value before caching. J-NVM backends stream
+			// zero-copy views into NVMM (pRecord.read); caching the view
+			// aliases memory that a later Update/Delete frees and the
+			// allocator recycles, silently corrupting the cached record.
+			// The copy is confined to the caching path, so non-caching
+			// grids keep the zero-copy read.
+			filled.Fields = append(filled.Fields,
+				Field{Name: name, Value: append([]byte(nil), value...)})
 		}
 	})
 	if err != nil {
@@ -166,11 +189,16 @@ func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 // Update overwrites fields write-through (backend in the critical path,
 // which is why larger caches do not help updates in Figure 9a).
 func (g *Grid) Update(key string, fields []Field) error {
+	start := time.Now()
+	defer func() { g.stats.Update.Observe(time.Since(start)) }()
 	mu := g.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
 	ok, err := g.backend.Update(key, fields)
 	if err != nil {
+		// The backend may have applied part of the update; drop the
+		// cached record rather than serve a stale mix.
+		g.cacheDrop(key)
 		return err
 	}
 	if !ok {
@@ -191,6 +219,8 @@ func (g *Grid) Update(key string, fields []Field) error {
 // ReadModifyWrite runs YCSB's rmw: read all fields, then write back the
 // fields produced by mutate, under the key's lock.
 func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) error {
+	start := time.Now()
+	defer func() { g.stats.RMW.Observe(time.Since(start)) }()
 	mu := g.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -200,7 +230,10 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 	} else {
 		rec = &Record{}
 		ok, err := g.backend.Read(key, func(name string, value []byte) {
-			rec.Fields = append(rec.Fields, Field{Name: name, Value: value})
+			// Deep-copy: rec outlives the backend call (mutate sees it and
+			// a clone goes into the cache), so it must not alias NVMM views.
+			rec.Fields = append(rec.Fields,
+				Field{Name: name, Value: append([]byte(nil), value...)})
 		})
 		if err != nil {
 			return err
@@ -218,6 +251,7 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 	}
 	ok, err := g.backend.Update(key, fields)
 	if err != nil {
+		g.cacheDrop(key)
 		return err
 	}
 	if !ok {
@@ -237,6 +271,8 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 
 // Delete removes the record everywhere.
 func (g *Grid) Delete(key string) error {
+	start := time.Now()
+	defer func() { g.stats.Delete.Observe(time.Since(start)) }()
 	mu := g.stripe(key)
 	mu.Lock()
 	defer mu.Unlock()

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// captureRead performs a grid read and keeps the exact slices handed to the
+// consumer (what a caching client would retain).
+func captureRead(t *testing.T, g *Grid, key string) *Record {
+	t.Helper()
+	rec := &Record{}
+	err := g.Read(key, func(name string, val []byte) {
+		rec.Fields = append(rec.Fields, Field{Name: name, Value: val})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestGridCachedReadSurvivesBlockReuse is the regression test for the
+// stale-cache aliasing bug: Grid.Read used to cache the exact value slices
+// the J-PDT backend streams, but pRecord.read hands out zero-copy views
+// into NVMM. Updating or deleting the record frees the viewed value
+// objects, the allocator recycles them for the next insert, and the bytes
+// under the cached record silently change.
+func TestGridCachedReadSurvivesBlockReuse(t *testing.T) {
+	h, _, _ := openStoreHeap(t, 1<<23, false)
+	b, err := NewJPDTBackend(h, "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate behind the grid so the first grid read takes the
+	// cache-miss fill path rather than Insert's clone.
+	if err := b.Insert("victim", testRecord(5, "victim")); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGrid(b, Options{CacheEntries: 16})
+
+	// First read fills the cache; second read is a cache hit, serving the
+	// cached record — capture exactly what it hands out.
+	captureRead(t, g, "victim")
+	got := captureRead(t, g, "victim")
+	hits, _ := g.CacheStats()
+	if hits == 0 {
+		t.Fatal("second read was not a cache hit; test setup broken")
+	}
+	want := testRecord(5, "victim")
+
+	// Mutate via the grid: an update frees the old field value object...
+	if err := g.Update("victim", []Field{{Name: "field1", Value: []byte("patched")}}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and delete + reinsert churn recycles every freed block and pooled
+	// slot with different bytes.
+	if err := g.Delete("victim"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := g.Insert(fmt.Sprintf("churn%d", i), testRecord(5, fmt.Sprintf("CHURN%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The previously served read result must be unchanged.
+	for i, f := range want.Fields {
+		if got.Fields[i].Name != f.Name {
+			t.Fatalf("field %d name changed: %q", i, got.Fields[i].Name)
+		}
+		if !bytes.Equal(got.Fields[i].Value, f.Value) {
+			t.Fatalf("cached read result mutated by block reuse: field %d = %q, want %q",
+				i, got.Fields[i].Value, f.Value)
+		}
+	}
+}
+
+// TestGridCacheCoherentAfterPartialUpdate: a backend update that fails
+// half-way (unknown second field) has already swung the first field and
+// freed its old value object. The grid must not keep serving the cached
+// record as if nothing happened.
+func TestGridCacheCoherentAfterPartialUpdate(t *testing.T) {
+	h, _, _ := openStoreHeap(t, 1<<23, false)
+	b, err := NewJPDTBackend(h, "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert("k", testRecord(3, "k")); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGrid(b, Options{CacheEntries: 16})
+	captureRead(t, g, "k") // warm cache
+
+	err = g.Update("k", []Field{
+		{Name: "field0", Value: []byte("half-applied")},
+		{Name: "no-such-field", Value: []byte("x")},
+	})
+	if err == nil {
+		t.Fatal("update with unknown field should error")
+	}
+	// Churn so any dangling cached views get recycled.
+	for i := 0; i < 8; i++ {
+		if err := g.Insert(fmt.Sprintf("churn%d", i), testRecord(3, fmt.Sprintf("C%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The grid must now agree with the backend.
+	truth, ok := readAll(t, b, "k")
+	if !ok {
+		t.Fatal("backend lost the record")
+	}
+	got := captureRead(t, g, "k")
+	for _, f := range truth.Fields {
+		v, ok := got.Get(f.Name)
+		if !ok || !bytes.Equal(v, f.Value) {
+			t.Fatalf("grid read diverged from backend after failed update: %s = %q, want %q",
+				f.Name, v, f.Value)
+		}
+	}
+}
+
+// TestGridCachedConcurrentReadersWriters hammers a cached J-PDT grid with
+// concurrent readers and writers. Designed for -race: on the aliasing bug,
+// readers consuming cached views race the pool writes that recycle freed
+// value objects.
+func TestGridCachedConcurrentReadersWriters(t *testing.T) {
+	h, _, _ := openStoreHeap(t, 1<<24, false)
+	b, err := NewJPDTBackend(h, "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGrid(b, Options{CacheEntries: 32})
+	const keys = 16
+	for i := 0; i < keys; i++ {
+		if err := g.Insert(fmt.Sprintf("key%d", i), testRecord(4, "init")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) { // writers: update and delete+reinsert churn
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("key%d", rng.Intn(keys))
+				if rng.Intn(4) == 0 {
+					if err := g.Delete(key); err != nil && err != ErrNotFound {
+						errCh <- err
+						return
+					}
+					if err := g.Insert(key, testRecord(4, fmt.Sprintf("w%d-%d", w, i))); err != nil {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				err := g.Update(key, []Field{{Name: "field1", Value: []byte(fmt.Sprintf("w%d-%d", w, i))}})
+				if err != nil && err != ErrNotFound {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) { // readers: touch every byte served
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			sink := 0
+			for i := 0; i < 400; i++ {
+				key := fmt.Sprintf("key%d", rng.Intn(keys))
+				err := g.Read(key, func(_ string, val []byte) {
+					for _, c := range val {
+						sink += int(c)
+					}
+				})
+				if err != nil && err != ErrNotFound {
+					errCh <- err
+					return
+				}
+			}
+			_ = sink
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

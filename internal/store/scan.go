@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pdt"
@@ -31,6 +32,8 @@ func (g *Grid) Scan(start string, limit int, consume func(key, field string, val
 	if !ok {
 		return ErrNoScan
 	}
+	t0 := time.Now()
+	defer func() { g.stats.Scan.Observe(time.Since(t0)) }()
 	return s.Scan(start, limit, consume)
 }
 

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Histogram is a log-bucketed latency histogram (HDR-style growth factor
@@ -113,6 +115,10 @@ type Result struct {
 	Operations uint64
 	Errors     uint64
 	PerOp      map[OpType]*Histogram
+	// Stack, when the harness supplies it, is the cross-layer metrics
+	// delta for the run interval (grid latency, nvm/heap/fa counters and
+	// the derived pwb/pfence-per-op columns).
+	Stack *obs.StackSnapshot
 }
 
 // Throughput returns operations per second.
