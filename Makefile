@@ -4,7 +4,7 @@ GO ?= go
 # a race-detector pass in addition to the plain suite.
 RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/...
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench microbench
 
 check: vet build test race
 
@@ -20,5 +20,11 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Record the performance baseline: short YCSB-A/B and TPC-B passes with
+# throughput and pwb/pfence-per-op columns. Perf PRs re-run this and diff
+# BENCH_baseline.json against the committed copy.
 bench:
+	$(GO) run ./cmd/baseline -out BENCH_baseline.json
+
+microbench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,211 @@
+// Command baseline records the repository's performance baseline: short
+// YCSB-A/B passes over the J-NVM backends plus a multi-goroutine TPC-B
+// transfer pass, each annotated with the persistence-primitive rates
+// (pwb/op, pfence/op) from the shared obs layer. The output file
+// (BENCH_baseline.json via `make bench`) anchors the perf trajectory of
+// the optimization PRs: each pipeline change re-runs it and diffs the
+// throughput and flush-rate columns against the committed baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/nvm"
+	"repro/internal/obs"
+	"repro/internal/tpcb"
+	"repro/internal/ycsb"
+)
+
+// Row is one benchmark measurement.
+type Row struct {
+	Bench       string  `json:"bench"`
+	Backend     string  `json:"backend"`
+	Threads     int     `json:"threads"`
+	KopsSec     float64 `json:"kops_sec"`
+	PWBPerOp    float64 `json:"pwb_per_op"`
+	PFencePerOp float64 `json:"pfence_per_op"`
+	StoresPerOp float64 `json:"stores_per_op"`
+	// Commit-pipeline columns (J-PFA only): cache lines the flush set
+	// coalesced away per op, and the share of Begins served by a warm
+	// cached transaction.
+	CoalescedPerOp float64 `json:"coalesced_per_op"`
+	WarmTxPct      float64 `json:"warm_tx_pct"`
+	// Stack embeds the full cross-layer counter deltas for the run (FA
+	// slot/coalescing counters, heap allocator traffic, grid latencies).
+	Stack *obs.StackSnapshot `json:"stack,omitempty"`
+}
+
+// Baseline is the serialized result file.
+type Baseline struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Records     int    `json:"ycsb_records"`
+	Operations  int    `json:"ycsb_operations"`
+	Accounts    int    `json:"tpcb_accounts"`
+	Transfers   int    `json:"tpcb_transfers"`
+	Rows        []Row  `json:"rows"`
+}
+
+func main() {
+	records := flag.Int("records", 8_000, "YCSB record count")
+	ops := flag.Int("ops", 30_000, "YCSB operations per pass")
+	threads := flag.Int("threads", 1, "YCSB client goroutines (the J-PFA backend requires 1; see DESIGN.md)")
+	accounts := flag.Int("accounts", 10_000, "TPC-B accounts")
+	transfers := flag.Int("transfers", 40_000, "TPC-B transfers per pass")
+	out := flag.String("out", "BENCH_baseline.json", "output JSON path")
+	flag.Parse()
+
+	b := Baseline{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Records:     *records,
+		Operations:  *ops,
+		Accounts:    *accounts,
+		Transfers:   *transfers,
+	}
+
+	for _, wl := range []string{"A", "B"} {
+		for _, bk := range []bench.BackendKind{bench.JPFA, bench.JPDT} {
+			row, err := runYCSB(wl, bk, *records, *ops, *threads)
+			if err != nil {
+				fatal(err)
+			}
+			b.Rows = append(b.Rows, row)
+		}
+	}
+	for _, clients := range []int{1, 8} {
+		row, err := runTPCB(*accounts, *transfers, clients)
+		if err != nil {
+			fatal(err)
+		}
+		b.Rows = append(b.Rows, row)
+	}
+
+	printRows(b.Rows)
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err == nil {
+		err = os.WriteFile(*out, buf, 0o644)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int) (Row, error) {
+	cfg := ycsb.MustWorkload(wl)
+	cfg.RecordCount = records
+	cfg.Operations = ops
+	cfg.Threads = threads
+	cfg = cfg.Defaults()
+	env, err := bench.NewEnv(bench.GridConfig{
+		Backend: bk, Records: cfg.RecordCount * 2,
+		FieldCount: cfg.FieldCount, FieldLen: cfg.FieldLen,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	defer env.Close()
+	if err := ycsb.Load(env.Grid, cfg); err != nil {
+		return Row{}, fmt.Errorf("load %s/%s: %w", wl, bk, err)
+	}
+	before := env.Snapshot()
+	res, err := ycsb.Run(env.Grid, cfg)
+	if err != nil {
+		return Row{}, fmt.Errorf("run %s/%s: %w", wl, bk, err)
+	}
+	stack := env.Snapshot().Sub(*before)
+	row := Row{
+		Bench:       "ycsb-" + wl,
+		Backend:     string(bk),
+		Threads:     threads,
+		KopsSec:     res.Throughput() / 1000,
+		PWBPerOp:    stack.PWBPerOp,
+		PFencePerOp: stack.PFencePerOp,
+		StoresPerOp: stack.StoresPerOp,
+		Stack:       &stack,
+	}
+	if stack.FA != nil && stack.Ops > 0 {
+		row.CoalescedPerOp = float64(stack.FA.SavedLines) / float64(stack.Ops)
+		if stack.FA.Begun > 0 {
+			row.WarmTxPct = 100 * float64(stack.FA.TxReuse) / float64(stack.FA.Begun)
+		}
+	}
+	return row, nil
+}
+
+func runTPCB(accounts, transfers, clients int) (Row, error) {
+	pool := nvm.New(accounts*512+(32<<20), nvm.Options{FenceLatency: bench.DefaultFenceNs})
+	bank, err := tpcb.OpenJNVMBank(pool, accounts, false)
+	if err != nil {
+		return Row{}, err
+	}
+	nvmBefore := pool.Obs().Snapshot()
+	faBefore := bank.Manager().ObsSnapshot()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	per := transfers / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if err := bank.Transfer(from, to, 1); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(c) + 1)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Row{}, err
+	}
+	elapsed := time.Since(start)
+	delta := pool.Obs().Snapshot().Sub(nvmBefore)
+	fa := bank.Manager().ObsSnapshot().Sub(faBefore)
+	done := float64(per * clients)
+	row := Row{
+		Bench:       "tpcb",
+		Backend:     "J-PFA",
+		Threads:     clients,
+		KopsSec:     done / elapsed.Seconds() / 1000,
+		PWBPerOp:    float64(delta.PWBs) / done,
+		PFencePerOp: float64(delta.Fences()) / done,
+		StoresPerOp: float64(delta.Stores) / done,
+	}
+	row.CoalescedPerOp = float64(fa.SavedLines) / done
+	if fa.Begun > 0 {
+		row.WarmTxPct = 100 * float64(fa.TxReuse) / float64(fa.Begun)
+	}
+	return row, nil
+}
+
+func printRows(rows []Row) {
+	fmt.Printf("%-10s%-8s%9s%12s%10s%12s%12s%14s%10s\n",
+		"bench", "backend", "threads", "Kops/s", "pwb/op", "pfence/op", "stores/op", "coalesced/op", "warm-tx%")
+	for _, r := range rows {
+		fmt.Printf("%-10s%-8s%9d%12.1f%10.2f%12.2f%12.1f%14.2f%10.1f\n",
+			r.Bench, r.Backend, r.Threads, r.KopsSec, r.PWBPerOp, r.PFencePerOp, r.StoresPerOp,
+			r.CoalescedPerOp, r.WarmTxPct)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -53,11 +53,23 @@ func PrintFig7(w io.Writer, rows []Fig7Row) {
 			continue
 		}
 		if !printed {
-			fmt.Fprintf(w, "# persistence per op: %-10s%-10s%10s%10s\n", "workload", "backend", "pwb/op", "pfence/op")
+			fmt.Fprintf(w, "# persistence per op: %-10s%-10s%10s%10s%14s%12s\n",
+				"workload", "backend", "pwb/op", "pfence/op", "coalesced/op", "warm-tx%")
 			printed = true
 		}
-		fmt.Fprintf(w, "#                     %-10s%-10s%10.2f%10.2f\n",
-			r.Workload, r.Backend, r.PWBPerOp, r.PFencePerOp)
+		// Commit-pipeline columns: lines the FA flush set coalesced away
+		// and the share of Begins served by a warm cached transaction.
+		var coalescedPerOp, warmPct float64
+		if r.Stack != nil && r.Stack.FA != nil {
+			if r.Stack.Ops > 0 {
+				coalescedPerOp = float64(r.Stack.FA.SavedLines) / float64(r.Stack.Ops)
+			}
+			if r.Stack.FA.Begun > 0 {
+				warmPct = 100 * float64(r.Stack.FA.TxReuse) / float64(r.Stack.FA.Begun)
+			}
+		}
+		fmt.Fprintf(w, "#                     %-10s%-10s%10.2f%10.2f%14.2f%12.1f\n",
+			r.Workload, r.Backend, r.PWBPerOp, r.PFencePerOp, coalescedPerOp, warmPct)
 	}
 	// Cross-layer drill-down for the headline cell (YCSB-A on J-PDT),
 	// straight from the shared obs reporter.

@@ -40,14 +40,20 @@ func (tx *Tx) locate(o *core.Object, off uint64, n uint64, forWrite bool) (uint6
 		return orig + heap.HeaderSize + within, nil
 	}
 	if forWrite {
-		inf, err := tx.inflightFor(orig)
+		i, err := tx.inflightFor(orig)
 		if err != nil {
 			return 0, err
 		}
-		return inf + heap.HeaderSize + within, nil
+		w := &tx.writes[i]
+		w.mask |= lineMask(heap.HeaderSize+within, n)
+		p := w.inf + heap.HeaderSize + within
+		// Mark the store's lines for the commit write-back; the flush set
+		// dedupes repeated stores to the same line (and counts the saves).
+		tx.flush.AddRange(p, n)
+		return p, nil
 	}
-	if inf, ok := tx.inflight[orig]; ok {
-		return inf + heap.HeaderSize + within, nil
+	if i, ok := tx.inflight[orig]; ok {
+		return tx.writes[i].inf + heap.HeaderSize + within, nil
 	}
 	return orig + heap.HeaderSize + within, nil
 }
@@ -71,7 +77,7 @@ func (tx *Tx) ReadUint64(o *core.Object, off uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return tx.m.h.Pool().ReadUint64(p), nil
+	return tx.h.Pool().ReadUint64(p), nil
 }
 
 // WriteUint64 stores an 8-byte field through the redo log.
@@ -87,7 +93,7 @@ func (tx *Tx) WriteUint64(o *core.Object, off, v uint64) error {
 	if err != nil {
 		return err
 	}
-	tx.m.h.Pool().WriteUint64(p, v)
+	tx.h.Pool().WriteUint64(p, v)
 	return nil
 }
 
@@ -115,7 +121,7 @@ func (tx *Tx) ReadUint32(o *core.Object, off uint64) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	return tx.m.h.Pool().ReadUint32(p), nil
+	return tx.h.Pool().ReadUint32(p), nil
 }
 
 // WriteUint32 stores a 4-byte field.
@@ -131,7 +137,7 @@ func (tx *Tx) WriteUint32(o *core.Object, off uint64, v uint32) error {
 	if err != nil {
 		return err
 	}
-	tx.m.h.Pool().WriteUint32(p, v)
+	tx.h.Pool().WriteUint32(p, v)
 	return nil
 }
 
@@ -146,7 +152,7 @@ func (tx *Tx) readSpan(o *core.Object, off uint64, dst []byte) error {
 		if err != nil {
 			return err
 		}
-		tx.m.h.Pool().ReadInto(p, dst[:n])
+		tx.h.Pool().ReadInto(p, dst[:n])
 		dst = dst[n:]
 		off += n
 	}
@@ -164,7 +170,7 @@ func (tx *Tx) writeSpan(o *core.Object, off uint64, src []byte) error {
 		if err != nil {
 			return err
 		}
-		tx.m.h.Pool().WriteBytes(p, src[:n])
+		tx.h.Pool().WriteBytes(p, src[:n])
 		src = src[n:]
 		off += n
 	}
@@ -213,7 +219,7 @@ func (tx *Tx) ReadObject(o *core.Object, off uint64) (core.PObject, error) {
 	if po, ok := tx.proxies[r]; ok {
 		return po, nil
 	}
-	return tx.m.h.Resurrect(r)
+	return tx.h.Resurrect(r)
 }
 
 // ReadUint16 loads a 2-byte field through the redo view.

@@ -13,14 +13,34 @@
 // ordering. A crash replays a committed log (the apply phase is
 // idempotent) and discards an uncommitted one, whose side effects are all
 // invalid or unreachable and therefore reclaimed by the recovery GC.
+//
+// The commit pipeline is built for multicore scalability:
+//
+//   - Slot affinity. Log slots live on a lock-free freelist, and a
+//     released Tx parks — slot, maps and flush set still warm — in a
+//     lock-free cache, so a worker's next Begin reuses its previous
+//     transaction without touching shared state.
+//   - Flush coalescing. Stores mark dirty cache lines in a per-Tx
+//     nvm.FlushSet; commit writes each line back once, merging adjacent
+//     lines into single PWBRange calls. A field written five times
+//     flushes once.
+//   - Dirty-line masks. Each write entry records which lines of the
+//     in-flight copy were touched (in the high bits of the kind word), so
+//     apply and replay copy and flush only those lines instead of the
+//     full 248-byte payload. A zero mask means "all lines" — the format
+//     older logs decode to.
+//   - In-flight block reuse. Each Tx recycles its in-flight blocks
+//     through a heap.TransientPool instead of a free-queue round trip per
+//     write-set block per transaction.
 package fa
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/heap"
+	"repro/internal/nvm"
 	"repro/internal/obs"
 )
 
@@ -29,6 +49,10 @@ import (
 //	0:  status (8)  — 0 idle, 1 committed
 //	8:  count  (8)  — number of entries
 //	16: entries, 24 bytes each: kind (8) | a (8) | b (8)
+//
+// For kindWrite entries the kind word also carries the dirty-line mask in
+// bits 8..11: bit i set means line i of the block was modified and must be
+// copied to the original. Mask 0 means every line (the pre-mask format).
 const (
 	slotStatus  = 0
 	slotCount   = 8
@@ -41,29 +65,138 @@ const (
 	kindWrite = 1 // a = original block ref, b = in-flight block ref
 	kindAlloc = 2 // a = new object ref
 	kindFree  = 3 // a = freed object ref
+
+	kindMask  = 0xff
+	maskShift = 8
+
+	linesPerBlock = heap.BlockSize / nvm.LineSize
+	lineMaskAll   = 1<<linesPerBlock - 1
+
+	// transientCap bounds the in-flight blocks a Tx keeps warm; overflow
+	// spills to the shared free queue.
+	transientCap = 32
 )
 
-// Manager owns the persistent log slots. It implements core.LogHandler so
-// that passing it in core.Config replays logs before the recovery GC.
-type Manager struct {
-	mu    sync.Mutex
+// lineMask returns the dirty-line bits for a store of n>0 bytes at
+// block-local offset off (header included in the coordinate space).
+func lineMask(off, n uint64) uint8 {
+	first := off / nvm.LineSize
+	last := (off + n - 1) / nvm.LineSize
+	return uint8(lineMaskAll>>(linesPerBlock-1-last+first)) << first
+}
+
+// managerState is the immutable heap binding, swapped atomically by
+// RecoverLogs so hot-path readers never take a lock.
+type managerState struct {
 	h     *core.Heap
 	off   uint64
 	size  int
-	idle  []int
 	total int
+}
+
+// slotStack is a lock-free Treiber stack of log-slot indices. The head
+// word packs a modification tag in the high 32 bits with idx+1 in the low
+// 32 (0 = empty); the tag changes on every successful push or pop, which
+// defeats the ABA case where a slot is popped, recycled and pushed back
+// between a competitor's read and CAS.
+type slotStack struct {
+	head atomic.Uint64
+	next []atomic.Uint32 // next[idx] holds the successor's idx+1
+}
+
+func (s *slotStack) init(n int) {
+	s.next = make([]atomic.Uint32, n)
+	for i := 0; i < n-1; i++ {
+		s.next[i].Store(uint32(i + 2))
+	}
+	var head uint64
+	if n > 0 {
+		head = 1
+	}
+	s.head.Store(head)
+}
+
+func (s *slotStack) pop() (int, bool) {
+	for {
+		h := s.head.Load()
+		top := uint32(h)
+		if top == 0 {
+			return 0, false
+		}
+		next := s.next[top-1].Load()
+		if s.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(next)) {
+			return int(top - 1), true
+		}
+	}
+}
+
+func (s *slotStack) push(idx int) {
+	for {
+		h := s.head.Load()
+		s.next[idx].Store(uint32(h))
+		if s.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(idx+1)) {
+			return
+		}
+	}
+}
+
+// txCache parks released transactions — slot attached, maps allocated,
+// flush set and transient blocks warm — for the next Begin. Cells are
+// claimed and filled by CAS, so a scrape or a racing worker never blocks.
+// Capacity equals the slot count: a parked Tx owns its slot, so there is
+// always a free cell for a releasing Tx (a transient CAS storm can still
+// fail a put, in which case the Tx is dismantled and its slot returned to
+// the freelist — correct, just cold).
+type txCache struct {
+	cells []atomic.Pointer[Tx]
+}
+
+func (c *txCache) reset(n int) { c.cells = make([]atomic.Pointer[Tx], n) }
+
+func (c *txCache) get() *Tx {
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if tx := cell.Load(); tx != nil && cell.CompareAndSwap(tx, nil) {
+			return tx
+		}
+	}
+	return nil
+}
+
+func (c *txCache) put(tx *Tx) bool {
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.Load() == nil && cell.CompareAndSwap(nil, tx) {
+			return true
+		}
+	}
+	return false
+}
+
+// Manager owns the persistent log slots. It implements core.LogHandler so
+// that passing it in core.Config replays logs before the recovery GC.
+// Begin, End and metrics scrapes share no locks: slots come from a
+// lock-free freelist, warm transactions from a lock-free cache, and the
+// occupancy gauges from atomics.
+type Manager struct {
+	state atomic.Pointer[managerState]
+	slots slotStack
+	cache txCache
+	inUse atomic.Int64
 	stats obs.FAStats
 }
 
 // Obs returns the manager's live counters.
 func (m *Manager) Obs() *obs.FAStats { return &m.stats }
 
-// ObsSnapshot captures the counters plus slot-occupancy gauges.
+// ObsSnapshot captures the counters plus slot-occupancy gauges. It reads
+// only atomics, so metrics scrapes never contend with Begin.
 func (m *Manager) ObsSnapshot() obs.FASnapshot {
-	m.mu.Lock()
-	total, inUse := uint64(m.total), uint64(m.total-len(m.idle))
-	m.mu.Unlock()
-	return m.stats.Snapshot(total, inUse)
+	var total uint64
+	if st := m.state.Load(); st != nil {
+		total = uint64(st.total)
+	}
+	return m.stats.Snapshot(total, uint64(m.inUse.Load()))
 }
 
 // NewManager creates an unattached manager. Pass it as the LogHandler of
@@ -74,48 +207,43 @@ func NewManager() *Manager { return &Manager{} }
 // and replays or discards every log slot (§4.2 recovery, which runs before
 // the recovery procedure of §4.1.3).
 func (m *Manager) RecoverLogs(h *core.Heap) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.h = h
 	off, slots, slotSize := h.Mem().LogArea()
-	m.off = off
-	m.size = slotSize
-	m.total = slots
-	m.idle = m.idle[:0]
 	pool := h.Pool()
 	replayed := false
 	for i := 0; i < slots; i++ {
 		base := off + uint64(i*slotSize)
 		if pool.ReadUint64(base+slotStatus) == statusCommitted {
-			m.replay(base)
+			applyEntries(pool, h.Mem(), base, pool.ReadUint64(base+slotCount), nil)
 			pool.WriteUint64(base+slotStatus, statusIdle)
 			pool.PWB(base + slotStatus)
 			m.stats.Replays.Inc()
 			replayed = true
 		}
-		m.idle = append(m.idle, i)
 	}
 	if replayed {
 		pool.PSync()
 	}
+	m.state.Store(&managerState{h: h, off: off, size: slotSize, total: slots})
+	m.slots.init(slots)
+	m.cache.reset(slots)
+	m.inUse.Store(0)
 	return nil
 }
 
-// replay applies a committed log (idempotently: a crash mid-replay just
-// replays again on the next open).
-func (m *Manager) replay(base uint64) {
-	pool := m.h.Pool()
-	mem := m.h.Mem()
-	count := pool.ReadUint64(base + slotCount)
+// applyEntries applies a log slot's entries — the shared body of the
+// commit apply phase, the crash-staging test hook and recovery replay
+// (idempotent: a crash mid-replay just replays again on the next open).
+// With a FlushSet the dirty lines are accumulated for a coalesced
+// write-back by the caller; with fs == nil each copy flushes immediately.
+func applyEntries(pool *nvm.Pool, mem *heap.Heap, base, count uint64, fs *nvm.FlushSet) {
 	for e := uint64(0); e < count; e++ {
 		eoff := base + slotEntries + e*entrySize
-		kind := pool.ReadUint64(eoff)
+		word := pool.ReadUint64(eoff)
 		a := pool.ReadUint64(eoff + 8)
 		b := pool.ReadUint64(eoff + 16)
-		switch kind {
+		switch word & kindMask {
 		case kindWrite:
-			pool.CopyWithin(a+heap.HeaderSize, b+heap.HeaderSize, heap.Payload)
-			pool.PWBRange(a+heap.HeaderSize, heap.Payload)
+			copyDirtyLines(pool, a, b, uint8(word>>maskShift)&lineMaskAll, fs)
 		case kindAlloc:
 			mem.SetValid(a, true)
 		case kindFree:
@@ -124,31 +252,82 @@ func (m *Manager) replay(base uint64) {
 	}
 }
 
+// copyDirtyLines copies the masked lines of the in-flight block inf over
+// the original block orig, skipping the header word: line 0's copy starts
+// at HeaderSize so the original's identity is never overwritten. A zero
+// mask copies the whole payload.
+func copyDirtyLines(pool *nvm.Pool, orig, inf uint64, mask uint8, fs *nvm.FlushSet) {
+	if mask == 0 {
+		pool.CopyWithin(orig+heap.HeaderSize, inf+heap.HeaderSize, heap.Payload)
+		if fs != nil {
+			fs.AddRange(orig+heap.HeaderSize, heap.Payload)
+		} else {
+			pool.PWBRange(orig+heap.HeaderSize, heap.Payload)
+		}
+		return
+	}
+	for l := uint64(0); l < linesPerBlock; l++ {
+		if mask&(1<<l) == 0 {
+			continue
+		}
+		off, n := l*nvm.LineSize, uint64(nvm.LineSize)
+		if l == 0 {
+			off, n = heap.HeaderSize, nvm.LineSize-heap.HeaderSize
+		}
+		pool.CopyWithin(orig+off, inf+off, n)
+		if fs != nil {
+			fs.Add(orig + l*nvm.LineSize)
+		} else {
+			pool.PWBRange(orig+l*nvm.LineSize, nvm.LineSize)
+		}
+	}
+}
+
 // Heap returns the attached heap (nil before recovery ran).
-func (m *Manager) Heap() *core.Heap { return m.h }
+func (m *Manager) Heap() *core.Heap {
+	if st := m.state.Load(); st != nil {
+		return st.h
+	}
+	return nil
+}
 
 // ErrLogFull is returned when a failure-atomic block outgrows its log slot.
 var ErrLogFull = fmt.Errorf("fa: failure-atomic block exceeds log capacity")
 
-// maxEntries is the per-transaction entry capacity.
-func (m *Manager) maxEntries() uint64 { return uint64((m.size - slotEntries) / entrySize) }
+// inflightWrite tracks one write-set block: the original, its in-flight
+// copy, the log entry carrying the pair, and the dirty-line mask patched
+// into that entry at commit.
+type inflightWrite struct {
+	orig  core.Ref
+	inf   core.Ref
+	entry uint64
+	mask  uint8
+}
 
 // Tx is one failure-atomic block. It is not safe for concurrent use; the
 // application serializes access to shared objects exactly as it would in
-// the paper's Infinispan integration (lock striping).
+// the paper's Infinispan integration (lock striping). Released
+// transactions are recycled through the manager's cache, carrying their
+// log slot, maps, flush set and transient blocks to the next Begin.
 type Tx struct {
-	m     *Manager
-	slot  int
-	base  uint64
-	count uint64
-	depth int
+	m          *Manager
+	h          *core.Heap
+	slot       int
+	base       uint64
+	maxEntries uint64
+	count      uint64
+	depth      int
 
-	inflight map[core.Ref]core.Ref // original block -> in-flight copy
-	allocs   map[core.Ref]bool     // objects allocated in this block
-	freed    []core.Ref            // proxies to neutralize at commit
+	writes   []inflightWrite
+	inflight map[core.Ref]int // original block -> index into writes
+	allocs   map[core.Ref]bool
+	freed    []core.Ref // proxies to neutralize at commit
 	proxies  map[core.Ref]core.PObject
 	deferred []func() // volatile follow-ups, run only after a commit
 	onAbort  []func() // volatile rollbacks, run only on abort
+
+	flush  *nvm.FlushSet
+	blocks *heap.TransientPool
 }
 
 // Defer registers a volatile follow-up (mirror updates, cache fills) that
@@ -163,27 +342,47 @@ func (tx *Tx) OnAbort(fn func()) { tx.active(); tx.onAbort = append(tx.onAbort, 
 
 // Begin opens a failure-atomic block (faStart of Figure 3). Blocks nest:
 // inner Begin/Commit pairs on the same Tx only move the nesting counter,
-// as with the paper's per-thread counter.
+// as with the paper's per-thread counter. The fast path reuses a warm
+// cached transaction; the slow path takes a slot from the freelist.
+// Neither blocks on a lock.
 func (m *Manager) Begin() (*Tx, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.h == nil {
+	st := m.state.Load()
+	if st == nil {
 		return nil, fmt.Errorf("fa: manager not attached to a heap (pass it as core.Config.LogHandler)")
 	}
-	if len(m.idle) == 0 {
-		return nil, fmt.Errorf("fa: no free log slot (%d concurrent failure-atomic blocks)", m.total)
+	if tx := m.cache.get(); tx != nil {
+		tx.depth = 1
+		m.inUse.Add(1)
+		m.stats.Begun.Inc()
+		m.stats.TxReuse.Inc()
+		return tx, nil
 	}
-	slot := m.idle[len(m.idle)-1]
-	m.idle = m.idle[:len(m.idle)-1]
+	slot, ok := m.slots.pop()
+	if !ok {
+		// A racing release may have parked its Tx after our cache scan.
+		if tx := m.cache.get(); tx != nil {
+			tx.depth = 1
+			m.inUse.Add(1)
+			m.stats.Begun.Inc()
+			m.stats.TxReuse.Inc()
+			return tx, nil
+		}
+		return nil, fmt.Errorf("fa: no free log slot (%d concurrent failure-atomic blocks)", st.total)
+	}
+	m.inUse.Add(1)
 	m.stats.Begun.Inc()
 	return &Tx{
-		m:        m,
-		slot:     slot,
-		base:     m.off + uint64(slot*m.size),
-		depth:    1,
-		inflight: make(map[core.Ref]core.Ref),
-		allocs:   make(map[core.Ref]bool),
-		proxies:  make(map[core.Ref]core.PObject),
+		m:          m,
+		h:          st.h,
+		slot:       slot,
+		base:       st.off + uint64(slot*st.size),
+		maxEntries: uint64((st.size - slotEntries) / entrySize),
+		depth:      1,
+		inflight:   make(map[core.Ref]int),
+		allocs:     make(map[core.Ref]bool),
+		proxies:    make(map[core.Ref]core.PObject),
+		flush:      nvm.NewFlushSet(),
+		blocks:     st.h.Mem().NewTransientPool(transientCap),
 	}, nil
 }
 
@@ -209,17 +408,30 @@ func (m *Manager) Run(fn func(*Tx) error) error {
 	return tx.Commit()
 }
 
+// release resets the Tx for reuse and parks it in the manager's cache,
+// slot still attached. If the cache rejects it (transient CAS storm) the
+// Tx is dismantled instead: transient blocks drain to the shared free
+// queue and the slot returns to the freelist.
 func (tx *Tx) release() {
-	tx.m.mu.Lock()
-	tx.m.idle = append(tx.m.idle, tx.slot)
-	tx.m.mu.Unlock()
-	tx.inflight = nil
-	tx.allocs = nil
-	tx.freed = nil
-	tx.proxies = nil
+	tx.depth = 0
+	tx.count = 0
+	tx.writes = tx.writes[:0]
+	clear(tx.inflight)
+	clear(tx.allocs)
+	tx.freed = tx.freed[:0]
+	clear(tx.proxies)
+	// deferred/onAbort are handed to the caller and run after release;
+	// truncating in place would let a recycled Tx scribble over a slice
+	// still being iterated, so drop the backing arrays.
 	tx.deferred = nil
 	tx.onAbort = nil
-	tx.depth = 0
+	tx.flush.Reset()
+	m := tx.m
+	m.inUse.Add(-1)
+	if !m.cache.put(tx) {
+		tx.blocks.Drain()
+		m.slots.push(tx.slot)
+	}
 }
 
 func (tx *Tx) active() {
@@ -233,10 +445,10 @@ func (tx *Tx) Nest() { tx.active(); tx.depth++ }
 
 // appendEntry writes one log entry to NVMM (flushed lazily at commit).
 func (tx *Tx) appendEntry(kind uint64, a, b core.Ref) error {
-	if tx.count >= tx.m.maxEntries() {
+	if tx.count >= tx.maxEntries {
 		return ErrLogFull
 	}
-	pool := tx.m.h.Pool()
+	pool := tx.h.Pool()
 	eoff := tx.base + slotEntries + tx.count*entrySize
 	pool.WriteUint64(eoff, kind)
 	pool.WriteUint64(eoff+8, a)
@@ -248,17 +460,23 @@ func (tx *Tx) appendEntry(kind uint64, a, b core.Ref) error {
 
 // Alloc allocates a new persistent object inside the block. The object is
 // invalid until commit, so all writes to it go direct (§4.2): if the block
-// aborts or the system crashes, recovery reclaims it.
+// aborts or the system crashes, recovery reclaims it. Its blocks join the
+// flush set whole — headers carry the chain, payloads the zeroing that
+// makes Validate deterministic — and are written back with the rest of
+// the write set at commit.
 func (tx *Tx) Alloc(c *core.Class, size uint64) (core.PObject, error) {
 	tx.active()
-	po, err := tx.m.h.Alloc(c, size)
+	po, err := tx.h.Alloc(c, size)
 	if err != nil {
 		return nil, err
 	}
 	ref := po.Core().Ref()
 	if err := tx.appendEntry(kindAlloc, ref, 0); err != nil {
-		tx.m.h.Free(po)
+		tx.h.Free(po)
 		return nil, err
+	}
+	for _, b := range po.Core().BlockRefs() {
+		tx.flush.AddRange(b, heap.BlockSize)
 	}
 	tx.allocs[ref] = true
 	tx.proxies[ref] = po
@@ -268,15 +486,16 @@ func (tx *Tx) Alloc(c *core.Class, size uint64) (core.PObject, error) {
 // AllocSmall allocates a pooled small immutable object inside the block.
 func (tx *Tx) AllocSmall(c *core.Class, payload uint64) (core.PObject, error) {
 	tx.active()
-	po, err := tx.m.h.AllocSmall(c, payload)
+	po, err := tx.h.AllocSmall(c, payload)
 	if err != nil {
 		return nil, err
 	}
 	ref := po.Core().Ref()
 	if err := tx.appendEntry(kindAlloc, ref, 0); err != nil {
-		tx.m.h.Free(po)
+		tx.h.Free(po)
 		return nil, err
 	}
+	tx.flush.AddRange(ref, 8+payload) // slot mini-header + payload
 	tx.allocs[ref] = true
 	tx.proxies[ref] = po
 	return po, nil
@@ -304,25 +523,78 @@ func (tx *Tx) direct(o *core.Object) bool {
 	return tx.allocs[o.Ref()] || !o.Valid()
 }
 
-// inflightFor returns the pool offset of the writable image of the block
-// origin, creating the in-flight copy on first touch.
-func (tx *Tx) inflightFor(orig core.Ref) (core.Ref, error) {
-	if inf, ok := tx.inflight[orig]; ok {
-		return inf, nil
+// inflightFor returns the write-set index for the block orig, creating the
+// in-flight copy — recycled from the Tx's transient pool when possible —
+// on first touch.
+func (tx *Tx) inflightFor(orig core.Ref) (int, error) {
+	if i, ok := tx.inflight[orig]; ok {
+		return i, nil
 	}
-	mem := tx.m.h.Mem()
-	inf, err := mem.AllocRaw()
+	inf, _, err := tx.blocks.Get()
 	if err != nil {
 		return 0, err
 	}
-	pool := tx.m.h.Pool()
-	pool.CopyWithin(inf+heap.HeaderSize, orig+heap.HeaderSize, heap.Payload)
+	tx.h.Pool().CopyWithin(inf+heap.HeaderSize, orig+heap.HeaderSize, heap.Payload)
 	if err := tx.appendEntry(kindWrite, orig, inf); err != nil {
-		mem.FreeRaw(inf)
+		tx.blocks.Put(inf)
 		return 0, err
 	}
-	tx.inflight[orig] = inf
-	return inf, nil
+	i := len(tx.writes)
+	tx.writes = append(tx.writes, inflightWrite{orig: orig, inf: inf, entry: tx.count - 1})
+	tx.inflight[orig] = i
+	return i, nil
+}
+
+// ---- Commit pipeline stages ----
+//
+// The stages are split out so the crash-staging test hook executes exactly
+// the code Commit does; see hooks_test.go.
+
+// commitStage1 persists the log and the write set and fences. Dirty-line
+// masks are patched into the write entries first — replay must know which
+// in-flight lines are meaningful — then every line marked during the
+// block (in-flight lines per store, allocated blocks, the log itself) is
+// written back once through the flush set. No fence was needed before
+// this point because the original data is untouched (§4.2).
+func (tx *Tx) commitStage1() {
+	pool := tx.h.Pool()
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		pool.WriteUint64(tx.base+slotEntries+w.entry*entrySize, kindWrite|uint64(w.mask)<<maskShift)
+	}
+	pool.WriteUint64(tx.base+slotCount, tx.count)
+	tx.flush.AddRange(tx.base+slotCount, 8+tx.count*entrySize)
+	tx.noteFlush(tx.flush.Flush(pool))
+	pool.PFence()
+}
+
+// commitStage2 is the durable commit point.
+func (tx *Tx) commitStage2() {
+	pool := tx.h.Pool()
+	pool.WriteUint64(tx.base+slotStatus, statusCommitted)
+	pool.PWB(tx.base + slotStatus)
+	pool.PFence()
+}
+
+// commitStage3 applies the log — masked line copies over the originals,
+// validations, deletions — with no internal ordering: a crash here replays
+// the committed log. When durable, the copied lines are written back
+// coalesced and fenced; the crash hook passes durable=false to model a
+// crash before any of the apply reached NVMM.
+func (tx *Tx) commitStage3(durable bool) {
+	pool := tx.h.Pool()
+	applyEntries(pool, tx.h.Mem(), tx.base, tx.count, tx.flush)
+	if !durable {
+		tx.flush.Reset()
+		return
+	}
+	tx.noteFlush(tx.flush.Flush(pool))
+	pool.PFence()
+}
+
+func (tx *Tx) noteFlush(flushed, saved uint64) {
+	tx.m.stats.FlushedLines.Add(flushed)
+	tx.m.stats.SavedLines.Add(saved)
 }
 
 // Commit ends the block (faEnd). Outermost commit runs the redo protocol.
@@ -332,47 +604,15 @@ func (tx *Tx) Commit() error {
 	if tx.depth > 0 {
 		return nil
 	}
-	pool := tx.m.h.Pool()
-	mem := tx.m.h.Mem()
+	pool := tx.h.Pool()
+	mem := tx.h.Mem()
 
-	// 1. Persist the log and the in-flight images; no fence was needed
-	//    so far because the original data is untouched (§4.2). Objects
-	//    allocated in this block were written in place (they are invalid
-	//    until the alloc entries apply), so their content flushes here too.
-	for _, inf := range tx.inflight {
-		pool.PWBRange(inf+heap.HeaderSize, heap.Payload)
-	}
-	for ref := range tx.allocs {
-		if po, ok := tx.proxies[ref]; ok {
-			po.Core().PWB()
-		}
-	}
-	pool.WriteUint64(tx.base+slotCount, tx.count)
-	pool.PWBRange(tx.base+slotCount, 8+tx.count*entrySize)
-	pool.PFence()
-
-	// 2. Durable commit point.
-	pool.WriteUint64(tx.base+slotStatus, statusCommitted)
-	pool.PWB(tx.base + slotStatus)
-	pool.PFence()
-
-	// 3. Apply, without ordering: a crash replays the committed log.
-	for e := uint64(0); e < tx.count; e++ {
-		eoff := tx.base + slotEntries + e*entrySize
-		kind := pool.ReadUint64(eoff)
-		a := pool.ReadUint64(eoff + 8)
-		b := pool.ReadUint64(eoff + 16)
-		switch kind {
-		case kindWrite:
-			pool.CopyWithin(a+heap.HeaderSize, b+heap.HeaderSize, heap.Payload)
-			pool.PWBRange(a+heap.HeaderSize, heap.Payload)
-		case kindAlloc:
-			mem.SetValid(a, true)
-		case kindFree:
-			mem.SetValid(a, false)
-		}
-	}
-	pool.PFence()
+	// 1. Persist the log and the write set (one coalesced write-back);
+	// 2. durable commit point;
+	// 3. apply, flushed and fenced.
+	tx.commitStage1()
+	tx.commitStage2()
+	tx.commitStage3(true)
 
 	// 4. Retire the log before the slot can be reused; otherwise a crash
 	//    could replay a stale committed log polluted with fresh entries.
@@ -381,16 +621,17 @@ func (tx *Tx) Commit() error {
 	pool.PWBRange(tx.base, 16)
 	pool.PSync()
 
-	// 5. Volatile cleanup: recycle in-flight blocks, push freed objects'
-	//    blocks to the free queue, neutralize freed proxies.
-	for _, inf := range tx.inflight {
-		mem.FreeRaw(inf)
+	// 5. Volatile cleanup: recycle in-flight blocks into the transient
+	//    pool, push freed objects' blocks to the free queue, neutralize
+	//    freed proxies.
+	for i := range tx.writes {
+		tx.blocks.Put(tx.writes[i].inf)
 	}
 	for _, ref := range tx.freed {
 		// Exactly one free per object: through the proxy when we hold it
 		// (which also neutralizes it), directly otherwise.
 		if po, ok := tx.proxies[ref]; ok && po.Core().Ref() == ref {
-			tx.m.h.Free(po)
+			tx.h.Free(po)
 		} else {
 			mem.FreeObject(ref)
 		}
@@ -410,15 +651,14 @@ func (tx *Tx) Abort() {
 	if tx.depth <= 0 {
 		return
 	}
-	pool := tx.m.h.Pool()
-	mem := tx.m.h.Mem()
+	pool := tx.h.Pool()
 	pool.WriteUint64(tx.base+slotCount, 0)
-	for _, inf := range tx.inflight {
-		mem.FreeRaw(inf)
+	for i := range tx.writes {
+		tx.blocks.Put(tx.writes[i].inf)
 	}
 	for ref, po := range tx.proxies {
 		if tx.allocs[ref] {
-			tx.m.h.Free(po)
+			tx.h.Free(po)
 		}
 	}
 	rollbacks := tx.onAbort
@@ -433,4 +673,4 @@ func (tx *Tx) Abort() {
 func (tx *Tx) Manager() *Manager { return tx.m }
 
 // Heap returns the heap this block operates on.
-func (tx *Tx) Heap() *core.Heap { return tx.m.h }
+func (tx *Tx) Heap() *core.Heap { return tx.h }

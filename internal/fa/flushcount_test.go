@@ -1,0 +1,54 @@
+package fa
+
+import "testing"
+
+// TestCommitFlushAccounting pins the persistence cost of the canonical
+// single-line commit, as counted by the obs layer. It is the regression
+// guard for flush coalescing: before the coalesced pipeline this block
+// cost 11 pwb (full 4-line in-flight flush + full-payload apply); with
+// dirty-line masks and the flush set it costs exactly 5. A future change
+// that re-widens any stage fails this test.
+func TestCommitFlushAccounting(t *testing.T) {
+	h, mgr, pool, cls := openFA(t, false)
+	acc := newAccount(t, h, cls, 100, 0, "acc")
+
+	// Warm the transaction cache so the measured pass is the steady state.
+	if err := mgr.Run(func(tx *Tx) error {
+		return tx.WriteUint64(acc.Core(), accA, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := pool.Obs().Snapshot()
+	err := mgr.Run(func(tx *Tx) error {
+		// One field written five times plus a neighbour in the same cache
+		// line: six stores, one dirty line.
+		for i := uint64(0); i < 5; i++ {
+			if err := tx.WriteUint64(acc.Core(), accA, 10+i); err != nil {
+				return err
+			}
+		}
+		return tx.WriteUint64(acc.Core(), accB, 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pool.Obs().Snapshot().Sub(before)
+
+	// Stage 1: in-flight dirty line + log line (count and the single entry
+	// share one), pfence. Stage 2: commit mark, pfence. Stage 3: applied
+	// line, pfence. Stage 4: retire, psync.
+	if d.PWBs != 5 || d.PFences != 3 || d.PSyncs != 1 {
+		t.Fatalf("canonical commit cost regressed: %d pwb, %d pfence, %d psync (want 5 pwb, 3 pfence, 1 psync)",
+			d.PWBs, d.PFences, d.PSyncs)
+	}
+	if saved := mgr.Obs().SavedLines.Load(); saved == 0 {
+		t.Fatal("flush set saved no lines despite repeated same-line stores")
+	}
+	if mgr.Obs().TxReuse.Load() == 0 {
+		t.Fatal("second Run did not reuse the warm transaction")
+	}
+	if a, b := acc.ReadUint64(accA), acc.ReadUint64(accB); a != 14 || b != 7 {
+		t.Fatalf("committed values %d/%d, want 14/7", a, b)
+	}
+}

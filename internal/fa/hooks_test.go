@@ -1,9 +1,9 @@
 package fa
 
-import "repro/internal/heap"
-
 // commitPrefix executes the first `stage` steps of the commit protocol and
-// then stops dead, simulating a crash inside Commit:
+// then stops dead, simulating a crash inside Commit. It calls the same
+// stage helpers Commit does, so the staging cannot drift from the real
+// protocol:
 //
 //	0 — nothing (log entries written, unflushed)
 //	1 — log + in-flight images flushed and fenced
@@ -11,36 +11,14 @@ import "repro/internal/heap"
 //	3 — + apply ran, but nothing of it was flushed and the log still
 //	     reads committed (replay must redo it)
 func (tx *Tx) commitPrefix(stage int) {
-	pool := tx.m.h.Pool()
-	mem := tx.m.h.Mem()
 	if stage >= 1 {
-		for _, inf := range tx.inflight {
-			pool.PWBRange(inf+heap.HeaderSize, heap.Payload)
-		}
-		pool.WriteUint64(tx.base+slotCount, tx.count)
-		pool.PWBRange(tx.base+slotCount, 8+tx.count*entrySize)
-		pool.PFence()
+		tx.commitStage1()
 	}
 	if stage >= 2 {
-		pool.WriteUint64(tx.base+slotStatus, statusCommitted)
-		pool.PWB(tx.base + slotStatus)
-		pool.PFence()
+		tx.commitStage2()
 	}
 	if stage >= 3 {
-		for e := uint64(0); e < tx.count; e++ {
-			eoff := tx.base + slotEntries + e*entrySize
-			kind := pool.ReadUint64(eoff)
-			a := pool.ReadUint64(eoff + 8)
-			b := pool.ReadUint64(eoff + 16)
-			switch kind {
-			case kindWrite:
-				pool.CopyWithin(a+heap.HeaderSize, b+heap.HeaderSize, heap.Payload)
-			case kindAlloc:
-				mem.SetValid(a, true)
-			case kindFree:
-				mem.SetValid(a, false)
-			}
-		}
+		tx.commitStage3(false)
 	}
 	// The crash happens here: no cleanup, no release.
 }

@@ -29,9 +29,21 @@ func (f *freeList) push(idx uint64) {
 	s.mu.Unlock()
 }
 
+// pushAll returns a batch of block indices to the queue. Elements are
+// striped round-robin across shards like push, but the shard lock is taken
+// once per shard rather than once per element.
 func (f *freeList) pushAll(idxs []uint64) {
-	for _, idx := range idxs {
-		f.push(idx)
+	if len(idxs) == 0 {
+		return
+	}
+	base := f.rr.Add(uint64(len(idxs)))
+	for s := 0; s < freeShards && s < len(idxs); s++ {
+		shard := &f.shards[(base+uint64(s))%freeShards]
+		shard.mu.Lock()
+		for i := s; i < len(idxs); i += freeShards {
+			shard.idxs = append(shard.idxs, idxs[i])
+		}
+		shard.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,67 @@
+package heap
+
+// TransientPool recycles invalid raw blocks across the transactions of one
+// worker. The failure-atomic machinery consumes one raw block per write-set
+// entry (the in-flight copy) and frees it again at commit; routing those
+// blocks through the shared free queue costs two shard critical sections
+// per block per transaction. A TransientPool keeps up to max recently
+// freed blocks aside and hands them back without touching the queue.
+//
+// Invariant: every pooled block has a zero header (id 0, invalid, no next)
+// — the state AllocRaw establishes and the commit protocol preserves, so
+// recovery treats a pooled block exactly like a free one. A TransientPool
+// is not safe for concurrent use; each transaction context owns one.
+type TransientPool struct {
+	h    *Heap
+	refs []Ref
+	max  int
+}
+
+// NewTransientPool creates a pool caching at most max blocks.
+func (h *Heap) NewTransientPool(max int) *TransientPool {
+	if max < 0 {
+		max = 0
+	}
+	return &TransientPool{h: h, refs: make([]Ref, 0, max), max: max}
+}
+
+// Get returns an invalid raw block, recycling a pooled one when available.
+// reused reports whether the block skipped the shared allocator.
+func (p *TransientPool) Get() (r Ref, reused bool, err error) {
+	if n := len(p.refs); n > 0 {
+		r = p.refs[n-1]
+		p.refs = p.refs[:n-1]
+		p.h.stats.TransientReuse.Inc()
+		return r, true, nil
+	}
+	r, err = p.h.AllocRaw()
+	return r, false, err
+}
+
+// Put returns a block to the pool, or to the shared free queue if the pool
+// is full. The caller must have restored the zero header.
+func (p *TransientPool) Put(r Ref) {
+	if len(p.refs) < p.max {
+		p.refs = append(p.refs, r)
+		return
+	}
+	p.h.FreeRaw(r)
+}
+
+// Drain flushes every pooled block back to the shared free queue in one
+// batched pushAll. Use it when retiring the owning worker so the blocks
+// become visible to other allocators.
+func (p *TransientPool) Drain() {
+	if len(p.refs) == 0 {
+		return
+	}
+	idxs := make([]uint64, len(p.refs))
+	for i, r := range p.refs {
+		idxs[i] = p.h.BlockIndex(r)
+	}
+	p.h.free.pushAll(idxs)
+	p.refs = p.refs[:0]
+}
+
+// Len returns the number of blocks currently pooled.
+func (p *TransientPool) Len() int { return len(p.refs) }

@@ -1,0 +1,91 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/nvm"
+)
+
+func TestTransientPoolRecycles(t *testing.T) {
+	h, err := Format(nvm.New(1<<21, nvm.Options{}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := h.NewTransientPool(2)
+
+	r1, reused, err := tp.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first Get cannot reuse")
+	}
+	tp.Put(r1)
+	r2, reused, err := tp.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || r2 != r1 {
+		t.Fatalf("Get after Put returned %#x (reused=%v), want pooled %#x", r2, reused, r1)
+	}
+	if h.Obs().TransientReuse.Load() != 1 {
+		t.Fatalf("TransientReuse = %d, want 1", h.Obs().TransientReuse.Load())
+	}
+
+	// Puts beyond capacity overflow to the shared free queue.
+	r3, _, _ := tp.Get()
+	r4, _, _ := tp.Get()
+	tp.Put(r2)
+	tp.Put(r3)
+	tp.Put(r4)
+	if tp.Len() != 2 {
+		t.Fatalf("pool holds %d blocks, want capacity 2", tp.Len())
+	}
+	if h.FreeBlocks() != 1 {
+		t.Fatalf("free queue holds %d blocks, want the 1 overflow", h.FreeBlocks())
+	}
+
+	tp.Drain()
+	if tp.Len() != 0 || h.FreeBlocks() != 3 {
+		t.Fatalf("after Drain: pool %d, free %d; want 0 and 3", tp.Len(), h.FreeBlocks())
+	}
+}
+
+// TestPushAllSharding drains a batch larger than the shard count through
+// pushAll and checks nothing is lost and everything pops back out.
+func TestPushAllSharding(t *testing.T) {
+	h, err := Format(nvm.New(1<<21, nvm.Options{}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3*freeShards + 5
+	tp := h.NewTransientPool(n)
+	want := make(map[Ref]bool, n)
+	for i := 0; i < n; i++ {
+		r, _, err := tp.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[r] = true
+	}
+	for r := range want {
+		tp.Put(r)
+	}
+	tp.Drain()
+	if got := h.FreeBlocks(); got != n {
+		t.Fatalf("free queue holds %d blocks after batched pushAll, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		r, err := h.AllocRaw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want[r] {
+			t.Fatalf("popped unexpected block %#x", r)
+		}
+		delete(want, r)
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d pushed blocks never popped back", len(want))
+	}
+}

@@ -1,0 +1,73 @@
+package nvm
+
+import "slices"
+
+// FlushSet accumulates dirty cache lines so that a batch of stores can be
+// written back with the minimum number of PWBs. Producers mark byte ranges
+// as they store; Flush sorts the marked lines, drops duplicates (a field
+// stored five times flushes once) and merges adjacent lines into single
+// PWBRange calls. This is the flush-coalescing half of the J-PFA commit
+// pipeline: the paper's per-thread redo log (§4.2) implicitly batches
+// write-backs the same way by flushing the log once per block.
+//
+// A FlushSet is not safe for concurrent use; the intended owner is one
+// transaction (or one batch), reused across batches via Reset.
+type FlushSet struct {
+	lines []uint64 // line-aligned offsets, unsorted, possibly duplicated
+}
+
+// NewFlushSet returns an empty set with room for a typical write set.
+func NewFlushSet() *FlushSet {
+	return &FlushSet{lines: make([]uint64, 0, 32)}
+}
+
+// Add marks the cache line containing off.
+func (f *FlushSet) Add(off uint64) {
+	f.lines = append(f.lines, off&^(LineSize-1))
+}
+
+// AddRange marks every cache line overlapping [off, off+n).
+func (f *FlushSet) AddRange(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := off &^ (LineSize - 1)
+	last := (off + n - 1) &^ (LineSize - 1)
+	for l := first; l <= last; l += LineSize {
+		f.lines = append(f.lines, l)
+	}
+}
+
+// Pending returns the number of marked lines, duplicates included.
+func (f *FlushSet) Pending() int { return len(f.lines) }
+
+// Reset empties the set, keeping its capacity for reuse.
+func (f *FlushSet) Reset() { f.lines = f.lines[:0] }
+
+// Flush writes back every marked line with deduplicated, range-merged
+// PWBs, then resets the set. It returns the number of lines actually
+// flushed and the number saved by coalescing (duplicate marks); the two
+// sum to the naive per-store flush count.
+func (f *FlushSet) Flush(p *Pool) (flushed, coalesced uint64) {
+	if len(f.lines) == 0 {
+		return 0, 0
+	}
+	slices.Sort(f.lines)
+	marked := uint64(len(f.lines))
+	start, end := f.lines[0], f.lines[0]+LineSize
+	for _, l := range f.lines[1:] {
+		switch {
+		case l < end: // duplicate of the previous line
+		case l == end: // adjacent: extend the run
+			end += LineSize
+		default: // gap: emit the run, open a new one
+			p.PWBRange(start, end-start)
+			flushed += (end - start) / LineSize
+			start, end = l, l+LineSize
+		}
+	}
+	p.PWBRange(start, end-start)
+	flushed += (end - start) / LineSize
+	f.lines = f.lines[:0]
+	return flushed, marked - flushed
+}

@@ -1,0 +1,60 @@
+package nvm
+
+import "testing"
+
+func TestFlushSetDedupesAndMerges(t *testing.T) {
+	p := New(1<<16, Options{})
+	fs := NewFlushSet()
+
+	// Five marks on line 0, plus lines 1 and 2: one run of three lines.
+	fs.Add(0)
+	fs.Add(8)
+	fs.Add(63)
+	fs.AddRange(60, 8) // spans lines 0 and 1
+	fs.Add(128)
+	if fs.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6 raw marks", fs.Pending())
+	}
+
+	before := p.Obs().Snapshot()
+	flushed, coalesced := fs.Flush(p)
+	d := p.Obs().Snapshot().Sub(before)
+
+	if flushed != 3 || coalesced != 3 {
+		t.Fatalf("Flush = (%d flushed, %d coalesced), want (3, 3)", flushed, coalesced)
+	}
+	if d.PWBs != 3 {
+		t.Fatalf("pool counted %d pwb, want 3 (dedup must collapse repeated lines)", d.PWBs)
+	}
+	if fs.Pending() != 0 {
+		t.Fatal("Flush must reset the set")
+	}
+}
+
+func TestFlushSetGaps(t *testing.T) {
+	p := New(1<<16, Options{})
+	fs := NewFlushSet()
+	fs.Add(0)
+	fs.Add(256) // non-adjacent: separate PWBRange runs
+	flushed, coalesced := fs.Flush(p)
+	if flushed != 2 || coalesced != 0 {
+		t.Fatalf("Flush = (%d, %d), want (2, 0)", flushed, coalesced)
+	}
+}
+
+func TestFlushSetEmpty(t *testing.T) {
+	p := New(1<<16, Options{})
+	fs := NewFlushSet()
+	if flushed, coalesced := fs.Flush(p); flushed != 0 || coalesced != 0 {
+		t.Fatalf("empty Flush = (%d, %d), want (0, 0)", flushed, coalesced)
+	}
+	fs.AddRange(100, 0) // zero-length range marks nothing
+	if fs.Pending() != 0 {
+		t.Fatal("AddRange(_, 0) must not mark lines")
+	}
+	fs.Add(64)
+	fs.Reset()
+	if fs.Pending() != 0 {
+		t.Fatal("Reset must empty the set")
+	}
+}

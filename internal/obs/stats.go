@@ -67,6 +67,8 @@ type HeapStats struct {
 	Carves      Counter // pool chunks carved from fresh blocks
 	BumpAllocs  Counter // blocks taken from the bump pointer
 	ReuseAllocs Counter // blocks recycled from the volatile free queue
+
+	TransientReuse Counter // raw blocks recycled via per-worker transient pools
 }
 
 // HeapSnapshot combines the counters with point-in-time gauges supplied by
@@ -79,6 +81,8 @@ type HeapSnapshot struct {
 	Carves      uint64 `json:"pool_chunk_carves"`
 	BumpAllocs  uint64 `json:"bump_allocs"`
 	ReuseAllocs uint64 `json:"reuse_allocs"`
+
+	TransientReuse uint64 `json:"transient_reuse"`
 
 	// Gauges (not deltaed by Sub).
 	Bump        uint64 `json:"bump_high_water"`
@@ -96,7 +100,10 @@ func (s *HeapStats) Snapshot(bump, freeBlocks, totalBlocks uint64) HeapSnapshot 
 		Carves:      s.Carves.Load(),
 		BumpAllocs:  s.BumpAllocs.Load(),
 		ReuseAllocs: s.ReuseAllocs.Load(),
-		Bump:        bump,
+
+		TransientReuse: s.TransientReuse.Load(),
+
+		Bump: bump,
 		FreeBlocks:  freeBlocks,
 		TotalBlocks: totalBlocks,
 	}
@@ -112,6 +119,7 @@ func (s HeapSnapshot) Sub(prev HeapSnapshot) HeapSnapshot {
 	out.Carves -= prev.Carves
 	out.BumpAllocs -= prev.BumpAllocs
 	out.ReuseAllocs -= prev.ReuseAllocs
+	out.TransientReuse -= prev.TransientReuse
 	return out
 }
 
@@ -124,6 +132,10 @@ type FAStats struct {
 	Aborted    Counter // blocks abandoned
 	LogEntries Counter // redo-log entries appended
 	Replays    Counter // committed logs replayed at recovery
+
+	TxReuse      Counter // Begin served by a warm cached Tx (slot affinity hit)
+	FlushedLines Counter // cache lines actually written back at commit
+	SavedLines   Counter // lines the flush set coalesced away (dedup hits)
 }
 
 // FASnapshot combines the counters with slot-occupancy gauges.
@@ -133,6 +145,10 @@ type FASnapshot struct {
 	Aborted    uint64 `json:"aborted"`
 	LogEntries uint64 `json:"log_entries"`
 	Replays    uint64 `json:"recovery_replays"`
+
+	TxReuse      uint64 `json:"tx_slot_reuse"`
+	FlushedLines uint64 `json:"flushed_lines"`
+	SavedLines   uint64 `json:"coalesced_lines_saved"`
 
 	// Gauges.
 	SlotsTotal uint64 `json:"log_slots_total"`
@@ -147,6 +163,11 @@ func (s *FAStats) Snapshot(slotsTotal, slotsInUse uint64) FASnapshot {
 		Aborted:    s.Aborted.Load(),
 		LogEntries: s.LogEntries.Load(),
 		Replays:    s.Replays.Load(),
+
+		TxReuse:      s.TxReuse.Load(),
+		FlushedLines: s.FlushedLines.Load(),
+		SavedLines:   s.SavedLines.Load(),
+
 		SlotsTotal: slotsTotal,
 		SlotsInUse: slotsInUse,
 	}
@@ -160,6 +181,9 @@ func (s FASnapshot) Sub(prev FASnapshot) FASnapshot {
 	out.Aborted -= prev.Aborted
 	out.LogEntries -= prev.LogEntries
 	out.Replays -= prev.Replays
+	out.TxReuse -= prev.TxReuse
+	out.FlushedLines -= prev.FlushedLines
+	out.SavedLines -= prev.SavedLines
 	return out
 }
 
@@ -350,14 +374,19 @@ func (s StackSnapshot) Report(w io.Writer) {
 			s.NVM.Stores, s.NVM.PWBs, s.NVM.PFences, s.NVM.PSyncs)
 	}
 	if s.Heap != nil {
-		fmt.Fprintf(w, "heap: %d/%d obj alloc/free, %d/%d small alloc/free, %d carves; bump %d, free %d of %d blocks\n",
+		fmt.Fprintf(w, "heap: %d/%d obj alloc/free, %d/%d small alloc/free, %d carves, %d transient reuse; bump %d, free %d of %d blocks\n",
 			s.Heap.ObjAllocs, s.Heap.ObjFrees, s.Heap.SmallAllocs, s.Heap.SmallFrees,
-			s.Heap.Carves, s.Heap.Bump, s.Heap.FreeBlocks, s.Heap.TotalBlocks)
+			s.Heap.Carves, s.Heap.TransientReuse, s.Heap.Bump, s.Heap.FreeBlocks, s.Heap.TotalBlocks)
 	}
 	if s.FA != nil {
 		fmt.Fprintf(w, "fa: %d begun, %d committed, %d aborted, %d log entries, %d replays; %d/%d slots in use\n",
 			s.FA.Begun, s.FA.Committed, s.FA.Aborted, s.FA.LogEntries, s.FA.Replays,
 			s.FA.SlotsInUse, s.FA.SlotsTotal)
+		if s.FA.FlushedLines+s.FA.SavedLines > 0 {
+			fmt.Fprintf(w, "fa commit pipeline: %d warm-tx reuse, %d lines flushed, %d coalesced away (%.0f%% saved)\n",
+				s.FA.TxReuse, s.FA.FlushedLines, s.FA.SavedLines,
+				100*float64(s.FA.SavedLines)/float64(s.FA.FlushedLines+s.FA.SavedLines))
+		}
 	}
 }
 

@@ -121,6 +121,10 @@ func OpenJNVMBank(pool *nvm.Pool, accounts int, skipGraphGC bool) (*JNVMBank, er
 // Heap exposes the underlying heap (recovery statistics).
 func (b *JNVMBank) Heap() *core.Heap { return b.h }
 
+// Manager exposes the bank's failure-atomic manager so benchmarks can read
+// its commit-pipeline counters.
+func (b *JNVMBank) Manager() *fa.Manager { return b.mgr }
+
 // Accounts implements Bank.
 func (b *JNVMBank) Accounts() int { return b.n }
 
