@@ -1,10 +1,12 @@
 GO ?= go
 
 # Packages with lock-free fast paths and shared mutable state; always get
-# a race-detector pass in addition to the plain suite.
-RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/...
+# a race-detector pass in addition to the plain suite. core and pdt joined
+# when recovery went parallel (work-stealing traversal, segment sweep,
+# concurrent mirror rebuild).
+RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/...
 
-.PHONY: check vet build test race bench microbench
+.PHONY: check vet build test race bench bench-recovery microbench
 
 check: vet build test race
 
@@ -25,6 +27,12 @@ race:
 # BENCH_baseline.json against the committed copy.
 bench:
 	$(GO) run ./cmd/baseline -out BENCH_baseline.json
+
+# Recovery-time scaling: load a large heap, crash it, re-open the image
+# once per worker count. workers=1 is the paper's serial §4.1.3 procedure;
+# speedups are relative to it (and bounded by the host's core count).
+bench-recovery:
+	$(GO) run ./cmd/recoverbench -out results/BENCH_recovery.json
 
 microbench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,235 @@
+// Command recoverbench measures recovery time as a function of the
+// worker count of the parallel recovery pipeline (redo-log replay,
+// reachability mark, segment sweep, mirror rebuild). It builds a heap
+// holding a large persistent map — every entry is a pair object, a key
+// string and a pooled value array, so a million entries is several
+// million live objects — punches garbage into it, snapshots the pool
+// image as a crash would leave it, and then re-opens that image once per
+// requested worker count, timing Open (replay + mark + sweep) and the
+// first Root().Get (mirror rebuild) separately. Per-phase nanosecond
+// breakdowns come from the shared obs layer, so the JSON shows where the
+// workers helped. The workers=1 row is the paper's serial §4.1.3
+// procedure and the speedup denominator.
+//
+// `make bench-recovery` writes results/BENCH_recovery.json. Speedup is
+// bounded by the host: on a single-core container every configuration
+// degenerates to the serial schedule, which is why the file records
+// NumCPU alongside the rows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/nvm"
+	"repro/internal/obs"
+)
+
+// Row is one recovery measurement at a fixed worker count.
+type Row struct {
+	Workers   int     `json:"workers"`
+	OpenMs    float64 `json:"open_ms"`
+	RebuildMs float64 `json:"rebuild_ms"`
+	TotalMs   float64 `json:"total_ms"`
+	// Speedup is total recovery time relative to the workers=1 row.
+	Speedup float64 `json:"speedup"`
+	// Recovery is the per-phase breakdown and counters from the obs layer
+	// (replay/mark/sweep/rebuild ns, live objects, swept blocks, ...).
+	Recovery obs.RecoverySnapshot `json:"recovery"`
+}
+
+// Result is the serialized benchmark file.
+type Result struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	NumCPU      int       `json:"num_cpu"`
+	Entries     int       `json:"entries"`
+	LiveEntries int       `json:"live_entries"`
+	ValueBytes  int       `json:"value_bytes"`
+	PoolMB      int       `json:"pool_mb"`
+	Rows        []Row     `json:"rows"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "recoverbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	entries := flag.Int("entries", 1_000_000, "map entries to load before the crash")
+	valueBytes := flag.Int("value-bytes", 32, "payload size of each value")
+	poolMB := flag.Int("pool-mb", 2048, "pool size in MiB")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated recovery worker counts (1 = serial oracle)")
+	deleteEvery := flag.Int("delete-every", 7, "delete every Nth entry so the sweep sees garbage (0 disables)")
+	repeat := flag.Int("repeat", 3, "recoveries per worker count; the fastest is reported")
+	out := flag.String("out", "results/BENCH_recovery.json", "output JSON path")
+	flag.Parse()
+
+	var workerCounts []int
+	for _, tok := range strings.Split(*workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || w < 1 {
+			fatal(fmt.Errorf("bad -workers entry %q", tok))
+		}
+		workerCounts = append(workerCounts, w)
+	}
+
+	fmt.Printf("building heap: %d entries, %dB values, %d MiB pool\n",
+		*entries, *valueBytes, *poolMB)
+	snapshot, liveEntries, err := buildCrashImage(*entries, *valueBytes, *poolMB, *deleteEvery)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := Result{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Entries:     *entries,
+		LiveEntries: liveEntries,
+		ValueBytes:  *valueBytes,
+		PoolMB:      *poolMB,
+	}
+	// Warm-up: the first recovery grows the Go runtime heap (mark queues,
+	// mirror maps) and faults in fresh spans, which would otherwise be
+	// billed entirely to whichever worker count runs first.
+	if _, err := recoverOnce(snapshot, 1, liveEntries); err != nil {
+		fatal(err)
+	}
+
+	var base float64
+	for _, w := range workerCounts {
+		row, err := recoverOnce(snapshot, w, liveEntries)
+		if err != nil {
+			fatal(fmt.Errorf("workers=%d: %w", w, err))
+		}
+		for r := 1; r < *repeat; r++ {
+			again, err := recoverOnce(snapshot, w, liveEntries)
+			if err != nil {
+				fatal(fmt.Errorf("workers=%d: %w", w, err))
+			}
+			if again.TotalMs < row.TotalMs {
+				row = again
+			}
+		}
+		if base == 0 {
+			base = row.TotalMs
+		}
+		if row.TotalMs > 0 {
+			row.Speedup = base / row.TotalMs
+		}
+		res.Rows = append(res.Rows, row)
+		fmt.Printf("workers=%d  open %.1f ms  rebuild %.1f ms  total %.1f ms  speedup %.2fx  (%d live objects)\n",
+			row.Workers, row.OpenMs, row.RebuildMs, row.TotalMs, row.Speedup,
+			row.Recovery.LiveObjects)
+	}
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// buildCrashImage loads the pool and returns its byte image as a crash
+// would leave it (the pool is in direct mode, so the post-PSync image is
+// exactly the durable state), plus the number of live map entries a
+// correct recovery must reproduce.
+func buildCrashImage(entries, valueBytes, poolMB, deleteEvery int) ([]byte, int, error) {
+	pool := nvm.New(poolMB<<20, nvm.Options{})
+	db, err := jnvm.OpenPool(pool, jnvm.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := jnvm.NewMap(db, jnvm.MirrorHash)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := db.Root().Put("table", m); err != nil {
+		return nil, 0, err
+	}
+	payload := make([]byte, valueBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < entries; i++ {
+		val, err := jnvm.NewBytes(db, payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("entry %d: %w", i, err)
+		}
+		if err := m.Put(fmt.Sprintf("key-%08d", i), val); err != nil {
+			return nil, 0, fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	live := entries
+	if deleteEvery > 0 {
+		for i := 0; i < entries; i += deleteEvery {
+			if m.Delete(fmt.Sprintf("key-%08d", i)) {
+				live--
+			}
+		}
+	}
+	db.PSync()
+	fmt.Printf("loaded in %.1f s (%d live entries)\n", time.Since(start).Seconds(), live)
+	snapshot := pool.ReadBytes(0, pool.Size())
+	db.Close()
+	return snapshot, live, nil
+}
+
+// recoverOnce restores the crash image into a fresh pool and runs the
+// full recovery pipeline at the given worker count, verifying that the
+// recovered table has the expected size.
+func recoverOnce(snapshot []byte, workers, wantEntries int) (Row, error) {
+	pool := nvm.New(len(snapshot), nvm.Options{})
+	pool.WriteBytes(0, snapshot)
+
+	openStart := time.Now()
+	db, err := jnvm.OpenPool(pool, jnvm.Options{RecoverParallelism: workers})
+	if err != nil {
+		return Row{}, err
+	}
+	openDur := time.Since(openStart)
+
+	rebuildStart := time.Now()
+	po, err := db.Root().Get("table")
+	if err != nil {
+		return Row{}, err
+	}
+	rebuildDur := time.Since(rebuildStart)
+
+	m, ok := po.(*jnvm.Map)
+	if !ok {
+		return Row{}, fmt.Errorf("root object has type %T, want *jnvm.Map", po)
+	}
+	if got := m.Len(); got != wantEntries {
+		return Row{}, fmt.Errorf("recovered map has %d entries, want %d", got, wantEntries)
+	}
+	snap := db.RecoveryObs().Snapshot()
+	db.Close()
+	return Row{
+		Workers:   workers,
+		OpenMs:    float64(openDur.Nanoseconds()) / 1e6,
+		RebuildMs: float64(rebuildDur.Nanoseconds()) / 1e6,
+		TotalMs:   float64((openDur + rebuildDur).Nanoseconds()) / 1e6,
+		Recovery:  snap,
+	}, nil
+}

@@ -574,6 +574,16 @@ func assertHeapConsistent(t *testing.T, h *Heap) {
 // after recovery every reachable object is valid and block accounting
 // holds.
 func TestCrashRecoveryRandomWorkload(t *testing.T) {
+	runCrashRecoveryRandomWorkload(t, 1)
+}
+
+// The same workload recovered by the parallel pipeline; run under -race
+// in CI to hammer the concurrent mark set, traversal and sweep.
+func TestCrashRecoveryRandomWorkloadParallel(t *testing.T) {
+	runCrashRecoveryRandomWorkload(t, 4)
+}
+
+func runCrashRecoveryRandomWorkload(t *testing.T, parallelism int) {
 	for seed := int64(0); seed < 30; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -613,7 +623,9 @@ func TestCrashRecoveryRandomWorkload(t *testing.T) {
 			}
 			policy := []nvm.CrashPolicy{nvm.CrashStrict, nvm.CrashAll, nvm.CrashRandom}[rng.Intn(3)]
 			img := pool.CrashImage(policy, rng)
-			h2, err := Open(img, testCfg(simpleClass()))
+			cfg := testCfg(simpleClass())
+			cfg.Recover.Parallelism = parallelism
+			h2, err := Open(img, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/nvm"
+)
+
+// node is a fan-out test class: eight reference slots plus a payload
+// word, so randomized graphs get shared subgraphs, diamonds and cycles.
+type node struct{ *Object }
+
+const (
+	nodeRefs = 8
+	nodeVal  = nodeRefs * 8
+	nodeLen  = nodeVal + 8
+)
+
+func nodeClass() *Class {
+	refs := make([]uint64, nodeRefs)
+	for i := range refs {
+		refs[i] = uint64(i * 8)
+	}
+	return &Class{
+		Name:    "test.node",
+		Factory: func(o *Object) PObject { return &node{Object: o} },
+		Refs:    func(o *Object) []uint64 { return refs },
+	}
+}
+
+// leaf is a pooled small immutable class (no refs), so the graphs also
+// exercise chunk marking, slot masks and slot-list rebuilds.
+func leafClass() *Class {
+	return &Class{
+		Name:    "test.leaf",
+		Factory: func(o *Object) PObject { return &node{Object: o} },
+	}
+}
+
+// buildRandomGraph fills the heap with a randomized object graph: block
+// nodes with up to eight outgoing refs (sharing earlier nodes and pooled
+// leaves), pooled leaves of random size classes, invalid-but-referenced
+// objects (to exercise nullification), published roots, and freed
+// garbage. Returns nothing: the interesting output is the pool image.
+func buildRandomGraph(t *testing.T, rng *rand.Rand, h *Heap, ncls, lcls *Class) {
+	t.Helper()
+	var leaves []Ref
+	var invalid []Ref // allocated, never validated
+	for i := 0; i < 60; i++ {
+		payload := uint64(8 + rng.Intn(72))
+		po, err := h.AllocSmall(lcls, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := po.Core()
+		o.PWB()
+		if rng.Intn(10) == 0 {
+			invalid = append(invalid, o.Ref())
+		} else {
+			o.Validate()
+			leaves = append(leaves, o.Ref())
+		}
+	}
+	var nodes []*node
+	var nodeRefsPublished []Ref
+	for i := 0; i < 150; i++ {
+		po, err := h.Alloc(ncls, nodeLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := po.(*node)
+		n.WriteInt64(nodeVal, int64(i))
+		for slot := 0; slot < nodeRefs; slot++ {
+			switch rng.Intn(5) {
+			case 0: // share an earlier node
+				if len(nodes) > 0 {
+					n.WriteRef(uint64(slot*8), nodes[rng.Intn(len(nodes))].Ref())
+				}
+			case 1, 2: // share a pooled leaf
+				if len(leaves) > 0 {
+					n.WriteRef(uint64(slot*8), leaves[rng.Intn(len(leaves))])
+				}
+			case 3: // dangling ref to an invalid object -> nullified
+				if len(invalid) > 0 {
+					n.WriteRef(uint64(slot*8), invalid[rng.Intn(len(invalid))])
+				}
+			}
+		}
+		n.PWB()
+		if rng.Intn(8) == 0 {
+			invalid = append(invalid, n.Ref())
+			continue // never validated: dead at recovery even if referenced
+		}
+		n.Validate()
+		nodes = append(nodes, n)
+		nodeRefsPublished = append(nodeRefsPublished, n.Ref())
+	}
+	// Publish about a third of the valid nodes; the rest are garbage
+	// unless another published node reaches them.
+	published := 0
+	for i, n := range nodes {
+		if rng.Intn(3) == 0 {
+			if err := h.Root().Put(fmt.Sprintf("n%d", i), n); err != nil {
+				t.Fatal(err)
+			}
+			published++
+		}
+	}
+	if published == 0 {
+		if err := h.Root().Put("n0", nodes[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free a few valid unpublished objects outright: their blocks carry
+	// stale-but-invalid headers the sweep must scrub.
+	for i := 0; i < 10 && i < len(nodeRefsPublished); i++ {
+		if rng.Intn(4) == 0 {
+			h.Mem().FreeObject(nodeRefsPublished[i])
+		}
+	}
+	h.PSync()
+}
+
+type allocatorState struct {
+	bump  uint64
+	image []byte
+	free  []uint64
+	slots [][]Ref
+	stats RecoveryStats
+}
+
+func captureState(t *testing.T, parallelism int, snapshot []byte) allocatorState {
+	t.Helper()
+	pool := nvm.New(len(snapshot), nvm.Options{})
+	pool.WriteBytes(0, snapshot)
+	cfg := testCfg(nodeClass(), leafClass())
+	cfg.Recover.Parallelism = parallelism
+	h, err := Open(pool, cfg)
+	if err != nil {
+		t.Fatalf("parallelism %d: %v", parallelism, err)
+	}
+	assertHeapConsistent(t, h)
+	bump, _, _ := h.Mem().Stats()
+	free := h.Mem().FreeIndices()
+	sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+	slots := h.Mem().PoolFreeSlots()
+	for _, s := range slots {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return allocatorState{
+		bump:  bump,
+		image: append([]byte(nil), pool.View(0, pool.Size())...),
+		free:  free,
+		slots: slots,
+		stats: h.RecoveryStats,
+	}
+}
+
+// TestParallelRecoveryEquivalence is the oracle check of the parallel
+// pipeline: over randomized object graphs (shared subgraphs, pooled
+// chunks, dangling refs, garbage), recovery with Parallelism=1 (the
+// paper's serial procedure) and Parallelism=8 must produce bit-identical
+// persistent state and identical allocator state — bump pointer, free
+// queue as a set, pool slot lists as sets — plus identical recovery
+// statistics.
+func TestParallelRecoveryEquivalence(t *testing.T) {
+	// 16 MiB so the arena is large enough for the segment-parallel sweep
+	// (not just the parallel traversal) to engage.
+	const poolSize = 1 << 24
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			pool := nvm.New(poolSize, nvm.Options{})
+			ncls, lcls := nodeClass(), leafClass()
+			h, err := Open(pool, testCfg(ncls, lcls))
+			if err != nil {
+				t.Fatal(err)
+			}
+			buildRandomGraph(t, rng, h, ncls, lcls)
+			snapshot := append([]byte(nil), pool.View(0, pool.Size())...)
+
+			serial := captureState(t, 1, snapshot)
+			parallel := captureState(t, 8, snapshot)
+
+			if serial.bump != parallel.bump {
+				t.Fatalf("bump mismatch: serial %d, parallel %d", serial.bump, parallel.bump)
+			}
+			if !bytes.Equal(serial.image, parallel.image) {
+				t.Fatal("post-recovery pool images differ")
+			}
+			if len(serial.free) != len(parallel.free) {
+				t.Fatalf("free queue size: serial %d, parallel %d", len(serial.free), len(parallel.free))
+			}
+			for i := range serial.free {
+				if serial.free[i] != parallel.free[i] {
+					t.Fatalf("free queue contents differ at %d: %d vs %d", i, serial.free[i], parallel.free[i])
+				}
+			}
+			for sc := range serial.slots {
+				if len(serial.slots[sc]) != len(parallel.slots[sc]) {
+					t.Fatalf("slot list %d size: serial %d, parallel %d",
+						sc, len(serial.slots[sc]), len(parallel.slots[sc]))
+				}
+				for i := range serial.slots[sc] {
+					if serial.slots[sc][i] != parallel.slots[sc][i] {
+						t.Fatalf("slot list %d differs at %d", sc, i)
+					}
+				}
+			}
+			if serial.stats != parallel.stats {
+				t.Fatalf("recovery stats differ:\nserial:   %+v\nparallel: %+v", serial.stats, parallel.stats)
+			}
+		})
+	}
+}
+
+// TestParallelRecoveryEquivalenceScan is the same oracle check for the
+// header-scan recovery mode (J-PFA-nogc, Figure 11).
+func TestParallelRecoveryEquivalenceScan(t *testing.T) {
+	const poolSize = 1 << 24
+	rng := rand.New(rand.NewSource(42))
+	pool := nvm.New(poolSize, nvm.Options{})
+	ncls, lcls := nodeClass(), leafClass()
+	h, err := Open(pool, testCfg(ncls, lcls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildRandomGraph(t, rng, h, ncls, lcls)
+	snapshot := append([]byte(nil), pool.View(0, pool.Size())...)
+
+	capture := func(parallelism int) allocatorState {
+		p := nvm.New(len(snapshot), nvm.Options{})
+		p.WriteBytes(0, snapshot)
+		cfg := testCfg(nodeClass(), leafClass())
+		cfg.SkipGraphGC = true
+		cfg.Recover.Parallelism = parallelism
+		h, err := Open(p, cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		bump, _, _ := h.Mem().Stats()
+		free := h.Mem().FreeIndices()
+		sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+		return allocatorState{
+			bump:  bump,
+			image: append([]byte(nil), p.View(0, p.Size())...),
+			free:  free,
+			stats: h.RecoveryStats,
+		}
+	}
+	serial := capture(1)
+	parallel := capture(8)
+	if serial.bump != parallel.bump {
+		t.Fatalf("bump mismatch: serial %d, parallel %d", serial.bump, parallel.bump)
+	}
+	if !bytes.Equal(serial.image, parallel.image) {
+		t.Fatal("post-recovery pool images differ")
+	}
+	for i := range serial.free {
+		if serial.free[i] != parallel.free[i] {
+			t.Fatalf("free queue contents differ at %d", i)
+		}
+	}
+	if serial.stats != parallel.stats {
+		t.Fatalf("recovery stats differ:\nserial:   %+v\nparallel: %+v", serial.stats, parallel.stats)
+	}
+}

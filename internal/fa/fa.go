@@ -36,6 +36,7 @@ package fa
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -206,22 +207,55 @@ func NewManager() *Manager { return &Manager{} }
 // RecoverLogs implements core.LogHandler: it binds the manager to the heap
 // and replays or discards every log slot (§4.2 recovery, which runs before
 // the recovery procedure of §4.1.3).
-func (m *Manager) RecoverLogs(h *core.Heap) error {
+//
+// Slots replay in parallel on the recovery worker fleet: committed logs
+// have disjoint write sets — the application holds its locks across
+// Commit, and a block is only ever in one in-flight transaction — so
+// replay order across slots is irrelevant and each slot touches distinct
+// blocks. One PSync closes the phase, as in the serial path.
+func (m *Manager) RecoverLogs(h *core.Heap, opts core.RecoverOptions) error {
 	off, slots, slotSize := h.Mem().LogArea()
 	pool := h.Pool()
-	replayed := false
-	for i := 0; i < slots; i++ {
+	var replayed atomic.Uint64
+	replaySlot := func(i int) {
 		base := off + uint64(i*slotSize)
 		if pool.ReadUint64(base+slotStatus) == statusCommitted {
 			applyEntries(pool, h.Mem(), base, pool.ReadUint64(base+slotCount), nil)
 			pool.WriteUint64(base+slotStatus, statusIdle)
 			pool.PWB(base + slotStatus)
-			m.stats.Replays.Inc()
-			replayed = true
+			replayed.Add(1)
 		}
 	}
-	if replayed {
+	workers := opts.Workers()
+	if workers > slots {
+		workers = slots
+	}
+	if workers <= 1 {
+		for i := 0; i < slots; i++ {
+			replaySlot(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= slots {
+						return
+					}
+					replaySlot(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if n := replayed.Load(); n > 0 {
 		pool.PSync()
+		m.stats.Replays.Add(n)
+		h.RecoveryObs().ReplayedTx.Add(n)
 	}
 	m.state.Store(&managerState{h: h, off: off, size: slotSize, total: slots})
 	m.slots.init(slots)

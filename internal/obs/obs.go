@@ -40,6 +40,16 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Gauge is a last-value-wins atomic, for point-in-time values (worker
+// counts, configured limits) that Sub must not delta away.
+type Gauge struct{ v atomic.Uint64 }
+
+// Store replaces the value.
+func (g *Gauge) Store(v uint64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }
+
 // Histogram bucket geometry: values 0..15 get exact buckets; above that,
 // each power of two splits into 16 linear sub-buckets (HDR-style, ~6%
 // relative error), so bucketing is two shifts and a mask — no math.Log on

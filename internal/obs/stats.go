@@ -276,15 +276,102 @@ func (s GridSnapshot) Sub(prev GridSnapshot) GridSnapshot {
 	return out
 }
 
+// ---- Recovery pipeline (restart path: §4.2 replay, §4.1.3 GC, §4.3.2
+// mirror rebuild) ----
+
+// RecoveryStats times and counts the phases of the recovery pipeline.
+// Counters are cumulative over the process lifetime (an in-process reopen
+// adds on top); Workers is a gauge recording the worker count of the most
+// recent recovery.
+type RecoveryStats struct {
+	ReplayNs  Counter // redo-log replay wall time (§4.2)
+	MarkNs    Counter // graph traversal or header scan wall time
+	SweepNs   Counter // allocator-state rebuild wall time
+	RebuildNs Counter // J-PDT mirror rebuild wall time (OnResurrect)
+
+	ReplayedTx      Counter // committed log slots replayed
+	MarkedBlocks    Counter // arena blocks found live
+	SweptBlocks     Counter // dead blocks returned to the free queue
+	ScrubbedHeaders Counter // stale headers cleared above the new bump
+	LiveObjects     Counter // objects visited by the traversal/scan
+	NullifiedRefs   Counter // dangling references cleared (§2.4)
+	RebuildEntries  Counter // map bindings re-indexed into volatile mirrors
+
+	Workers Gauge
+}
+
+// RecoverySnapshot is an immutable copy of RecoveryStats.
+type RecoverySnapshot struct {
+	ReplayNs  uint64 `json:"replay_ns"`
+	MarkNs    uint64 `json:"mark_ns"`
+	SweepNs   uint64 `json:"sweep_ns"`
+	RebuildNs uint64 `json:"rebuild_ns"`
+
+	ReplayedTx      uint64 `json:"replayed_tx"`
+	MarkedBlocks    uint64 `json:"marked_blocks"`
+	SweptBlocks     uint64 `json:"swept_blocks"`
+	ScrubbedHeaders uint64 `json:"scrubbed_headers"`
+	LiveObjects     uint64 `json:"live_objects"`
+	NullifiedRefs   uint64 `json:"nullified_refs"`
+	RebuildEntries  uint64 `json:"rebuild_entries"`
+
+	// Gauge (not deltaed by Sub).
+	Workers uint64 `json:"workers"`
+}
+
+// Snapshot captures the current counter values.
+func (s *RecoveryStats) Snapshot() RecoverySnapshot {
+	return RecoverySnapshot{
+		ReplayNs:  s.ReplayNs.Load(),
+		MarkNs:    s.MarkNs.Load(),
+		SweepNs:   s.SweepNs.Load(),
+		RebuildNs: s.RebuildNs.Load(),
+
+		ReplayedTx:      s.ReplayedTx.Load(),
+		MarkedBlocks:    s.MarkedBlocks.Load(),
+		SweptBlocks:     s.SweptBlocks.Load(),
+		ScrubbedHeaders: s.ScrubbedHeaders.Load(),
+		LiveObjects:     s.LiveObjects.Load(),
+		NullifiedRefs:   s.NullifiedRefs.Load(),
+		RebuildEntries:  s.RebuildEntries.Load(),
+
+		Workers: s.Workers.Load(),
+	}
+}
+
+// TotalNs returns the summed wall time of all recovery phases.
+func (s RecoverySnapshot) TotalNs() uint64 {
+	return s.ReplayNs + s.MarkNs + s.SweepNs + s.RebuildNs
+}
+
+// Sub returns the delta since prev; the Workers gauge keeps its current
+// value.
+func (s RecoverySnapshot) Sub(prev RecoverySnapshot) RecoverySnapshot {
+	out := s
+	out.ReplayNs -= prev.ReplayNs
+	out.MarkNs -= prev.MarkNs
+	out.SweepNs -= prev.SweepNs
+	out.RebuildNs -= prev.RebuildNs
+	out.ReplayedTx -= prev.ReplayedTx
+	out.MarkedBlocks -= prev.MarkedBlocks
+	out.SweptBlocks -= prev.SweptBlocks
+	out.ScrubbedHeaders -= prev.ScrubbedHeaders
+	out.LiveObjects -= prev.LiveObjects
+	out.NullifiedRefs -= prev.NullifiedRefs
+	out.RebuildEntries -= prev.RebuildEntries
+	return out
+}
+
 // ---- The whole stack ----
 
 // StackSnapshot assembles one coherent view across every layer, plus the
 // derived Table-3-style per-operation primitive rates.
 type StackSnapshot struct {
-	NVM  *NVMSnapshot  `json:"nvm,omitempty"`
-	Heap *HeapSnapshot `json:"heap,omitempty"`
-	FA   *FASnapshot   `json:"fa,omitempty"`
-	Grid *GridSnapshot `json:"grid,omitempty"`
+	NVM      *NVMSnapshot      `json:"nvm,omitempty"`
+	Heap     *HeapSnapshot     `json:"heap,omitempty"`
+	FA       *FASnapshot       `json:"fa,omitempty"`
+	Grid     *GridSnapshot     `json:"grid,omitempty"`
+	Recovery *RecoverySnapshot `json:"recovery,omitempty"`
 
 	// Derived: persistence primitives per grid operation — the columns
 	// the paper's Table 3 reports per data-structure operation.
@@ -341,6 +428,13 @@ func (s StackSnapshot) Sub(prev StackSnapshot) StackSnapshot {
 		}
 		out.Grid = &d
 	}
+	if s.Recovery != nil {
+		d := *s.Recovery
+		if prev.Recovery != nil {
+			d = d.Sub(*prev.Recovery)
+		}
+		out.Recovery = &d
+	}
 	out.Finalize()
 	return out
 }
@@ -387,6 +481,11 @@ func (s StackSnapshot) Report(w io.Writer) {
 				s.FA.TxReuse, s.FA.FlushedLines, s.FA.SavedLines,
 				100*float64(s.FA.SavedLines)/float64(s.FA.FlushedLines+s.FA.SavedLines))
 		}
+	}
+	if r := s.Recovery; r != nil && r.TotalNs() > 0 {
+		fmt.Fprintf(w, "recovery (%d workers): %s replay, %s mark, %s sweep, %s rebuild; %d tx, %d live obj, %d marked, %d swept, %d nullified, %d rebuilt\n",
+			r.Workers, ns(r.ReplayNs), ns(r.MarkNs), ns(r.SweepNs), ns(r.RebuildNs),
+			r.ReplayedTx, r.LiveObjects, r.MarkedBlocks, r.SweptBlocks, r.NullifiedRefs, r.RebuildEntries)
 	}
 }
 

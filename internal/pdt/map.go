@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/container"
 	"repro/internal/core"
@@ -169,17 +171,45 @@ func newMirror(kind MirrorKind) mirror {
 	}
 }
 
+// rebuildParallelMin is the array capacity below which OnResurrect stays
+// serial: spawning the worker fleet costs more than scanning a few
+// thousand slots.
+const rebuildParallelMin = 4096
+
 // OnResurrect rebuilds the volatile mirror and the free-slot list by
 // scanning the persistent array (§4.3.2 resurrection). Bindings whose key
 // or value reference was nullified by the recovery GC are retired here.
+//
+// Large arrays are scanned by the heap's recovery worker fleet
+// (core.RecoverOptions): workers read their segments — slot refs, pair
+// refs, key bytes — and the mirror inserts, free-slot appends and
+// retirement writes happen in a serial merge in segment order, since none
+// of the mirrors are concurrency-safe. The merged mirror, free-slot order
+// and persistent state are identical to the serial scan's.
 func (m *Map) OnResurrect() {
 	h := m.Heap()
 	m.arr = &PRefArray{Object: h.Inspect(m.ReadRef(mapArrRef))}
 	m.kind = MirrorKind(m.ReadUint64(mapKind))
 	m.mir = newMirror(m.kind)
 	m.slots = m.slots[:0]
+	start := time.Now()
+	n := m.arr.Cap()
 	cleaned := false
-	for i := 0; i < m.arr.Cap(); i++ {
+	if workers := h.RecoverParallelism(); workers > 1 && n >= rebuildParallelMin {
+		cleaned = m.rebuildParallel(h, n, workers)
+	} else {
+		cleaned = m.rebuildSerial(h, n)
+	}
+	if cleaned {
+		h.PFence()
+	}
+	ro := h.RecoveryObs()
+	ro.RebuildNs.Add(uint64(time.Since(start)))
+	ro.RebuildEntries.Add(uint64(m.mir.len()))
+}
+
+func (m *Map) rebuildSerial(h *core.Heap, n int) (cleaned bool) {
+	for i := 0; i < n; i++ {
 		pref := m.arr.GetRef(i)
 		if pref == 0 {
 			m.slots = append(m.slots, i)
@@ -202,9 +232,82 @@ func (m *Map) OnResurrect() {
 		}
 		m.mir.put(readStringAt(h, kref), i)
 	}
-	if cleaned {
-		h.PFence()
+	return cleaned
+}
+
+func (m *Map) rebuildParallel(h *core.Heap, n, workers int) (cleaned bool) {
+	type binding struct {
+		idx int
+		key string
 	}
+	type segment struct {
+		entries []binding
+		slots   []int // free-slot contribution, in scan order
+		retire  []int // slots whose binding lost its key or value ref
+	}
+	// Oversplit so a skewed segment cannot straggle the whole rebuild.
+	nseg := workers * 4
+	if nseg > n {
+		nseg = n
+	}
+	per := (n + nseg - 1) / nseg
+	results := make([]segment, nseg)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1) - 1)
+				if s >= nseg {
+					return
+				}
+				seg := &results[s]
+				lo := s * per
+				hi := lo + per
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					pref := m.arr.GetRef(i)
+					if pref == 0 {
+						seg.slots = append(seg.slots, i)
+						continue
+					}
+					pair := h.Inspect(pref)
+					kref := pair.ReadRef(pairKey)
+					vref := pair.ReadRef(pairVal)
+					if kref == 0 || vref == 0 {
+						seg.slots = append(seg.slots, i)
+						seg.retire = append(seg.retire, i)
+						continue
+					}
+					seg.entries = append(seg.entries, binding{i, readStringAt(h, kref)})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for s := range results {
+		seg := &results[s]
+		for _, i := range seg.retire {
+			pref := m.arr.GetRef(i)
+			pair := h.Inspect(pref)
+			kref := pair.ReadRef(pairKey)
+			m.arr.SetRef(i, 0)
+			if kref != 0 {
+				h.Mem().FreeObject(kref)
+			}
+			h.Mem().FreeObject(pref)
+			cleaned = true
+		}
+		m.slots = append(m.slots, seg.slots...)
+		for _, b := range seg.entries {
+			m.mir.put(b.key, b.idx)
+		}
+	}
+	return cleaned
 }
 
 // SetCacheMode switches the proxy-caching variant. CacheEager resurrects

@@ -36,18 +36,34 @@ type Backend interface {
 type Grid struct {
 	backend Backend
 
-	stripes [128]sync.Mutex
+	stripes [gridStripes]sync.Mutex
 
-	cacheMu sync.Mutex
-	cache   *container.LRU[*Record] // nil when caching is disabled
+	// cache is the volatile record cache, sharded per stripe so cached
+	// reads on different keys never serialize on one mutex; nil when
+	// caching is disabled. The stripe index of a key's cache shard is the
+	// same FNV index as its lock stripe.
+	cache []cacheShard
 
 	stats obs.GridStats
+}
+
+const gridStripes = 128
+
+// cacheShard is one stripe's slice of the record cache: a private mutex
+// plus a private LRU. Capacity is bounded per shard, so the total bound
+// is ceil(CacheEntries/gridStripes)*gridStripes — never below the
+// requested size, at most a stripe-rounding above it.
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *container.LRU[*Record]
 }
 
 // Options configures a Grid.
 type Options struct {
 	// CacheEntries bounds the volatile record cache; 0 disables caching
-	// (the right setting for the J-NVM backends, §5.3.1).
+	// (the right setting for the J-NVM backends, §5.3.1). The bound is
+	// spread over the lock stripes and rounded up to a multiple of the
+	// stripe count.
 	CacheEntries int
 }
 
@@ -55,7 +71,11 @@ type Options struct {
 func NewGrid(b Backend, opts Options) *Grid {
 	g := &Grid{backend: b}
 	if opts.CacheEntries > 0 {
-		g.cache = container.NewLRU[*Record](opts.CacheEntries, nil)
+		per := (opts.CacheEntries + gridStripes - 1) / gridStripes
+		g.cache = make([]cacheShard, gridStripes)
+		for i := range g.cache {
+			g.cache[i].lru = container.NewLRU[*Record](per, nil)
+		}
 	}
 	return g
 }
@@ -74,9 +94,10 @@ func (g *Grid) Obs() *obs.GridStats { return &g.stats }
 // ObsSnapshot captures the current grid metrics.
 func (g *Grid) ObsSnapshot() obs.GridSnapshot { return g.stats.Snapshot() }
 
-// stripe maps a key to its lock with an inlined FNV-1a: hash.Hash32 would
-// cost two heap allocations (digest + []byte(key)) per operation.
-func (g *Grid) stripe(key string) *sync.Mutex {
+// fnv32 is an inlined FNV-1a: hash.Hash32 would cost two heap allocations
+// (digest + []byte(key)) per operation. The one hash selects both the
+// key's lock stripe and its cache shard.
+func fnv32(key string) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -86,16 +107,22 @@ func (g *Grid) stripe(key string) *sync.Mutex {
 		h ^= uint32(key[i])
 		h *= prime32
 	}
-	return &g.stripes[h%uint32(len(g.stripes))]
+	return h
 }
 
-func (g *Grid) cacheGet(key string) (*Record, bool) {
+// stripe maps a hashed key to its lock.
+func (g *Grid) stripe(h uint32) *sync.Mutex {
+	return &g.stripes[h%gridStripes]
+}
+
+func (g *Grid) cacheGet(h uint32, key string) (*Record, bool) {
 	if g.cache == nil {
 		return nil, false
 	}
-	g.cacheMu.Lock()
-	rec, ok := g.cache.Get(key)
-	g.cacheMu.Unlock()
+	s := &g.cache[h%gridStripes]
+	s.mu.Lock()
+	rec, ok := s.lru.Get(key)
+	s.mu.Unlock()
 	if ok {
 		g.stats.CacheHits.Inc()
 	} else {
@@ -104,22 +131,43 @@ func (g *Grid) cacheGet(key string) (*Record, bool) {
 	return rec, ok
 }
 
-func (g *Grid) cachePut(key string, rec *Record) {
+func (g *Grid) cachePut(h uint32, key string, rec *Record) {
 	if g.cache == nil {
 		return
 	}
-	g.cacheMu.Lock()
-	g.cache.Put(key, rec)
-	g.cacheMu.Unlock()
+	s := &g.cache[h%gridStripes]
+	s.mu.Lock()
+	s.lru.Put(key, rec)
+	s.mu.Unlock()
 }
 
-func (g *Grid) cacheDrop(key string) {
+func (g *Grid) cacheDrop(h uint32, key string) {
 	if g.cache == nil {
 		return
 	}
-	g.cacheMu.Lock()
-	g.cache.Remove(key)
-	g.cacheMu.Unlock()
+	s := &g.cache[h%gridStripes]
+	s.mu.Lock()
+	s.lru.Remove(key)
+	s.mu.Unlock()
+}
+
+// cachePatch applies a successful backend field update to the cached
+// record, if present. Both Update and ReadModifyWrite go through here —
+// the two used to hand-roll this block and drifted once already — so the
+// write-through patch semantics (deep-copied values over the cached
+// record) live in exactly one place.
+func (g *Grid) cachePatch(h uint32, key string, fields []Field) {
+	if g.cache == nil {
+		return
+	}
+	s := &g.cache[h%gridStripes]
+	s.mu.Lock()
+	if rec, ok := s.lru.Get(key); ok {
+		for _, f := range fields {
+			rec.Set(f.Name, append([]byte(nil), f.Value...))
+		}
+	}
+	s.mu.Unlock()
 }
 
 // ErrNotFound is returned for operations on absent keys.
@@ -129,7 +177,8 @@ var ErrNotFound = fmt.Errorf("store: key not found")
 func (g *Grid) Insert(key string, rec *Record) error {
 	start := time.Now()
 	defer func() { g.stats.Insert.Observe(time.Since(start)) }()
-	mu := g.stripe(key)
+	h := fnv32(key)
+	mu := g.stripe(h)
 	mu.Lock()
 	defer mu.Unlock()
 	if err := g.backend.Insert(key, rec); err != nil {
@@ -138,7 +187,7 @@ func (g *Grid) Insert(key string, rec *Record) error {
 	if g.cache != nil {
 		// Clone: the caller keeps rec and may mutate it after Insert
 		// returns; Clone also copies field values into fresh slices.
-		g.cachePut(key, rec.Clone())
+		g.cachePut(h, key, rec.Clone())
 	}
 	return nil
 }
@@ -148,10 +197,11 @@ func (g *Grid) Insert(key string, rec *Record) error {
 func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 	start := time.Now()
 	defer func() { g.stats.Read.Observe(time.Since(start)) }()
-	mu := g.stripe(key)
+	h := fnv32(key)
+	mu := g.stripe(h)
 	mu.Lock()
 	defer mu.Unlock()
-	if rec, ok := g.cacheGet(key); ok {
+	if rec, ok := g.cacheGet(h, key); ok {
 		for _, f := range rec.Fields {
 			consume(f.Name, f.Value)
 		}
@@ -181,7 +231,7 @@ func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 		return ErrNotFound
 	}
 	if filled != nil {
-		g.cachePut(key, filled)
+		g.cachePut(h, key, filled)
 	}
 	return nil
 }
@@ -191,28 +241,21 @@ func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 func (g *Grid) Update(key string, fields []Field) error {
 	start := time.Now()
 	defer func() { g.stats.Update.Observe(time.Since(start)) }()
-	mu := g.stripe(key)
+	h := fnv32(key)
+	mu := g.stripe(h)
 	mu.Lock()
 	defer mu.Unlock()
 	ok, err := g.backend.Update(key, fields)
 	if err != nil {
 		// The backend may have applied part of the update; drop the
 		// cached record rather than serve a stale mix.
-		g.cacheDrop(key)
+		g.cacheDrop(h, key)
 		return err
 	}
 	if !ok {
 		return ErrNotFound
 	}
-	if g.cache != nil {
-		g.cacheMu.Lock()
-		if rec, ok := g.cache.Get(key); ok {
-			for _, f := range fields {
-				rec.Set(f.Name, append([]byte(nil), f.Value...))
-			}
-		}
-		g.cacheMu.Unlock()
-	}
+	g.cachePatch(h, key, fields)
 	return nil
 }
 
@@ -221,11 +264,12 @@ func (g *Grid) Update(key string, fields []Field) error {
 func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) error {
 	start := time.Now()
 	defer func() { g.stats.RMW.Observe(time.Since(start)) }()
-	mu := g.stripe(key)
+	h := fnv32(key)
+	mu := g.stripe(h)
 	mu.Lock()
 	defer mu.Unlock()
 	var rec *Record
-	if cached, ok := g.cacheGet(key); ok {
+	if cached, ok := g.cacheGet(h, key); ok {
 		rec = cached.Clone()
 	} else {
 		rec = &Record{}
@@ -242,7 +286,7 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 			return ErrNotFound
 		}
 		if g.cache != nil {
-			g.cachePut(key, rec.Clone())
+			g.cachePut(h, key, rec.Clone())
 		}
 	}
 	fields := mutate(rec)
@@ -251,21 +295,13 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 	}
 	ok, err := g.backend.Update(key, fields)
 	if err != nil {
-		g.cacheDrop(key)
+		g.cacheDrop(h, key)
 		return err
 	}
 	if !ok {
 		return ErrNotFound
 	}
-	if g.cache != nil {
-		g.cacheMu.Lock()
-		if cached, ok := g.cache.Get(key); ok {
-			for _, f := range fields {
-				cached.Set(f.Name, append([]byte(nil), f.Value...))
-			}
-		}
-		g.cacheMu.Unlock()
-	}
+	g.cachePatch(h, key, fields)
 	return nil
 }
 
@@ -273,14 +309,15 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 func (g *Grid) Delete(key string) error {
 	start := time.Now()
 	defer func() { g.stats.Delete.Observe(time.Since(start)) }()
-	mu := g.stripe(key)
+	h := fnv32(key)
+	mu := g.stripe(h)
 	mu.Lock()
 	defer mu.Unlock()
 	ok, err := g.backend.Delete(key)
 	if err != nil {
 		return err
 	}
-	g.cacheDrop(key)
+	g.cacheDrop(h, key)
 	if !ok {
 		return ErrNotFound
 	}

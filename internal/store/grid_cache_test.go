@@ -194,3 +194,44 @@ func TestGridCachedConcurrentReadersWriters(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGridShardedCacheServesAllStripes fills more keys than there are
+// cache stripes and re-reads each: with per-stripe capacity rounded up
+// from CacheEntries, every second read must be a hit regardless of which
+// stripe the key hashed to, and the patch path (Update/RMW via
+// cachePatch) must keep every shard coherent.
+func TestGridShardedCacheServesAllStripes(t *testing.T) {
+	h, _, _ := openStoreHeap(t, 1<<24, false)
+	b, err := NewJPDTBackend(h, "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4 * gridStripes // several keys per stripe on average
+	g := NewGrid(b, Options{CacheEntries: 16 * gridStripes})
+	for i := 0; i < keys; i++ {
+		if err := g.Insert(fmt.Sprintf("key%04d", i), testRecord(3, fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert cloned every record into its shard; all reads must hit.
+	for i := 0; i < keys; i++ {
+		captureRead(t, g, fmt.Sprintf("key%04d", i))
+	}
+	hits, misses := g.CacheStats()
+	if misses != 0 || hits != keys {
+		t.Fatalf("sharded cache: %d hits, %d misses; want %d hits, 0 misses", hits, misses, keys)
+	}
+	// Patch a field on every key and verify the cached copy follows.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key%04d", i)
+		want := []byte(fmt.Sprintf("patched%d", i))
+		if err := g.Update(key, []Field{{Name: "field1", Value: want}}); err != nil {
+			t.Fatal(err)
+		}
+		rec := captureRead(t, g, key)
+		got, ok := rec.Get("field1")
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("%s: cached field1 = %q, want %q", key, got, want)
+		}
+	}
+}

@@ -112,6 +112,9 @@ type Options struct {
 	Classes []*Class
 	// SkipGraphGC selects header-scan recovery (J-PFA-nogc, Figure 11).
 	SkipGraphGC bool
+	// RecoverParallelism sets the recovery worker count: 0 means
+	// GOMAXPROCS, 1 the paper's serial §4.1.3 procedure.
+	RecoverParallelism int
 	// LogSlots / LogSlotSize size the failure-atomic redo-log area.
 	LogSlots    int
 	LogSlotSize int
@@ -158,6 +161,7 @@ func OpenPool(pool *nvm.Pool, opts Options) (*DB, error) {
 		Classes:     classes,
 		LogHandler:  mgr,
 		SkipGraphGC: opts.SkipGraphGC,
+		Recover:     core.RecoverOptions{Parallelism: opts.RecoverParallelism},
 	})
 	if err != nil {
 		pool.Close()
