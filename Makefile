@@ -1,14 +1,29 @@
 GO ?= go
 
+# Pinned so local and CI runs agree; bump deliberately, not via @latest.
+STATICCHECK_VERSION ?= 2024.1.1
+
 # Packages with lock-free fast paths and shared mutable state; always get
 # a race-detector pass in addition to the plain suite. core and pdt joined
 # when recovery went parallel (work-stealing traversal, segment sweep,
 # concurrent mirror rebuild).
 RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/...
 
-.PHONY: check vet build test race bench bench-recovery microbench
+.PHONY: check vet build test race bench bench-recovery microbench \
+	lint fmt-check staticcheck crashmc-smoke coverage
 
 check: vet build test race
+
+# Full static gate as CI runs it. staticcheck downloads the pinned tool on
+# first use, so this target needs network access once per version.
+lint: fmt-check vet staticcheck
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 vet:
 	$(GO) vet ./...
@@ -36,3 +51,13 @@ bench-recovery:
 
 microbench:
 	$(GO) test -bench=. -benchmem .
+
+# Bounded crash-consistency exploration (the CI gate). The nightly CI job
+# runs the unbounded version: -points 0 -samples 8.
+crashmc-smoke:
+	$(GO) run ./cmd/crashmc -workload all -points 200 -samples 4 -seed 1
+
+# Coverage over the library packages, gated on results/coverage_floor.txt.
+coverage:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	./scripts/check_coverage.sh coverage.out

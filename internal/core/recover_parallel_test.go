@@ -219,6 +219,129 @@ func TestParallelRecoveryEquivalence(t *testing.T) {
 	}
 }
 
+// capturePlane passively captures crash states at a fixed stride of
+// ordering points while a workload runs — the explorer's observation
+// hook, minus the plug-pull: capture is instantaneous and leaves the run
+// undisturbed, so one build yields many mid-flight persistence states.
+type capturePlane struct {
+	pool   *nvm.Pool
+	stride int
+	count  int
+	max    int
+	states []*nvm.CrashState
+}
+
+func (c *capturePlane) OrderingPoint(nvm.FaultEvent) {
+	c.count++
+	if len(c.states) < c.max && c.count%c.stride == 0 {
+		c.states = append(c.states, c.pool.CaptureCrashState())
+	}
+}
+
+// crashOutcome is one recovery attempt over a crash image: accepted
+// heaps carry their full allocator state, rejected ones the error text.
+type crashOutcome struct {
+	ok    bool
+	err   string
+	state allocatorState
+}
+
+func recoverCrashImage(img *nvm.Pool, parallelism int) (out crashOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = crashOutcome{err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	cfg := testCfg(nodeClass(), leafClass())
+	cfg.Recover.Parallelism = parallelism
+	h, err := Open(img, cfg)
+	if err != nil {
+		return crashOutcome{err: err.Error()}
+	}
+	bump, _, _ := h.Mem().Stats()
+	free := h.Mem().FreeIndices()
+	sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+	slots := h.Mem().PoolFreeSlots()
+	for _, s := range slots {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return crashOutcome{ok: true, state: allocatorState{
+		bump:  bump,
+		image: append([]byte(nil), img.View(0, img.Size())...),
+		free:  free,
+		slots: slots,
+	}}
+}
+
+// TestCrashImageRecoveryEquivalence is the crash-image extension of the
+// equivalence oracle: over mid-flight persistence states captured while
+// a randomized graph is built (the explorer's fault-plane mechanism) and
+// adversarial images sampled from each (dropped lines, stale snapshots,
+// sub-line tears), the serial §4.1.3 procedure and the parallel pipeline
+// must accept/reject exactly the same images — and on acceptance produce
+// bit-identical pool images and identical allocator state.
+func TestCrashImageRecoveryEquivalence(t *testing.T) {
+	const poolSize = 1 << 21
+	for seed := int64(0); seed < 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			pool := nvm.New(poolSize, nvm.Options{Tracked: true})
+			ncls, lcls := nodeClass(), leafClass()
+			h, err := Open(pool, testCfg(ncls, lcls))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := &capturePlane{pool: pool, stride: 701, max: 8}
+			pool.SetFaultPlane(cp)
+			buildRandomGraph(t, rng, h, ncls, lcls)
+			pool.SetFaultPlane(nil)
+			if len(cp.states) == 0 {
+				t.Fatalf("no crash states captured over %d ordering points", cp.count)
+			}
+			for si, cs := range cp.states {
+				for sub := int64(0); sub < 4; sub++ {
+					spec := cs.SampleSpec(rand.New(rand.NewSource(seed*1000+int64(si)*10+sub)), sub%2 == 1)
+					serial := recoverCrashImage(cs.Image(spec), 1)
+					parallel := recoverCrashImage(cs.Image(spec), 8)
+					if serial.ok != parallel.ok {
+						t.Fatalf("state %d spec %d: serial ok=%v (%s), parallel ok=%v (%s)",
+							si, sub, serial.ok, serial.err, parallel.ok, parallel.err)
+					}
+					if !serial.ok {
+						continue
+					}
+					if serial.state.bump != parallel.state.bump {
+						t.Fatalf("state %d spec %d: bump %d vs %d", si, sub, serial.state.bump, parallel.state.bump)
+					}
+					if !bytes.Equal(serial.state.image, parallel.state.image) {
+						t.Fatalf("state %d spec %d: recovered images differ", si, sub)
+					}
+					if len(serial.state.free) != len(parallel.state.free) {
+						t.Fatalf("state %d spec %d: free queue size %d vs %d",
+							si, sub, len(serial.state.free), len(parallel.state.free))
+					}
+					for i := range serial.state.free {
+						if serial.state.free[i] != parallel.state.free[i] {
+							t.Fatalf("state %d spec %d: free queue differs at %d", si, sub, i)
+						}
+					}
+					for sc := range serial.state.slots {
+						if len(serial.state.slots[sc]) != len(parallel.state.slots[sc]) {
+							t.Fatalf("state %d spec %d: slot list %d size differs", si, sub, sc)
+						}
+						for i := range serial.state.slots[sc] {
+							if serial.state.slots[sc][i] != parallel.state.slots[sc][i] {
+								t.Fatalf("state %d spec %d: slot list %d differs at %d", si, sub, sc, i)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestParallelRecoveryEquivalenceScan is the same oracle check for the
 // header-scan recovery mode (J-PFA-nogc, Figure 11).
 func TestParallelRecoveryEquivalenceScan(t *testing.T) {

@@ -1,0 +1,424 @@
+// Package crashmc is a deterministic crash-consistency explorer ("model
+// checker" in the bounded, systematic-testing sense of the term).
+//
+// The paper's correctness argument (§3.2, §4.1) is that failure-atomic
+// blocks and single-pfence publication survive a power failure at *any*
+// instant. crashmc makes that claim executable: it runs a workload once
+// over a tracked nvm.Pool with a FaultPlane installed, counting every
+// ordering point (each store, PWB-line, PFence and PSync), then replays
+// the workload once per explored point k, "pulling the plug" immediately
+// before the k-th primitive executes. Each crash yields a CrashState from
+// which several adversarial images are minted — the strict image (only
+// fenced data), the everything-persisted image, and seeded random
+// line-subsets with sub-line tears — and every image is recovered through
+// the standard core/heap/fa/pdt path, once with the serial §4.1.3 oracle
+// and once with the parallel pipeline, then checked against the
+// workload's application-level oracle: fsck clean, failure-atomic blocks
+// all-or-nothing, no reachable half-initialized object, store records
+// intact, and the recovered heap still writable.
+//
+// Everything is deterministic in (workload, seed): a failure is
+// reproduced by its (point, sample, seed) triple alone, and a greedy
+// minimizer shrinks the failing line-subset before reporting.
+package crashmc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/nvm"
+)
+
+// Run is one instantiation of a workload: volatile closures sharing an
+// application-level oracle that Exec maintains and Check consults.
+type Run struct {
+	// Setup formats the pool and creates the persistent structures,
+	// ending durable (PSync). It runs unobserved: crash exploration
+	// targets the steady-state mutations, not first-run formatting.
+	Setup func(pool *nvm.Pool) error
+	// Exec mutates the structures. Every ordering point it issues is
+	// observed, and a crash abandons it mid-flight via panic. It must be
+	// deterministic: single-goroutine, no Go-map iteration, all
+	// randomness from the run's seeded rng.
+	Exec func(pool *nvm.Pool) error
+	// Check recovers the crash image with the given recovery parallelism
+	// (1 = the paper's serial procedure) and verifies the workload
+	// invariants against the oracle. It is called many times per run and
+	// must not mutate the oracle. It owns img and may write to it (e.g.
+	// probe that the recovered heap accepts new operations).
+	Check func(img *nvm.Pool, parallelism int) error
+}
+
+// Workload names a crash-exploration scenario.
+type Workload struct {
+	Name      string
+	PoolBytes int
+	// New builds a fresh Run; the seed drives the op mix and oracle.
+	New func(seed int64) *Run
+}
+
+// crashSignal unwinds Exec when the plane fires.
+type crashSignal struct{}
+
+// plane is the FaultPlane that counts ordering points and pulls the plug
+// at the trigger point. The crash state is captured at the panic site,
+// before deferred cleanup (e.g. fa's abort-on-panic) can write to the
+// pool; events observed after firing (from exactly that cleanup) are
+// ignored.
+type plane struct {
+	pool    *nvm.Pool
+	trigger int // 1-based ordering point to crash at; 0 = count only
+	count   int
+	fired   bool
+	state   *nvm.CrashState
+}
+
+func (pl *plane) OrderingPoint(nvm.FaultEvent) {
+	if pl.fired {
+		return
+	}
+	pl.count++
+	if pl.trigger != 0 && pl.count == pl.trigger {
+		pl.fired = true
+		pl.state = pl.pool.CaptureCrashState()
+		panic(crashSignal{})
+	}
+}
+
+// Options tunes an exploration.
+type Options struct {
+	// Points bounds how many crash points are explored; 0 explores all.
+	// When bounded, points are stride-sampled with seeded jitter so the
+	// whole run is covered.
+	Points int
+	// Samples is the number of random line-subset images per point, on
+	// top of the two deterministic images (strict, all-pending). Odd
+	// sample indices force sub-line tears on every retained line.
+	Samples int
+	// Seed drives the workload op mix and all subset sampling.
+	Seed int64
+	// Par is the parallel recovery worker count checked against the
+	// serial oracle (default 8).
+	Par int
+	// Point, when >0, explores only that crash point — the repro path.
+	Point int
+	// Sample, when Point is set and Sample >= -2, checks only that
+	// sample index (-1 strict, -2 all-pending).
+	Sample int
+	// MaxFailures stops the exploration early (default 3, <0 unlimited).
+	MaxFailures int
+	// Log, when set, receives progress lines.
+	Log func(format string, a ...any)
+}
+
+// Failure is one reproducible invariant violation.
+type Failure struct {
+	Workload string          `json:"workload"`
+	Point    int             `json:"point"`  // 1-based crash point; total+1 = after the last op
+	Sample   int             `json:"sample"` // -1 strict, -2 all-pending, else subset index
+	Seed     int64           `json:"seed"`
+	Par      int             `json:"par"`              // recovery parallelism that failed (1 and/or Par)
+	Subset   []nvm.CrashLine `json:"subset,omitempty"` // minimized failing line-subset
+	Err      string          `json:"err"`
+	Diverged bool            `json:"diverged,omitempty"` // serial and parallel disagreed
+}
+
+// Repro renders the one-command reproduction for this failure.
+func (f *Failure) Repro() string {
+	return fmt.Sprintf("go run ./cmd/crashmc -workload %s -seed %d -point %d -sample %d",
+		f.Workload, f.Seed, f.Point, f.Sample)
+}
+
+func (f *Failure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FAIL %s point=%d sample=%d seed=%d par=%d", f.Workload, f.Point, f.Sample, f.Seed, f.Par)
+	if f.Diverged {
+		b.WriteString(" [serial/parallel diverge]")
+	}
+	fmt.Fprintf(&b, ": %s\n", f.Err)
+	if len(f.Subset) > 0 {
+		fmt.Fprintf(&b, "  minimized subset (%d lines):", len(f.Subset))
+		for _, cl := range f.Subset {
+			src := "snapshot"
+			if cl.Source == nvm.CrashFromCurrent {
+				src = "current"
+			}
+			fmt.Fprintf(&b, " {line=%#x %s", cl.Line, src)
+			if cl.Split != 0 {
+				side := "head"
+				if cl.Tail {
+					side = "tail"
+				}
+				fmt.Fprintf(&b, " %s<%d>", side, cl.Split)
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  reproduce: %s", f.Repro())
+	return b.String()
+}
+
+// Report summarizes one workload's exploration.
+type Report struct {
+	Workload string    `json:"workload"`
+	Seed     int64     `json:"seed"`
+	Points   int       `json:"points"`   // total ordering points in the workload
+	Explored int       `json:"explored"` // crash points actually explored
+	Images   int       `json:"images"`   // crash images checked (×2 recovery modes)
+	Failures []Failure `json:"failures,omitempty"`
+}
+
+// runTo executes a fresh run of w, crashing at ordering point trigger
+// (0 = run to completion). Returns the run (with its oracle advanced to
+// the crash), the plane (count + captured state), and Exec's error when
+// it completed without crashing.
+func runTo(w *Workload, seed int64, trigger int) (*Run, *plane, error) {
+	pool := nvm.New(w.PoolBytes, nvm.Options{Tracked: true})
+	run := w.New(seed)
+	if err := run.Setup(pool); err != nil {
+		return nil, nil, fmt.Errorf("%s setup: %w", w.Name, err)
+	}
+	pool.PSync() // setup ends durable; exploration covers Exec only
+	pl := &plane{pool: pool, trigger: trigger}
+	pool.SetFaultPlane(pl)
+	var execErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); ok {
+					return
+				}
+				panic(r)
+			}
+		}()
+		execErr = run.Exec(pool)
+	}()
+	pool.SetFaultPlane(nil)
+	if trigger == 0 || !pl.fired {
+		if execErr != nil {
+			return nil, nil, fmt.Errorf("%s exec: %w", w.Name, execErr)
+		}
+		// Completed: capture the end-of-run state so the caller can
+		// explore the "crash after the last operation" point too.
+		pl.state = pool.CaptureCrashState()
+	}
+	return run, pl, nil
+}
+
+// safeCheck runs Check, converting panics into errors: recovery must
+// tolerate any crash image, so a panic is itself an invariant violation.
+func safeCheck(run *Run, img *nvm.Pool, parallelism int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovery panicked: %v", r)
+		}
+	}()
+	return run.Check(img, parallelism)
+}
+
+// subsetSeed mixes (seed, point, sample) into the rng seed for one
+// subset draw (splitmix64 finalizer), so any sampled image is
+// reconstructible from its triple.
+func subsetSeed(seed int64, point, sample int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(point)<<20 + uint64(sample) + 1
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// specFor rebuilds the crash-image spec for a sample index at a point.
+func specFor(state *nvm.CrashState, seed int64, point, sample int) []nvm.CrashLine {
+	switch sample {
+	case -1: // strict: durable image only
+		return nil
+	case -2: // all pending lines persist whole
+		var spec []nvm.CrashLine
+		for _, pl := range state.Pending() {
+			spec = append(spec, nvm.CrashLine{Line: pl.Line, Source: nvm.CrashFromCurrent})
+		}
+		return spec
+	default:
+		rng := rand.New(rand.NewSource(subsetSeed(seed, point, sample)))
+		return state.SampleSpec(rng, sample%2 == 1)
+	}
+}
+
+// pickPoints selects which crash points to explore: all of them when the
+// budget allows, otherwise a seeded jittered stride over [1, total] so
+// every region of the run stays covered and the choice is reproducible.
+func pickPoints(total, budget int, seed int64) []int {
+	if budget <= 0 || budget >= total {
+		pts := make([]int, total)
+		for i := range pts {
+			pts[i] = i + 1
+		}
+		return pts
+	}
+	rng := rand.New(rand.NewSource(subsetSeed(seed, 0, -3)))
+	stride := float64(total) / float64(budget)
+	pts := make([]int, 0, budget)
+	seen := make(map[int]bool, budget)
+	for i := 0; i < budget; i++ {
+		lo := int(float64(i) * stride)
+		hi := int(float64(i+1) * stride)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		p := 1 + lo + rng.Intn(hi-lo)
+		if p > total {
+			p = total
+		}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	sort.Ints(pts)
+	return pts
+}
+
+// minimizeSpec greedily drops spec entries while the failure persists,
+// then tries to un-tear surviving entries, so reports implicate the
+// fewest lines possible.
+func minimizeSpec(run *Run, state *nvm.CrashState, spec []nvm.CrashLine, parallelism int) []nvm.CrashLine {
+	fails := func(s []nvm.CrashLine) bool {
+		return safeCheck(run, state.Image(s), parallelism) != nil
+	}
+	cur := append([]nvm.CrashLine(nil), spec...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]nvm.CrashLine(nil), cur[:i]...), cur[i+1:]...)
+			if fails(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	for i := range cur {
+		if cur[i].Split != 0 {
+			cand := append([]nvm.CrashLine(nil), cur...)
+			cand[i].Split = 0
+			cand[i].Tail = false
+			if fails(cand) {
+				cur = cand
+			}
+		}
+	}
+	return cur
+}
+
+// Explore runs the full exploration of one workload.
+func Explore(w *Workload, opt Options) (*Report, error) {
+	if opt.Par <= 0 {
+		opt.Par = 8
+	}
+	if opt.MaxFailures == 0 {
+		opt.MaxFailures = 3
+	}
+	logf := opt.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{Workload: w.Name, Seed: opt.Seed}
+
+	// Pass 1: count ordering points and sanity-check determinism — two
+	// identical runs must issue identical ordering-point sequences, or
+	// the (point, sample, seed) triples would not reproduce.
+	run, pl, err := runTo(w, opt.Seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, pl2, err := runTo(w, opt.Seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	if pl.count != pl2.count {
+		return nil, fmt.Errorf("%s: nondeterministic workload: %d vs %d ordering points", w.Name, pl.count, pl2.count)
+	}
+	rep.Points = pl.count
+	logf("%s: %d ordering points", w.Name, rep.Points)
+
+	// The completed run must also satisfy its own oracle in both crash
+	// worlds (nothing pending lost, everything pending persisted).
+	for _, sample := range []int{-1, -2} {
+		img := pl.state.Image(specFor(pl.state, opt.Seed, rep.Points+1, sample))
+		if err := safeCheck(run, img, 1); err != nil {
+			return nil, fmt.Errorf("%s: completed run fails its own oracle (sample %d): %w", w.Name, sample, err)
+		}
+	}
+
+	points := pickPoints(rep.Points, opt.Points, opt.Seed)
+	// The "crash after the last operation" point rides along for free.
+	points = append(points, rep.Points+1)
+	if opt.Point > 0 {
+		points = []int{opt.Point}
+	}
+
+	samples := []int{-1, -2}
+	for s := 0; s < opt.Samples; s++ {
+		samples = append(samples, s)
+	}
+	if opt.Point > 0 && opt.Sample >= -2 {
+		samples = []int{opt.Sample}
+	}
+
+	for _, point := range points {
+		var state *nvm.CrashState
+		crun := run
+		if point > rep.Points {
+			state = pl.state // end-of-run state from the count pass
+		} else {
+			r, cpl, err := runTo(w, opt.Seed, point)
+			if err != nil {
+				return nil, err
+			}
+			if !cpl.fired {
+				return nil, fmt.Errorf("%s: replay finished before point %d (nondeterministic workload)", w.Name, point)
+			}
+			state = cpl.state
+			crun = r
+		}
+		rep.Explored++
+		for _, sample := range samples {
+			spec := specFor(state, opt.Seed, point, sample)
+			rep.Images++
+			serialErr := safeCheck(crun, state.Image(spec), 1)
+			parErr := safeCheck(crun, state.Image(spec), opt.Par)
+			if serialErr == nil && parErr == nil {
+				continue
+			}
+			f := Failure{
+				Workload: w.Name,
+				Point:    point,
+				Sample:   sample,
+				Seed:     opt.Seed,
+				Diverged: (serialErr == nil) != (parErr == nil),
+			}
+			if serialErr != nil {
+				f.Par, f.Err = 1, serialErr.Error()
+			} else {
+				f.Par, f.Err = opt.Par, parErr.Error()
+			}
+			if f.Diverged {
+				f.Err = fmt.Sprintf("serial=%v parallel=%v", serialErr, parErr)
+			}
+			f.Subset = minimizeSpec(crun, state, spec, f.Par)
+			rep.Failures = append(rep.Failures, f)
+			logf("%s", f.String())
+			if opt.MaxFailures > 0 && len(rep.Failures) >= opt.MaxFailures {
+				logf("%s: stopping after %d failures", w.Name, len(rep.Failures))
+				return rep, nil
+			}
+		}
+		if rep.Explored%50 == 0 {
+			logf("%s: explored %d/%d points, %d images, %d failures",
+				w.Name, rep.Explored, len(points), rep.Images, len(rep.Failures))
+		}
+	}
+	return rep, nil
+}

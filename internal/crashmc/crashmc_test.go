@@ -1,0 +1,132 @@
+package crashmc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nvm"
+)
+
+// TestExploreWorkloadsSmoke runs a bounded exploration of every standing
+// workload; the shipped persistence disciplines must survive every
+// sampled crash point.
+func TestExploreWorkloadsSmoke(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			rep, err := Explore(w, Options{Points: 10, Samples: 2, Seed: 42, Par: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Failures) != 0 {
+				for i := range rep.Failures {
+					t.Error(rep.Failures[i].String())
+				}
+				t.Fatalf("%s: %d crash-consistency failures", w.Name, len(rep.Failures))
+			}
+			if rep.Points == 0 || rep.Explored == 0 || rep.Images == 0 {
+				t.Fatalf("empty exploration: %+v", rep)
+			}
+		})
+	}
+}
+
+// brokenWorkload deliberately violates its own invariant: two counters on
+// different cache lines that must stay equal are updated under separate
+// fences, so a crash between the fences observes them diverged. It is the
+// standing proof that the explorer has teeth — if this stops failing, the
+// fault plane went blind.
+func brokenWorkload() *Workload {
+	return &Workload{Name: "broken", PoolBytes: 1 << 16, New: func(seed int64) *Run {
+		return &Run{
+			Setup: func(pool *nvm.Pool) error { return nil },
+			Exec: func(pool *nvm.Pool) error {
+				for i := uint64(1); i <= 6; i++ {
+					pool.WriteUint64(0, i)
+					pool.PWB(0)
+					pool.PFence()
+					// BUG: the twin write rides a separate fence.
+					pool.WriteUint64(256, i)
+					pool.PWB(256)
+					pool.PFence()
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				if a, b := img.ReadUint64(0), img.ReadUint64(256); a != b {
+					return fmt.Errorf("counters diverged: %d vs %d", a, b)
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+// TestExplorerHasTeeth checks that a seeded ordering bug is (a) found,
+// and (b) reproducible from its (point, sample, seed) triple alone.
+func TestExplorerHasTeeth(t *testing.T) {
+	w := brokenWorkload()
+	rep, err := Explore(w, Options{Samples: 2, Seed: 1, Par: 2, MaxFailures: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("explorer missed a deliberately broken workload")
+	}
+	f := rep.Failures[0]
+	if f.Repro() == "" || f.Point == 0 {
+		t.Fatalf("failure lacks a repro triple: %+v", f)
+	}
+	// Replay exactly that (point, sample, seed): it must fail again.
+	rerun, err := Explore(w, Options{Seed: f.Seed, Par: 2, Point: f.Point, Sample: f.Sample, MaxFailures: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rerun.Failures) != 1 {
+		t.Fatalf("repro triple did not reproduce: %d failures", len(rerun.Failures))
+	}
+	if got := rerun.Failures[0]; got.Point != f.Point || got.Sample != f.Sample || got.Err != f.Err {
+		t.Fatalf("repro mismatch:\noriginal: %+v\nreplay:   %+v", f, got)
+	}
+}
+
+// TestSubsetSeedStable pins the subset-seed mixing: a change would break
+// the reproducibility of every historical failure report.
+func TestSubsetSeedStable(t *testing.T) {
+	if subsetSeed(1, 10, 2) != subsetSeed(1, 10, 2) {
+		t.Fatal("subsetSeed not a pure function")
+	}
+	seen := map[int64]bool{}
+	for p := 0; p < 50; p++ {
+		for s := 0; s < 4; s++ {
+			seen[subsetSeed(7, p, s)] = true
+		}
+	}
+	if len(seen) != 200 {
+		t.Fatalf("subsetSeed collides: %d distinct of 200", len(seen))
+	}
+}
+
+// TestPickPointsCoverage checks the stride sampler: bounded budgets stay
+// within range, deduplicate, and spread across the whole run.
+func TestPickPointsCoverage(t *testing.T) {
+	pts := pickPoints(1000, 50, 3)
+	if len(pts) == 0 || len(pts) > 50 {
+		t.Fatalf("got %d points, want (0,50]", len(pts))
+	}
+	for i, p := range pts {
+		if p < 1 || p > 1000 {
+			t.Fatalf("point %d out of range", p)
+		}
+		if i > 0 && pts[i-1] >= p {
+			t.Fatalf("points not strictly increasing at %d", i)
+		}
+	}
+	if pts[0] > 100 || pts[len(pts)-1] < 900 {
+		t.Fatalf("poor spread: first %d last %d", pts[0], pts[len(pts)-1])
+	}
+	all := pickPoints(30, 0, 1)
+	if len(all) != 30 || all[0] != 1 || all[29] != 30 {
+		t.Fatalf("unbounded budget must enumerate all points: %v", all)
+	}
+}

@@ -1,0 +1,716 @@
+package crashmc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+	"repro/internal/pdt"
+	"repro/internal/store"
+	"repro/internal/tpcb"
+)
+
+// Workloads returns the registry of crash-exploration scenarios, one per
+// persistence discipline in the system: failure-atomic blocks (bank),
+// the store's J-PFA backend (grid), transactional allocation/free
+// (pool), and the non-transactional single-fence publication of the
+// J-PDT types (pdt).
+func Workloads() []*Workload {
+	return []*Workload{bankWorkload(), gridWorkload(), poolWorkload(), pdtWorkload()}
+}
+
+// ByName resolves a workload; "all" is handled by callers.
+func ByName(name string) (*Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+func fsckClean(h *core.Heap) error {
+	var msgs []string
+	n := h.Fsck(func(m string) {
+		if len(msgs) < 4 {
+			msgs = append(msgs, m)
+		}
+	})
+	if n != 0 {
+		return fmt.Errorf("fsck: %d errors: %s", n, strings.Join(msgs, "; "))
+	}
+	return nil
+}
+
+func openCheckHeap(img *nvm.Pool, classes []*core.Class, mgr *fa.Manager, parallelism int) (*core.Heap, error) {
+	return core.Open(img, core.Config{
+		HeapOptions: heap.Options{LogSlots: 16, LogSlotSize: 1 << 14},
+		Classes:     classes,
+		LogHandler:  mgr,
+		Recover:     core.RecoverOptions{Parallelism: parallelism},
+	})
+}
+
+// ---- bank: J-PFA failure-atomic transfers (§5.3.3) ----
+
+// bankWorkload checks strict all-or-nothing atomicity: after a crash at
+// any point, every balance vector must equal the committed oracle with
+// the in-flight transfer either fully applied or fully absent, the total
+// must be conserved, and the recovered bank must accept new transfers.
+func bankWorkload() *Workload {
+	const accounts = 8
+	const transfers = 12
+	type xfer struct {
+		from, to int
+		amount   int64
+	}
+	return &Workload{Name: "bank", PoolBytes: 1 << 22, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		committed := make([]int64, accounts)
+		var inflight *xfer
+		var bank *tpcb.JNVMBank
+		return &Run{
+			Setup: func(pool *nvm.Pool) error {
+				b, err := tpcb.OpenJNVMBank(pool, accounts, false)
+				bank = b
+				return err
+			},
+			Exec: func(pool *nvm.Pool) error {
+				for i := 0; i < transfers; i++ {
+					from := rng.Intn(accounts)
+					to := (from + 1 + rng.Intn(accounts-1)) % accounts
+					amt := int64(1 + rng.Intn(100))
+					inflight = &xfer{from: from, to: to, amount: amt}
+					if err := bank.Transfer(from, to, amt); err != nil {
+						return err
+					}
+					committed[from] -= amt
+					committed[to] += amt
+					inflight = nil
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				b, err := tpcb.OpenJNVMBankRec(img, accounts, false, core.RecoverOptions{Parallelism: parallelism})
+				if err != nil {
+					return fmt.Errorf("reopen: %w", err)
+				}
+				if err := fsckClean(b.Heap()); err != nil {
+					return err
+				}
+				readAll := func() ([]int64, int64, error) {
+					got := make([]int64, accounts)
+					var sum int64
+					for i := range got {
+						v, err := b.Balance(i)
+						if err != nil {
+							return nil, 0, fmt.Errorf("balance %d: %w", i, err)
+						}
+						got[i] = v
+						sum += v
+					}
+					return got, sum, nil
+				}
+				got, sum, err := readAll()
+				if err != nil {
+					return err
+				}
+				if sum != 0 {
+					return fmt.Errorf("money not conserved: balance sum %d (balances %v)", sum, got)
+				}
+				equal := func(want []int64) bool {
+					for i := range want {
+						if got[i] != want[i] {
+							return false
+						}
+					}
+					return true
+				}
+				ok := equal(committed)
+				if !ok && inflight != nil {
+					post := append([]int64(nil), committed...)
+					post[inflight.from] -= inflight.amount
+					post[inflight.to] += inflight.amount
+					ok = equal(post)
+				}
+				if !ok {
+					return fmt.Errorf("torn transfer: balances %v match neither committed %v nor committed+inflight %+v",
+						got, committed, inflight)
+				}
+				// Writability probe: the recovered bank must keep working.
+				if err := b.Transfer(0, 1, 7); err != nil {
+					return fmt.Errorf("post-recovery transfer: %w", err)
+				}
+				if _, sum, err = readAll(); err != nil {
+					return err
+				} else if sum != 0 {
+					return fmt.Errorf("money not conserved after post-recovery transfer: sum %d", sum)
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+// ---- grid: store-level put/update/delete/RMW over the J-PFA backend ----
+
+// gridOp is the in-flight descriptor: the touched key may be observed in
+// its pre- or post-op state, every other key must match the model.
+type gridOp struct {
+	key       string
+	pre, post []byte // nil = absent
+}
+
+func gridClasses() []*core.Class {
+	return append(pdt.Classes(), store.Classes()...)
+}
+
+func gridWorkload() *Workload {
+	const nkeys = 10
+	const ops = 30
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+	}
+	return &Workload{Name: "grid", PoolBytes: 1 << 21, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[string][]byte) // committed value per key; nil/missing = absent
+		var inflight *gridOp
+		var g *store.Grid
+		mkval := func(i int) []byte {
+			n := 8 + rng.Intn(72) // up to two cache lines of payload
+			v := make([]byte, n)
+			for j := range v {
+				v[j] = byte('a' + (i+j)%26)
+			}
+			return v
+		}
+		return &Run{
+			Setup: func(pool *nvm.Pool) error {
+				mgr := fa.NewManager()
+				h, err := openCheckHeap(pool, gridClasses(), mgr, 1)
+				if err != nil {
+					return err
+				}
+				backend, err := store.NewJPFABackend(h, mgr, "grid.map")
+				if err != nil {
+					return err
+				}
+				g = store.NewGrid(backend, store.Options{CacheEntries: 4})
+				return nil
+			},
+			Exec: func(pool *nvm.Pool) error {
+				for i := 0; i < ops; i++ {
+					key := keys[rng.Intn(nkeys)]
+					pre := model[key]
+					var post []byte
+					var err error
+					switch {
+					case pre == nil:
+						post = mkval(i)
+						inflight = &gridOp{key: key, pre: pre, post: post}
+						err = g.Insert(key, &store.Record{Fields: []store.Field{{Name: "v", Value: post}}})
+					case rng.Intn(3) == 0:
+						inflight = &gridOp{key: key, pre: pre, post: nil}
+						err = g.Delete(key)
+					case rng.Intn(2) == 0:
+						post = mkval(i)
+						inflight = &gridOp{key: key, pre: pre, post: post}
+						err = g.Update(key, []store.Field{{Name: "v", Value: post}})
+					default:
+						post = mkval(i)
+						inflight = &gridOp{key: key, pre: pre, post: post}
+						err = g.ReadModifyWrite(key, func(rec *store.Record) []store.Field {
+							return []store.Field{{Name: "v", Value: post}}
+						})
+					}
+					if err != nil {
+						return fmt.Errorf("op %d on %s: %w", i, key, err)
+					}
+					if post == nil {
+						delete(model, key)
+					} else {
+						model[key] = post
+					}
+					inflight = nil
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				mgr := fa.NewManager()
+				h, err := openCheckHeap(img, gridClasses(), mgr, parallelism)
+				if err != nil {
+					return fmt.Errorf("reopen: %w", err)
+				}
+				if err := fsckClean(h); err != nil {
+					return err
+				}
+				backend, err := store.NewJPFABackend(h, mgr, "grid.map")
+				if err != nil {
+					return fmt.Errorf("reopen backend: %w", err)
+				}
+				g := store.NewGrid(backend, store.Options{})
+				read := func(key string) ([]byte, error) {
+					var val []byte
+					found := false
+					err := g.Read(key, func(name string, v []byte) {
+						if name == "v" {
+							val = append([]byte(nil), v...)
+							found = true
+						}
+					})
+					if err == store.ErrNotFound {
+						return nil, nil
+					}
+					if err != nil {
+						return nil, err
+					}
+					if !found {
+						return nil, fmt.Errorf("record %s has no field v", key)
+					}
+					return val, nil
+				}
+				for _, key := range keys {
+					got, err := read(key)
+					if err != nil {
+						return fmt.Errorf("read %s: %w", key, err)
+					}
+					want := model[key]
+					if bytes.Equal(got, want) && (got == nil) == (want == nil) {
+						continue
+					}
+					if inflight != nil && inflight.key == key {
+						if bytes.Equal(got, inflight.pre) && (got == nil) == (inflight.pre == nil) {
+							continue
+						}
+						if bytes.Equal(got, inflight.post) && (got == nil) == (inflight.post == nil) {
+							continue
+						}
+						return fmt.Errorf("torn op on %s: got %q, want pre %q or post %q",
+							key, got, inflight.pre, inflight.post)
+					}
+					return fmt.Errorf("key %s: got %q, want %q", key, got, want)
+				}
+				// Writability probe.
+				if err := g.Insert("probe", &store.Record{Fields: []store.Field{{Name: "v", Value: []byte("ok")}}}); err != nil {
+					return fmt.Errorf("post-recovery insert: %w", err)
+				}
+				if v, err := read("probe"); err != nil || string(v) != "ok" {
+					return fmt.Errorf("post-recovery readback: %q, %v", v, err)
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+// ---- pool: transactional allocation and free through pdt.Map ----
+
+// poolWorkload drives the heap allocator inside failure-atomic blocks:
+// PutTx allocates key strings, pairs and values (pooled small strings
+// and multi-block byte blobs), DeleteTx frees them, and a crash at any
+// point must leave the map exactly at the committed model with at most
+// the in-flight op applied — with no leaked or dangling blocks (fsck).
+func poolWorkload() *Workload {
+	const nkeys = 10
+	const ops = 24
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("p%02d", i)
+	}
+	type poolVal struct {
+		isStr bool
+		data  []byte
+	}
+	type poolOp struct {
+		key       string
+		pre, post *poolVal
+	}
+	return &Workload{Name: "pool", PoolBytes: 1 << 21, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[string]*poolVal)
+		var inflight *poolOp
+		var h *core.Heap
+		var mgr *fa.Manager
+		var m *pdt.Map
+		mkval := func(i int) *poolVal {
+			if rng.Intn(2) == 0 {
+				n := 4 + rng.Intn(32) // pooled small string
+				b := make([]byte, n)
+				for j := range b {
+					b[j] = byte('A' + (i+j)%26)
+				}
+				return &poolVal{isStr: true, data: b}
+			}
+			n := 260 + rng.Intn(400) // spans 2-3 heap blocks
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = byte(i + j)
+			}
+			return &poolVal{data: b}
+		}
+		readVal := func(po core.PObject) (*poolVal, error) {
+			switch v := po.(type) {
+			case *pdt.PString:
+				return &poolVal{isStr: true, data: []byte(v.Value())}, nil
+			case *pdt.PBytes:
+				return &poolVal{data: v.Value()}, nil
+			case nil:
+				return nil, nil
+			default:
+				return nil, fmt.Errorf("unexpected value type %T", po)
+			}
+		}
+		sameVal := func(a, b *poolVal) bool {
+			if a == nil || b == nil {
+				return a == b
+			}
+			return a.isStr == b.isStr && bytes.Equal(a.data, b.data)
+		}
+		putTx := func(mp *pdt.Map, mg *fa.Manager, key string, v *poolVal) error {
+			return mg.Run(func(tx *fa.Tx) error {
+				var po core.PObject
+				var err error
+				if v.isStr {
+					po, err = pdt.NewStringTx(tx, string(v.data))
+				} else {
+					po, err = pdt.NewBytesTx(tx, v.data)
+				}
+				if err != nil {
+					return err
+				}
+				return mp.PutTx(tx, key, po)
+			})
+		}
+		return &Run{
+			Setup: func(pool *nvm.Pool) error {
+				mgr = fa.NewManager()
+				var err error
+				h, err = openCheckHeap(pool, pdt.Classes(), mgr, 1)
+				if err != nil {
+					return err
+				}
+				m, err = pdt.NewMap(h, pdt.MirrorHash)
+				if err != nil {
+					return err
+				}
+				return h.Root().Put("pool.map", m)
+			},
+			Exec: func(pool *nvm.Pool) error {
+				for i := 0; i < ops; i++ {
+					key := keys[rng.Intn(nkeys)]
+					pre := model[key]
+					if pre == nil || rng.Intn(3) != 0 {
+						post := mkval(i)
+						inflight = &poolOp{key: key, pre: pre, post: post}
+						if err := putTx(m, mgr, key, post); err != nil {
+							return fmt.Errorf("put %s: %w", key, err)
+						}
+						model[key] = post
+					} else {
+						inflight = &poolOp{key: key, pre: pre, post: nil}
+						if err := mgr.Run(func(tx *fa.Tx) error {
+							_, err := m.DeleteTx(tx, key)
+							return err
+						}); err != nil {
+							return fmt.Errorf("delete %s: %w", key, err)
+						}
+						delete(model, key)
+					}
+					inflight = nil
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				mgr2 := fa.NewManager()
+				h2, err := openCheckHeap(img, pdt.Classes(), mgr2, parallelism)
+				if err != nil {
+					return fmt.Errorf("reopen: %w", err)
+				}
+				if err := fsckClean(h2); err != nil {
+					return err
+				}
+				po, err := h2.Root().Get("pool.map")
+				if err != nil {
+					return fmt.Errorf("root map: %w", err)
+				}
+				m2, ok := po.(*pdt.Map)
+				if !ok {
+					return fmt.Errorf("root pool.map is %T, not *pdt.Map", po)
+				}
+				for _, key := range keys {
+					vpo, err := m2.Get(key)
+					if err != nil {
+						return fmt.Errorf("get %s: %w", key, err)
+					}
+					got, err := readVal(vpo)
+					if err != nil {
+						return fmt.Errorf("value of %s: %w", key, err)
+					}
+					if sameVal(got, model[key]) {
+						continue
+					}
+					if inflight != nil && inflight.key == key &&
+						(sameVal(got, inflight.pre) || sameVal(got, inflight.post)) {
+						continue
+					}
+					return fmt.Errorf("key %s: recovered value does not match committed model (inflight %v)",
+						key, inflight != nil)
+				}
+				// No phantom bindings beyond the working key set.
+				for _, k := range m2.Keys() {
+					if !strings.HasPrefix(k, "p") {
+						return fmt.Errorf("phantom key %q in recovered map", k)
+					}
+				}
+				// Writability probe: non-tx publication on the recovered heap.
+				ps, err := pdt.NewString(h2, "probe")
+				if err != nil {
+					return fmt.Errorf("post-recovery alloc: %w", err)
+				}
+				if err := m2.Put("zz-probe", ps); err != nil {
+					return fmt.Errorf("post-recovery put: %w", err)
+				}
+				back, err := m2.Get("zz-probe")
+				if err != nil {
+					return fmt.Errorf("post-recovery get: %w", err)
+				}
+				if s, ok := back.(*pdt.PString); !ok || s.Value() != "probe" {
+					return fmt.Errorf("post-recovery readback mismatch")
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+// ---- pdt: non-transactional map/set/array publication discipline ----
+
+const absentState = "\x00absent"
+
+// pdtWorkload checks the single-fence publication rules (§3.2.3) without
+// failure-atomic blocks. Individual ops are not atomic across a crash,
+// so the oracle tracks the *set* of states each key/cell may legally
+// hold: every value written since the last full fence plus the fenced
+// state, never anything torn, half-initialized, or from another key.
+func pdtWorkload() *Workload {
+	const nkeys = 8
+	const cells = 8
+	const ops = 36
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("d%02d", i)
+	}
+	return &Workload{Name: "pdt", PoolBytes: 1 << 21, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		// possible[k] is the set of states key k may recover to.
+		mapPoss := make(map[string]map[string]bool)
+		setPoss := make(map[string]map[string]bool)
+		arrPoss := make([]map[int64]bool, cells)
+		mapCur := make(map[string]string)
+		setCur := make(map[string]bool)
+		arrCur := make([]int64, cells)
+		for _, k := range keys {
+			mapPoss[k] = map[string]bool{absentState: true}
+			setPoss[k] = map[string]bool{absentState: true}
+		}
+		for i := range arrPoss {
+			arrPoss[i] = map[int64]bool{0: true}
+		}
+		var h *core.Heap
+		var m *pdt.Map
+		var s *pdt.Set
+		var arr *pdt.PLongArray
+		collapse := func() {
+			for _, k := range keys {
+				if v, ok := mapCur[k]; ok {
+					mapPoss[k] = map[string]bool{v: true}
+				} else {
+					mapPoss[k] = map[string]bool{absentState: true}
+				}
+				if setCur[k] {
+					setPoss[k] = map[string]bool{"present": true}
+				} else {
+					setPoss[k] = map[string]bool{absentState: true}
+				}
+			}
+			for i := range arrPoss {
+				arrPoss[i] = map[int64]bool{arrCur[i]: true}
+			}
+		}
+		return &Run{
+			Setup: func(pool *nvm.Pool) error {
+				var err error
+				h, err = openCheckHeap(pool, pdt.Classes(), fa.NewManager(), 1)
+				if err != nil {
+					return err
+				}
+				if m, err = pdt.NewMap(h, pdt.MirrorHash); err != nil {
+					return err
+				}
+				if err = h.Root().Put("pdt.map", m); err != nil {
+					return err
+				}
+				if s, err = pdt.NewSet(h, pdt.MirrorTree); err != nil {
+					return err
+				}
+				if err = h.Root().Put("pdt.set", s.Map()); err != nil {
+					return err
+				}
+				if arr, err = pdt.NewLongArray(h, cells); err != nil {
+					return err
+				}
+				return h.Root().Put("pdt.arr", arr)
+			},
+			Exec: func(pool *nvm.Pool) error {
+				for i := 0; i < ops; i++ {
+					switch rng.Intn(7) {
+					case 0, 1: // map put
+						k := keys[rng.Intn(nkeys)]
+						v := fmt.Sprintf("m%03d", i)
+						mapPoss[k][v] = true
+						ps, err := pdt.NewString(h, v)
+						if err != nil {
+							return err
+						}
+						if err := m.Put(k, ps); err != nil {
+							return fmt.Errorf("map put %s: %w", k, err)
+						}
+						mapCur[k] = v
+					case 2: // map delete
+						k := keys[rng.Intn(nkeys)]
+						mapPoss[k][absentState] = true
+						m.Delete(k)
+						delete(mapCur, k)
+					case 3: // set add
+						k := keys[rng.Intn(nkeys)]
+						setPoss[k]["present"] = true
+						if err := s.Add(k); err != nil {
+							return fmt.Errorf("set add %s: %w", k, err)
+						}
+						setCur[k] = true
+					case 4: // set delete
+						k := keys[rng.Intn(nkeys)]
+						setPoss[k][absentState] = true
+						s.Delete(k)
+						delete(setCur, k)
+					case 5: // array store + per-element flush + fence
+						i2 := rng.Intn(cells)
+						v := int64(rng.Intn(1 << 30))
+						arrPoss[i2][v] = true
+						arr.Set(i2, v)
+						arr.FlushElem(i2)
+						h.PFence()
+						arrCur[i2] = v
+						// The fence made exactly this cell durable.
+						arrPoss[i2] = map[int64]bool{v: true}
+					case 6: // checkpoint: everything becomes durable
+						h.PSync()
+						collapse()
+					}
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				h2, err := openCheckHeap(img, pdt.Classes(), fa.NewManager(), parallelism)
+				if err != nil {
+					return fmt.Errorf("reopen: %w", err)
+				}
+				if err := fsckClean(h2); err != nil {
+					return err
+				}
+				mpo, err := h2.Root().Get("pdt.map")
+				if err != nil {
+					return fmt.Errorf("root pdt.map: %w", err)
+				}
+				m2 := mpo.(*pdt.Map)
+				spo, err := h2.Root().Get("pdt.set")
+				if err != nil {
+					return fmt.Errorf("root pdt.set: %w", err)
+				}
+				s2 := pdt.AsSet(spo.(*pdt.Map))
+				apo, err := h2.Root().Get("pdt.arr")
+				if err != nil {
+					return fmt.Errorf("root pdt.arr: %w", err)
+				}
+				arr2 := apo.(*pdt.PLongArray)
+				for _, k := range keys {
+					vpo, err := m2.Get(k)
+					if err != nil {
+						return fmt.Errorf("map get %s: %w", k, err)
+					}
+					state := absentState
+					if vpo != nil {
+						ps, ok := vpo.(*pdt.PString)
+						if !ok {
+							return fmt.Errorf("map %s: half-initialized value %T", k, vpo)
+						}
+						state = ps.Value()
+					}
+					if !mapPoss[k][state] {
+						return fmt.Errorf("map %s: recovered %q not in legal states %v", k, state, stateNames(mapPoss[k]))
+					}
+					sstate := absentState
+					if s2.Contains(k) {
+						sstate = "present"
+					}
+					if !setPoss[k][sstate] {
+						return fmt.Errorf("set %s: recovered %q not in legal states %v", k, sstate, stateNames(setPoss[k]))
+					}
+				}
+				for _, k := range m2.Keys() {
+					if !strings.HasPrefix(k, "d") {
+						return fmt.Errorf("phantom map key %q", k)
+					}
+				}
+				for i := 0; i < cells; i++ {
+					if v := arr2.Get(i); !arrPoss[i][v] {
+						return fmt.Errorf("array[%d]: recovered %d not in legal states %v (word tear?)", i, v, int64Keys(arrPoss[i]))
+					}
+				}
+				// Writability probe.
+				ps, err := pdt.NewString(h2, "probe")
+				if err != nil {
+					return fmt.Errorf("post-recovery alloc: %w", err)
+				}
+				if err := m2.Put("d-probe", ps); err != nil {
+					return fmt.Errorf("post-recovery put: %w", err)
+				}
+				arr2.Set(0, 42)
+				arr2.FlushElem(0)
+				h2.PFence()
+				if arr2.Get(0) != 42 {
+					return fmt.Errorf("post-recovery array write lost")
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+func stateNames(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		if k == absentState {
+			k = "<absent>"
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func int64Keys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,319 @@
+package nvm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+)
+
+// ---- Fault plane (injectable ordering-point observer) ----
+//
+// The crash-consistency explorer (internal/crashmc) needs to see every
+// point at which the persistence order of a workload could be cut short
+// by a power failure. Those points are exactly the ordering primitives of
+// §3.2.2 plus the stores themselves: a crash can land before any given
+// store, before any given PWB, or before any given fence. A FaultPlane
+// installed on a tracked pool is invoked once per such point, *before*
+// the primitive takes effect, so "crash at point k" means the k-th
+// primitive (and everything after it) never executed.
+
+// FaultKind identifies which ordering primitive an event precedes.
+type FaultKind int
+
+const (
+	// FaultStore precedes a store of Len bytes at Off.
+	FaultStore FaultKind = iota
+	// FaultPWB precedes the queueing of one cache line; Off is the
+	// line-aligned offset and Len is LineSize. A PWBRange over n lines
+	// raises n FaultPWB events.
+	FaultPWB
+	// FaultPFence precedes a PFence (write-pending queue drain).
+	FaultPFence
+	// FaultPSync precedes a PSync.
+	FaultPSync
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultStore:
+		return "store"
+	case FaultPWB:
+		return "pwb"
+	case FaultPFence:
+		return "pfence"
+	case FaultPSync:
+		return "psync"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent describes one ordering point.
+type FaultEvent struct {
+	Kind FaultKind
+	Off  uint64 // store offset, or line offset for FaultPWB; 0 for fences
+	Len  uint64 // store length, or LineSize for FaultPWB; 0 for fences
+}
+
+// FaultPlane observes ordering points. OrderingPoint runs on the calling
+// goroutine with no pool locks held, so it may call CaptureCrashState and
+// may panic to abandon the workload at that instant (the idiom crashmc
+// uses to "pull the plug"). If the pool is used from several goroutines
+// the plane must be safe for concurrent calls.
+type FaultPlane interface {
+	OrderingPoint(FaultEvent)
+}
+
+// faultHolder wraps the interface value so it can live in an
+// atomic.Pointer (interfaces are two words and not atomically storable).
+type faultHolder struct{ fp FaultPlane }
+
+// SetFaultPlane installs (or, with nil, removes) the pool's fault plane.
+// Safe to call concurrently with pool use; primitives already past their
+// observation point complete unobserved.
+func (p *Pool) SetFaultPlane(fp FaultPlane) {
+	if fp == nil {
+		p.plane.Store(nil)
+		return
+	}
+	p.plane.Store(&faultHolder{fp: fp})
+}
+
+func (p *Pool) observe(kind FaultKind, off, n uint64) {
+	h := p.plane.Load()
+	if h == nil {
+		return
+	}
+	h.fp.OrderingPoint(FaultEvent{Kind: kind, Off: off, Len: n})
+}
+
+// planeField is embedded in Pool via the plane member; declared here to
+// keep all fault-plane code in one file.
+type planeField = atomic.Pointer[faultHolder]
+
+// ---- Crash states and adversarial images ----
+
+// CrashSource selects which content of a pending line a CrashLine applies.
+type CrashSource int
+
+const (
+	// CrashFromSnapshot applies the line's pwb-time snapshot (the content
+	// sitting in the write-pending queue). Only valid for queued lines.
+	CrashFromSnapshot CrashSource = iota
+	// CrashFromCurrent applies the line's cache content at capture time,
+	// modeling an eviction racing the failure. Valid for any pending line.
+	CrashFromCurrent
+)
+
+// PendingLine describes one cache line that had not yet reached durable
+// NVMM when the state was captured.
+type PendingLine struct {
+	Line   uint64 // line-aligned offset
+	Queued bool   // holds a pwb-time snapshot awaiting a fence
+	Dirty  bool   // stored to since its last PWB
+}
+
+// CrashLine is one entry of a crash-image specification: persist (part
+// of) a pending line on top of the durable image. Split carves the line
+// at an 8-byte boundary — aligned 8-byte stores are atomic on the modeled
+// hardware (x86), so tears never land inside an aligned word, but any
+// multi-word value can be cut. Split 0 applies the whole line; otherwise
+// Split must be a multiple of 8 in (0, LineSize), and Tail selects which
+// side of the boundary persists ([0,Split) when false, [Split,LineSize)
+// when true). Entries apply in order, so composing {snapshot, whole}
+// followed by {current, head} models a line whose old flush survived and
+// whose re-dirtied head was then partially evicted.
+type CrashLine struct {
+	Line   uint64
+	Source CrashSource
+	Split  uint64
+	Tail   bool
+}
+
+type pendingData struct {
+	snap  []byte // pwb-time snapshot; nil when the line is not queued
+	cur   []byte // cache content at capture time
+	dirty bool
+}
+
+// CrashState is an immutable copy of a tracked pool's persistence state —
+// the durable image plus every pending line's snapshot and cache content.
+// It is captured once (cheaply, under the pool lock) and can then mint
+// any number of crash images while the original pool keeps running or is
+// torn down; in particular it is immune to stores issued after capture,
+// which is what lets crashmc capture at a panic site and build images
+// after unwinding through deferred writes (e.g. fa's Abort-on-panic).
+type CrashState struct {
+	size    int
+	opts    Options
+	durable []byte
+	lines   map[uint64]pendingData
+}
+
+// CaptureCrashState snapshots the pool's persistence state. Panics if the
+// pool is not tracked.
+func (p *Pool) CaptureCrashState() *CrashState {
+	if !p.opts.Tracked {
+		panic("nvm: CaptureCrashState requires a tracked pool")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs := &CrashState{
+		size:    len(p.data),
+		opts:    p.opts,
+		durable: append([]byte(nil), p.durable...),
+		lines:   make(map[uint64]pendingData, len(p.queued)+len(p.dirty)),
+	}
+	lineCopy := func(line uint64) []byte {
+		end := line + LineSize
+		if end > uint64(len(p.data)) {
+			end = uint64(len(p.data))
+		}
+		out := make([]byte, LineSize)
+		copy(out, p.data[line:end])
+		return out
+	}
+	for line, snap := range p.queued {
+		cs.lines[line] = pendingData{
+			snap:  append([]byte(nil), snap...),
+			cur:   lineCopy(line),
+			dirty: p.dirty[line],
+		}
+	}
+	for line := range p.dirty {
+		if _, ok := cs.lines[line]; !ok {
+			cs.lines[line] = pendingData{cur: lineCopy(line), dirty: true}
+		}
+	}
+	return cs
+}
+
+// Pending lists the captured pending lines in ascending line order.
+func (cs *CrashState) Pending() []PendingLine {
+	out := make([]PendingLine, 0, len(cs.lines))
+	for line, pd := range cs.lines {
+		out = append(out, PendingLine{Line: line, Queued: pd.snap != nil, Dirty: pd.dirty})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// Size returns the size of the captured pool.
+func (cs *CrashState) Size() int { return cs.size }
+
+// Image materializes a crash image: the durable snapshot with the given
+// spec entries applied in order. The returned pool is tracked (its
+// durable image equals its data) and independent of the original. Panics
+// on a spec entry naming a non-pending line, a CrashFromSnapshot entry
+// for an unqueued line, or an invalid Split.
+func (cs *CrashState) Image(spec []CrashLine) *Pool {
+	img := New(cs.size, cs.opts)
+	copy(img.data, cs.durable)
+	for _, cl := range spec {
+		pd, ok := cs.lines[cl.Line]
+		if !ok {
+			panic(fmt.Sprintf("nvm: CrashLine %#x is not a pending line", cl.Line))
+		}
+		var src []byte
+		switch cl.Source {
+		case CrashFromSnapshot:
+			if pd.snap == nil {
+				panic(fmt.Sprintf("nvm: CrashLine %#x requests snapshot of unqueued line", cl.Line))
+			}
+			src = pd.snap
+		case CrashFromCurrent:
+			src = pd.cur
+		default:
+			panic(fmt.Sprintf("nvm: invalid CrashSource %d", cl.Source))
+		}
+		start, end := uint64(0), uint64(LineSize)
+		if cl.Split != 0 {
+			if cl.Split%8 != 0 || cl.Split >= LineSize {
+				panic(fmt.Sprintf("nvm: invalid Split %d (want multiple of 8 in (0,%d))", cl.Split, LineSize))
+			}
+			if cl.Tail {
+				start = cl.Split
+			} else {
+				end = cl.Split
+			}
+		}
+		lineEnd := cl.Line + end
+		if lineEnd > uint64(cs.size) {
+			lineEnd = uint64(cs.size)
+		}
+		if cl.Line+start >= lineEnd {
+			continue
+		}
+		copy(img.data[cl.Line+start:lineEnd], src[start:end])
+	}
+	if img.opts.Tracked {
+		copy(img.durable, img.data)
+	}
+	return img
+}
+
+// SampleSpec draws a random crash-image specification: each pending line
+// is independently dropped, persisted whole, or torn at a random 8-byte
+// boundary, from its snapshot or its cache content (both reachable for
+// queued-then-redirtied lines, including composed old-flush +
+// partial-eviction mixes). alwaysTear forces every retained line to be
+// torn, the most adversarial sub-line setting. Deterministic in rng.
+func (cs *CrashState) SampleSpec(rng *rand.Rand, alwaysTear bool) []CrashLine {
+	var spec []CrashLine
+	tearOf := func(cl CrashLine) CrashLine {
+		cl.Split = 8 * uint64(1+rng.Intn(LineSize/8-1))
+		cl.Tail = rng.Intn(2) == 0
+		return cl
+	}
+	for _, pl := range cs.Pending() {
+		if rng.Intn(3) == 0 {
+			continue // dropped: this line stays at its durable content
+		}
+		cl := CrashLine{Line: pl.Line}
+		switch {
+		case pl.Queued && pl.Dirty:
+			// Both states exist; sometimes compose them (flush landed,
+			// then part of the newer content was evicted on top).
+			if rng.Intn(4) == 0 {
+				spec = append(spec, CrashLine{Line: pl.Line, Source: CrashFromSnapshot})
+				cl.Source = CrashFromCurrent
+				spec = append(spec, tearOf(cl))
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				cl.Source = CrashFromSnapshot
+			} else {
+				cl.Source = CrashFromCurrent
+			}
+		case pl.Queued:
+			cl.Source = CrashFromSnapshot
+		default:
+			cl.Source = CrashFromCurrent
+		}
+		if alwaysTear || rng.Intn(4) == 0 {
+			cl = tearOf(cl)
+		}
+		spec = append(spec, cl)
+	}
+	return spec
+}
+
+// PolicyImage materializes a crash image under one of the named policies.
+// rng is only consulted by CrashRandom and CrashTorn.
+func (cs *CrashState) PolicyImage(policy CrashPolicy, rng *rand.Rand) *Pool {
+	switch policy {
+	case CrashStrict:
+		return cs.Image(nil)
+	case CrashAll:
+		spec := make([]CrashLine, 0, len(cs.lines))
+		for _, pl := range cs.Pending() {
+			spec = append(spec, CrashLine{Line: pl.Line, Source: CrashFromCurrent})
+		}
+		return cs.Image(spec)
+	case CrashRandom:
+		return cs.Image(cs.SampleSpec(rng, false))
+	case CrashTorn:
+		return cs.Image(cs.SampleSpec(rng, true))
+	}
+	panic(fmt.Sprintf("nvm: unknown crash policy %d", policy))
+}

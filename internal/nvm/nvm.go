@@ -53,8 +53,15 @@ const (
 	// correct in this lenient world.
 	CrashAll
 	// CrashRandom retains a random subset of the dirty and queued lines,
-	// modeling arbitrary cache evictions racing the failure.
+	// modeling arbitrary cache evictions racing the failure. Retained
+	// lines may persist their pwb-time snapshot, their newer cache
+	// content, or a composition of the two, and may tear at an 8-byte
+	// boundary (see CrashState.SampleSpec).
 	CrashRandom
+	// CrashTorn is CrashRandom with every retained line torn at a random
+	// 8-byte boundary — the most adversarial sub-line setting. Aligned
+	// 8-byte words stay atomic (as on x86); anything wider can be cut.
+	CrashTorn
 )
 
 // Options configures a Pool.
@@ -85,6 +92,10 @@ type Pool struct {
 	durable []byte            // what survives a crash (tracked mode only)
 	dirty   map[uint64]bool   // lines stored to since their last PWB
 	queued  map[uint64][]byte // lines PWB'd but not yet fenced: pwb-time snapshot
+
+	// plane, when set, observes every ordering point (store/PWB/fence)
+	// before it takes effect; see fault.go.
+	plane planeField
 
 	stats obs.NVMStats // lock-free primitive counters (stores/pwb/pfence/psync)
 }
@@ -175,6 +186,7 @@ func (p *Pool) View(off, n uint64) []byte {
 // WriteUint64 stores an 8-byte little-endian word.
 func (p *Pool) WriteUint64(off, v uint64) {
 	p.check(off, 8)
+	p.observe(FaultStore, off, 8)
 	binary.LittleEndian.PutUint64(p.data[off:], v)
 	p.noteStore(off, 8)
 }
@@ -182,6 +194,7 @@ func (p *Pool) WriteUint64(off, v uint64) {
 // WriteUint32 stores a 4-byte little-endian word.
 func (p *Pool) WriteUint32(off uint64, v uint32) {
 	p.check(off, 4)
+	p.observe(FaultStore, off, 4)
 	binary.LittleEndian.PutUint32(p.data[off:], v)
 	p.noteStore(off, 4)
 }
@@ -189,6 +202,7 @@ func (p *Pool) WriteUint32(off uint64, v uint32) {
 // WriteUint16 stores a 2-byte little-endian word.
 func (p *Pool) WriteUint16(off uint64, v uint16) {
 	p.check(off, 2)
+	p.observe(FaultStore, off, 2)
 	binary.LittleEndian.PutUint16(p.data[off:], v)
 	p.noteStore(off, 2)
 }
@@ -196,6 +210,7 @@ func (p *Pool) WriteUint16(off uint64, v uint16) {
 // WriteUint8 stores one byte.
 func (p *Pool) WriteUint8(off uint64, v byte) {
 	p.check(off, 1)
+	p.observe(FaultStore, off, 1)
 	p.data[off] = v
 	p.noteStore(off, 1)
 }
@@ -203,6 +218,10 @@ func (p *Pool) WriteUint8(off uint64, v byte) {
 // WriteBytes stores src at off.
 func (p *Pool) WriteBytes(off uint64, src []byte) {
 	p.check(off, uint64(len(src)))
+	if len(src) == 0 {
+		return
+	}
+	p.observe(FaultStore, off, uint64(len(src)))
 	copy(p.data[off:], src)
 	p.noteStore(off, uint64(len(src)))
 }
@@ -210,6 +229,10 @@ func (p *Pool) WriteBytes(off uint64, src []byte) {
 // Zero clears n bytes starting at off.
 func (p *Pool) Zero(off, n uint64) {
 	p.check(off, n)
+	if n == 0 {
+		return
+	}
+	p.observe(FaultStore, off, n)
 	clear(p.data[off : off+n])
 	p.noteStore(off, n)
 }
@@ -219,6 +242,10 @@ func (p *Pool) Zero(off, n uint64) {
 func (p *Pool) CopyWithin(dst, src, n uint64) {
 	p.check(src, n)
 	p.check(dst, n)
+	if n == 0 {
+		return
+	}
+	p.observe(FaultStore, dst, n)
 	copy(p.data[dst:dst+n], p.data[src:src+n])
 	p.noteStore(dst, n)
 }
@@ -230,9 +257,11 @@ func (p *Pool) CopyWithin(dst, src, n uint64) {
 // next fence, and only for the content the line had when PWB was called.
 func (p *Pool) PWB(off uint64) {
 	p.check(off, 1)
+	line := off &^ (LineSize - 1)
+	p.observe(FaultPWB, line, LineSize)
 	p.stats.PWBs.Inc()
 	if p.opts.Tracked {
-		p.queueLine(off &^ (LineSize - 1))
+		p.queueLine(line)
 	}
 	if p.opts.FlushLatency > 0 {
 		spinWait(p.opts.FlushLatency)
@@ -240,6 +269,8 @@ func (p *Pool) PWB(off uint64) {
 }
 
 // PWBRange issues a PWB for every cache line overlapping [off, off+n).
+// Each line is its own ordering point: a crash can land between any two
+// of them, leaving a prefix of the range queued.
 func (p *Pool) PWBRange(off, n uint64) {
 	if n == 0 {
 		return
@@ -249,7 +280,14 @@ func (p *Pool) PWBRange(off, n uint64) {
 	last := (off + n - 1) &^ (LineSize - 1)
 	lines := (last-first)/LineSize + 1
 	p.stats.PWBs.Add(lines)
-	if p.opts.Tracked {
+	if p.plane.Load() != nil {
+		for l := first; l <= last; l += LineSize {
+			p.observe(FaultPWB, l, LineSize)
+			if p.opts.Tracked {
+				p.queueLine(l)
+			}
+		}
+	} else if p.opts.Tracked {
 		for l := first; l <= last; l += LineSize {
 			p.queueLine(l)
 		}
@@ -264,6 +302,7 @@ func (p *Pool) PWBRange(off, n uint64) {
 // thanks to ADR — a fence after clwb makes the queued lines durable. The
 // tracked model therefore drains the write-pending queue here.
 func (p *Pool) PFence() {
+	p.observe(FaultPFence, 0, 0)
 	p.stats.PFences.Inc()
 	p.fence()
 }
@@ -271,6 +310,7 @@ func (p *Pool) PFence() {
 // PSync behaves as PFence and additionally guarantees the write-pending
 // queue reached NVMM (identical on the modeled hardware; see §4.4).
 func (p *Pool) PSync() {
+	p.observe(FaultPSync, 0, 0)
 	p.stats.PSyncs.Inc()
 	p.fence()
 }
@@ -343,41 +383,14 @@ func (p *Pool) queueLine(line uint64) {
 
 // CrashImage returns a new tracked pool holding what would survive a crash
 // at this instant under the given policy. The original pool is unchanged
-// and may keep running (useful to compare diverging futures). Panics if the
-// pool is not tracked.
+// and may keep running (useful to compare diverging futures). Built on
+// CaptureCrashState/PolicyImage, so CrashRandom covers sub-line tears and
+// both states of a queued-then-redirtied line (the snapshot awaiting its
+// fence and the newer content racing eviction), including compositions of
+// the two — the cases the old per-map coin flips could not reach. Panics
+// if the pool is not tracked.
 func (p *Pool) CrashImage(policy CrashPolicy, rng *rand.Rand) *Pool {
-	if !p.opts.Tracked {
-		panic("nvm: CrashImage requires a tracked pool")
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	img := New(len(p.data), p.opts)
-	copy(img.data, p.durable)
-	switch policy {
-	case CrashStrict:
-		// durable only
-	case CrashAll:
-		copy(img.data, p.data)
-	case CrashRandom:
-		// Queued lines may persist with their pwb-time snapshot; dirty
-		// lines may be evicted with their current content.
-		for line, snap := range p.queued {
-			if rng.Intn(2) == 0 {
-				copy(img.data[line:], snap)
-			}
-		}
-		for line := range p.dirty {
-			if rng.Intn(2) == 0 {
-				end := line + LineSize
-				if end > uint64(len(p.data)) {
-					end = uint64(len(p.data))
-				}
-				copy(img.data[line:end], p.data[line:end])
-			}
-		}
-	}
-	copy(img.durable, img.data)
-	return img
+	return p.CaptureCrashState().PolicyImage(policy, rng)
 }
 
 // DurableEqualsData reports whether every byte of the pool has been made

@@ -103,7 +103,7 @@ func (s *HeapStats) Snapshot(bump, freeBlocks, totalBlocks uint64) HeapSnapshot 
 
 		TransientReuse: s.TransientReuse.Load(),
 
-		Bump: bump,
+		Bump:        bump,
 		FreeBlocks:  freeBlocks,
 		TotalBlocks: totalBlocks,
 	}

@@ -69,6 +69,13 @@ type JNVMBank struct {
 // published in the same failure-atomic block, so no invalid-but-reachable
 // object can exist after a crash.
 func OpenJNVMBank(pool *nvm.Pool, accounts int, skipGraphGC bool) (*JNVMBank, error) {
+	return OpenJNVMBankRec(pool, accounts, skipGraphGC, core.RecoverOptions{})
+}
+
+// OpenJNVMBankRec is OpenJNVMBank with explicit recovery options, so the
+// crash explorer can pin recovery to the serial oracle or the parallel
+// pipeline.
+func OpenJNVMBankRec(pool *nvm.Pool, accounts int, skipGraphGC bool, rec core.RecoverOptions) (*JNVMBank, error) {
 	mgr := fa.NewManager()
 	classes := append(pdt.Classes(), Classes()...)
 	h, err := core.Open(pool, core.Config{
@@ -76,6 +83,7 @@ func OpenJNVMBank(pool *nvm.Pool, accounts int, skipGraphGC bool) (*JNVMBank, er
 		Classes:     classes,
 		LogHandler:  mgr,
 		SkipGraphGC: skipGraphGC,
+		Recover:     rec,
 	})
 	if err != nil {
 		return nil, err

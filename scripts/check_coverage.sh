@@ -1,0 +1,30 @@
+#!/bin/sh
+# Enforce the committed coverage floor (results/coverage_floor.txt) against
+# a coverage profile produced by `go test -coverprofile`. The floor is a
+# ratchet: raise it when coverage genuinely improves, never lower it to
+# make a PR pass.
+#
+# Usage: scripts/check_coverage.sh [profile]   (default: coverage.out)
+set -eu
+
+profile=${1:-coverage.out}
+floor_file=$(dirname "$0")/../results/coverage_floor.txt
+
+if [ ! -f "$profile" ]; then
+    echo "check_coverage: profile $profile not found" >&2
+    exit 2
+fi
+
+floor=$(tr -d ' \n' <"$floor_file")
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
+if [ -z "$total" ]; then
+    echo "check_coverage: no total line in $profile" >&2
+    exit 2
+fi
+
+echo "coverage: ${total}% of statements (floor ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 < f+0) }'; then
+    echo "check_coverage: coverage ${total}% fell below the ${floor}% floor" >&2
+    exit 1
+fi
