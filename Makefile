@@ -9,8 +9,8 @@ STATICCHECK_VERSION ?= 2024.1.1
 # concurrent mirror rebuild).
 RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/...
 
-.PHONY: check vet build test race bench bench-recovery microbench \
-	lint fmt-check staticcheck crashmc-smoke coverage
+.PHONY: check vet build test race bench bench-read bench-recovery \
+	microbench lint fmt-check staticcheck crashmc-smoke coverage
 
 check: vet build test race
 
@@ -42,6 +42,13 @@ race:
 # BENCH_baseline.json against the committed copy.
 bench:
 	$(GO) run ./cmd/baseline -out BENCH_baseline.json
+
+# Read-path allocation gate (DESIGN.md §14): runs the MapGet/GridRead
+# benchmarks with -benchmem and fails if the zero-copy and proxy-cached
+# fast paths report any allocs/op, or the fallback regimes exceed their
+# ceilings. CI runs this on every push.
+bench-read:
+	./scripts/check_allocs.sh
 
 # Recovery-time scaling: load a large heap, crash it, re-open the image
 # once per worker count. workers=1 is the paper's serial §4.1.3 procedure;

@@ -1,10 +1,13 @@
 // Command baseline records the repository's performance baseline: short
-// YCSB-A/B passes over the J-NVM backends plus a multi-goroutine TPC-B
-// transfer pass, each annotated with the persistence-primitive rates
-// (pwb/op, pfence/op) from the shared obs layer. The output file
+// YCSB-A/B/C/F passes over the three J-NVM backends plus a
+// multi-goroutine TPC-B transfer pass, each annotated with the
+// persistence-primitive rates (pwb/op, pfence/op) and the Go allocation
+// rate (allocs/op) from the shared obs layer. The output file
 // (BENCH_baseline.json via `make bench`) anchors the perf trajectory of
 // the optimization PRs: each pipeline change re-runs it and diffs the
-// throughput and flush-rate columns against the committed baseline.
+// throughput, flush-rate and allocation columns against the committed
+// baseline. num_cpu is recorded per row so cross-host runs stay
+// comparable.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -29,7 +33,10 @@ type Row struct {
 	Bench       string  `json:"bench"`
 	Backend     string  `json:"backend"`
 	Threads     int     `json:"threads"`
+	Ops         int     `json:"ops"`
+	NumCPU      int     `json:"num_cpu"`
 	KopsSec     float64 `json:"kops_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 	PWBPerOp    float64 `json:"pwb_per_op"`
 	PFencePerOp float64 `json:"pfence_per_op"`
 	StoresPerOp float64 `json:"stores_per_op"`
@@ -74,9 +81,16 @@ func main() {
 		Transfers:   *transfers,
 	}
 
-	for _, wl := range []string{"A", "B"} {
-		for _, bk := range []bench.BackendKind{bench.JPFA, bench.JPDT} {
-			row, err := runYCSB(wl, bk, *records, *ops, *threads)
+	for _, wl := range []string{"A", "B", "C", "F"} {
+		for _, bk := range []bench.BackendKind{bench.JPFA, bench.JPDT, bench.PCJ} {
+			n := *ops
+			if bk == bench.PCJ {
+				// PCJ pays an emulated JNI crossing per field access;
+				// a shortened pass keeps `make bench` fast without
+				// changing the per-op columns.
+				n = *ops / 20
+			}
+			row, err := runYCSB(wl, bk, *records, n, *threads)
 			if err != nil {
 				fatal(err)
 			}
@@ -103,6 +117,11 @@ func main() {
 }
 
 func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int) (Row, error) {
+	// Rows share one process; without reclaiming the previous rows' pools
+	// and garbage first, GC pressure from earlier envs bleeds into this
+	// row's numbers (alloc-heavy workloads lose up to 4x on one CPU).
+	runtime.GC()
+	debug.FreeOSMemory()
 	cfg := ycsb.MustWorkload(wl)
 	cfg.RecordCount = records
 	cfg.Operations = ops
@@ -120,20 +139,28 @@ func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int) (Row, e
 		return Row{}, fmt.Errorf("load %s/%s: %w", wl, bk, err)
 	}
 	before := env.Snapshot()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	res, err := ycsb.Run(env.Grid, cfg)
 	if err != nil {
 		return Row{}, fmt.Errorf("run %s/%s: %w", wl, bk, err)
 	}
+	runtime.ReadMemStats(&msAfter)
 	stack := env.Snapshot().Sub(*before)
 	row := Row{
 		Bench:       "ycsb-" + wl,
 		Backend:     string(bk),
 		Threads:     threads,
+		Ops:         int(res.Operations),
+		NumCPU:      runtime.NumCPU(),
 		KopsSec:     res.Throughput() / 1000,
 		PWBPerOp:    stack.PWBPerOp,
 		PFencePerOp: stack.PFencePerOp,
 		StoresPerOp: stack.StoresPerOp,
 		Stack:       &stack,
+	}
+	if res.Operations > 0 {
+		row.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Operations)
 	}
 	if stack.FA != nil && stack.Ops > 0 {
 		row.CoalescedPerOp = float64(stack.FA.SavedLines) / float64(stack.Ops)
@@ -183,6 +210,8 @@ func runTPCB(accounts, transfers, clients int) (Row, error) {
 		Bench:       "tpcb",
 		Backend:     "J-PFA",
 		Threads:     clients,
+		Ops:         per * clients,
+		NumCPU:      runtime.NumCPU(),
 		KopsSec:     done / elapsed.Seconds() / 1000,
 		PWBPerOp:    float64(delta.PWBs) / done,
 		PFencePerOp: float64(delta.Fences()) / done,
@@ -196,11 +225,11 @@ func runTPCB(accounts, transfers, clients int) (Row, error) {
 }
 
 func printRows(rows []Row) {
-	fmt.Printf("%-10s%-8s%9s%12s%10s%12s%12s%14s%10s\n",
-		"bench", "backend", "threads", "Kops/s", "pwb/op", "pfence/op", "stores/op", "coalesced/op", "warm-tx%")
+	fmt.Printf("%-10s%-8s%9s%12s%11s%10s%12s%12s%14s%10s\n",
+		"bench", "backend", "threads", "Kops/s", "allocs/op", "pwb/op", "pfence/op", "stores/op", "coalesced/op", "warm-tx%")
 	for _, r := range rows {
-		fmt.Printf("%-10s%-8s%9d%12.1f%10.2f%12.2f%12.1f%14.2f%10.1f\n",
-			r.Bench, r.Backend, r.Threads, r.KopsSec, r.PWBPerOp, r.PFencePerOp, r.StoresPerOp,
+		fmt.Printf("%-10s%-8s%9d%12.1f%11.2f%10.2f%12.2f%12.1f%14.2f%10.1f\n",
+			r.Bench, r.Backend, r.Threads, r.KopsSec, r.AllocsPerOp, r.PWBPerOp, r.PFencePerOp, r.StoresPerOp,
 			r.CoalescedPerOp, r.WarmTxPct)
 	}
 }

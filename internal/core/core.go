@@ -268,6 +268,29 @@ func (o *Object) ReadRef(off uint64) Ref { return o.ReadUint64(off) }
 // by construction: there is no way to name a volatile Go value here.
 func (o *Object) WriteRef(off uint64, r Ref) { o.WriteUint64(off, r) }
 
+// ReadRefAtomic loads a reference field with atomic (acquire) semantics
+// when the backing word is 8-aligned in the pool, falling back to a plain
+// load otherwise. The lock-free read path uses it to observe refs a
+// concurrent writer publishes with WriteRefAtomic; misaligned words (only
+// the 124-byte slot class produces them) are served by the locked path on
+// both sides, so the plain fallback never races an atomic store.
+func (o *Object) ReadRefAtomic(off uint64) Ref {
+	if p, ok := o.locate(off, 8); ok && p%8 == 0 {
+		return o.h.pool.ReadUint64Atomic(p)
+	}
+	return o.ReadUint64(off)
+}
+
+// WriteRefAtomic stores a reference field with atomic (release) semantics
+// under the same alignment rule as ReadRefAtomic.
+func (o *Object) WriteRefAtomic(off uint64, r Ref) {
+	if p, ok := o.locate(off, 8); ok && p%8 == 0 {
+		o.h.pool.WriteUint64Atomic(p, r)
+		return
+	}
+	o.WriteUint64(off, r)
+}
+
 // ReadObject dereferences the reference field at off, resurrecting a proxy
 // for the target (§3.1). Returns nil for a null reference.
 func (o *Object) ReadObject(off uint64) (PObject, error) {
@@ -348,16 +371,18 @@ func (o *Object) Invalidate() {
 // AtomicUpdateRef atomically updates the reference field at off to point
 // to n (§4.1.6, Figure 6): the new object is validated and fenced before
 // becoming reachable, so the recovery pass can never nullify the
-// reference. A nil n clears the field.
+// reference. A nil n clears the field. The ref store itself is atomic
+// (WriteRefAtomic) so lock-free readers observe either the old or the
+// new reference, never a torn word.
 func (o *Object) AtomicUpdateRef(off uint64, n PObject) {
 	if n == nil {
-		o.WriteRef(off, 0)
+		o.WriteRefAtomic(off, 0)
 		o.PWBField(off, 8)
 		return
 	}
 	n.Core().Validate()
 	o.h.pool.PFence()
-	o.WriteRef(off, n.Core().Ref())
+	o.WriteRefAtomic(off, n.Core().Ref())
 	o.PWBField(off, 8)
 }
 

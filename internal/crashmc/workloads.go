@@ -18,11 +18,12 @@ import (
 
 // Workloads returns the registry of crash-exploration scenarios, one per
 // persistence discipline in the system: failure-atomic blocks (bank),
-// the store's J-PFA backend (grid), transactional allocation/free
-// (pool), and the non-transactional single-fence publication of the
-// J-PDT types (pdt).
+// the store's J-PFA backend (grid), the J-PDT backend with the zero-copy
+// read path and EBR deferral active (gridread), transactional
+// allocation/free (pool), and the non-transactional single-fence
+// publication of the J-PDT types (pdt).
 func Workloads() []*Workload {
-	return []*Workload{bankWorkload(), gridWorkload(), poolWorkload(), pdtWorkload()}
+	return []*Workload{bankWorkload(), gridWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload()}
 }
 
 // ByName resolves a workload; "all" is handled by callers.
@@ -302,6 +303,184 @@ func gridWorkload() *Workload {
 					return fmt.Errorf("post-recovery insert: %w", err)
 				}
 				if v, err := read("probe"); err != nil || string(v) != "ok" {
+					return fmt.Errorf("post-recovery readback: %q, %v", v, err)
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+// ---- gridread: J-PDT backend, zero-copy reads, EBR deferral ----
+
+// gridReadWorkload crashes the store's fastest path: the J-PDT backend
+// behind a cache-less grid, which adopts the seqlock zero-copy reader and
+// enables epoch-based reclamation on the heap. Writes follow the
+// non-transactional §4.1.6 discipline (validate+fence before the swing,
+// fence before the free), so the per-key oracle is a *set* of legal
+// states: every value written since the op whose internal fence last made
+// the world durable, plus the fenced state. Reads interleave with the
+// writes so crash points land while retired-but-unreclaimed blocks exist,
+// and every Check recovers the image and re-reads through a fresh
+// zero-copy grid.
+func gridReadWorkload() *Workload {
+	const nkeys = 8
+	const ops = 36
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%02d", i)
+	}
+	return &Workload{Name: "gridread", PoolBytes: 1 << 21, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[string][]byte)         // committed value per key; missing = absent
+		poss := make(map[string]map[string]bool) // legal recovered states per key
+		for _, k := range keys {
+			poss[k] = map[string]bool{absentState: true}
+		}
+		// collapse records that a global fence just made the committed
+		// model durable for every key.
+		collapse := func() {
+			for _, k := range keys {
+				if v, ok := model[k]; ok {
+					poss[k] = map[string]bool{string(v): true}
+				} else {
+					poss[k] = map[string]bool{absentState: true}
+				}
+			}
+		}
+		var g *store.Grid
+		mkval := func(i int) []byte {
+			n := 8 + rng.Intn(72)
+			if rng.Intn(4) == 0 {
+				n = 280 + rng.Intn(120) // chained blob: defeats the view reader
+			}
+			v := make([]byte, n)
+			for j := range v {
+				v[j] = byte('a' + (i+j)%26)
+			}
+			return v
+		}
+		read := func(gr *store.Grid, key string) ([]byte, error) {
+			var val []byte
+			found := false
+			err := gr.Read(key, func(name string, v []byte) {
+				if name == "v" {
+					val = append([]byte(nil), v...)
+					found = true
+				}
+			})
+			if err == store.ErrNotFound {
+				return nil, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			if !found {
+				return nil, fmt.Errorf("record %s has no field v", key)
+			}
+			return val, nil
+		}
+		return &Run{
+			Setup: func(pool *nvm.Pool) error {
+				h, err := openCheckHeap(pool, gridClasses(), fa.NewManager(), 1)
+				if err != nil {
+					return err
+				}
+				backend, err := store.NewJPDTBackend(h, "gridread.map")
+				if err != nil {
+					return err
+				}
+				// No record cache, so the grid adopts the zero-copy read
+				// path and turns on EBR.
+				g = store.NewGrid(backend, store.Options{})
+				return nil
+			},
+			Exec: func(pool *nvm.Pool) error {
+				for i := 0; i < ops; i++ {
+					key := keys[rng.Intn(nkeys)]
+					switch rng.Intn(6) {
+					case 0, 1, 2: // write: insert when absent, update otherwise
+						v := mkval(i)
+						if model[key] == nil {
+							// Map.Put fences mid-op, *before* publication:
+							// the binding rides unfenced, and crash points
+							// earlier in the op still see the pre-fence
+							// world, so nothing collapses here.
+							poss[key][string(v)] = true
+							if err := g.Insert(key, &store.Record{Fields: []store.Field{{Name: "v", Value: v}}}); err != nil {
+								return fmt.Errorf("op %d insert %s: %w", i, key, err)
+							}
+							model[key] = v
+						} else {
+							poss[key][string(v)] = true
+							if err := g.Update(key, []store.Field{{Name: "v", Value: v}}); err != nil {
+								return fmt.Errorf("op %d update %s: %w", i, key, err)
+							}
+							// AtomicReplaceRef fenced the swing before
+							// freeing the old value: everything committed
+							// is now durable.
+							model[key] = v
+							collapse()
+						}
+					case 3: // delete when present (Remove fences the unlink)
+						if model[key] == nil {
+							continue
+						}
+						poss[key][absentState] = true
+						if err := g.Delete(key); err != nil {
+							return fmt.Errorf("op %d delete %s: %w", i, key, err)
+						}
+						delete(model, key)
+						collapse()
+					default: // read through the zero-copy path, checked live
+						got, err := read(g, key)
+						if err != nil {
+							return fmt.Errorf("op %d read %s: %w", i, key, err)
+						}
+						if !bytes.Equal(got, model[key]) || (got == nil) != (model[key] == nil) {
+							return fmt.Errorf("op %d read %s: got %q, model %q", i, key, got, model[key])
+						}
+					}
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				h, err := openCheckHeap(img, gridClasses(), fa.NewManager(), parallelism)
+				if err != nil {
+					return fmt.Errorf("reopen: %w", err)
+				}
+				if err := fsckClean(h); err != nil {
+					return err
+				}
+				backend, err := store.NewJPDTBackend(h, "gridread.map")
+				if err != nil {
+					return fmt.Errorf("reopen backend: %w", err)
+				}
+				// The recovered grid adopts zero-copy again, so every
+				// crash image is re-read through the view path.
+				g2 := store.NewGrid(backend, store.Options{})
+				for _, key := range keys {
+					got, err := read(g2, key)
+					if err != nil {
+						return fmt.Errorf("read %s: %w", key, err)
+					}
+					state := absentState
+					if got != nil {
+						state = string(got)
+					}
+					if !poss[key][state] {
+						return fmt.Errorf("key %s: recovered %q not in %d legal states", key, state, len(poss[key]))
+					}
+				}
+				// Writability probe: the recovered heap must accept the
+				// full op mix through the same path.
+				if err := g2.Insert("probe", &store.Record{Fields: []store.Field{{Name: "v", Value: []byte("ok")}}}); err != nil {
+					return fmt.Errorf("post-recovery insert: %w", err)
+				}
+				if err := g2.Update("probe", []store.Field{{Name: "v", Value: []byte("ok2")}}); err != nil {
+					return fmt.Errorf("post-recovery update: %w", err)
+				}
+				if v, err := read(g2, "probe"); err != nil || string(v) != "ok2" {
 					return fmt.Errorf("post-recovery readback: %q, %v", v, err)
 				}
 				return nil

@@ -183,20 +183,18 @@ func (h *Heap) FreeRaw(r Ref) {
 // invalidated (flushed, not fenced — §4.1.5 lets the caller batch one
 // fence over a whole graph of frees) and all blocks go back to the
 // volatile free queue. Pooled slots are routed to the slot allocator.
+// With EBR enabled the free is deferred past the readers' grace period
+// (see ebr.go); until then the object stays valid-but-unreachable, which
+// recovery reclaims after a crash.
 func (h *Heap) FreeObject(r Ref) {
 	if r == 0 {
 		return
 	}
-	if !h.IsBlockRef(r) {
-		h.small.free(r)
+	if h.ebr.enabled.Load() {
+		h.retire(r)
 		return
 	}
-	blocks := h.Blocks(r)
-	h.SetValid(r, false)
-	for _, b := range blocks {
-		h.free.push(h.BlockIndex(b))
-	}
-	h.stats.ObjFrees.Inc()
+	h.reclaim(r)
 }
 
 // Stats reports occupancy: blocks handed out from the arena top, blocks in

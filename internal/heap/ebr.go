@@ -1,0 +1,172 @@
+package heap
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-based reclamation for the lock-free read path (DESIGN.md §14).
+//
+// The zero-copy read path dereferences refs it loaded without holding any
+// lock, so a concurrent Delete must not recycle the referenced blocks and
+// slots while a reader may still be inside them. With EBR enabled, frees
+// become two-phase: FreeObject retires the ref with the current epoch, and
+// the actual free (header invalidation, block/slot recycling) runs only
+// once every reader slot pinned at retire time has since unpinned.
+//
+// The safety argument (all accesses below are Go atomics, hence SC):
+// a reader pins a slot *before* loading any ref; a writer nullifies the
+// published ref *before* retiring it. If a reader's ref load returned the
+// old ref, that load preceded the nullify in the SC order, so the pin
+// preceded the reclaimer's later slot scan — the scan sees the pin, and
+// the strict `epoch < minActive` reclaim condition keeps the entry (the
+// retire epoch is never below an already-pinned reader's epoch, because
+// epochs are monotonic and the retire happens after the reader's epoch
+// load). If instead the scan saw the slot free, the reader pinned after
+// the scan and its ref load can only observe the nullified word.
+//
+// Crash safety: a retired-but-unreclaimed object is valid-but-unreachable
+// NVMM. That is exactly the state recovery's sweep reclaims (§4.1.3), so
+// a crash between retire and reclaim leaks nothing. The one exception is
+// the SkipGraphGC ("J-PFA-nogc") recovery mode, which skips the sweep and
+// would leak (not corrupt) such objects until the next full recovery.
+//
+// EBR is opt-in (EnableEBR); with it off, FreeObject frees eagerly as
+// before, so heaps without lock-free readers keep their immediate-reuse
+// behavior and test expectations.
+
+const (
+	// ebrSlots bounds concurrent pinned readers. PinReader returns -1 when
+	// every slot is busy; callers then fall back to their locked path, so
+	// the bound only sheds zero-copy traffic, never blocks it.
+	ebrSlots = 64
+	// ebrBatch is how many retired objects accumulate before a reclaim
+	// pass runs.
+	ebrBatch = 32
+)
+
+type ebrRetired struct {
+	ref   Ref
+	epoch uint64
+}
+
+type ebrState struct {
+	enabled atomic.Bool
+	// epoch is even and advances by 2; a pinned slot holds epoch|1, so 0
+	// always means "free".
+	epoch atomic.Uint64
+	slots [ebrSlots]struct {
+		v atomic.Uint64
+		_ [56]byte // one slot per cache line
+	}
+
+	mu      sync.Mutex
+	retired []ebrRetired
+}
+
+// EnableEBR switches the heap to deferred (epoch-based) reclamation.
+// Called once by components that install lock-free readers; there is no
+// way back because eager frees would race pins already handed out.
+func (h *Heap) EnableEBR() { h.ebr.enabled.Store(true) }
+
+// EBREnabled reports whether deferred reclamation is active.
+func (h *Heap) EBREnabled() bool { return h.ebr.enabled.Load() }
+
+// PinReader claims a reader slot at the current epoch and returns its
+// index, or -1 if all slots are busy. The hint spreads unrelated readers
+// across slots (pass a key hash). Callers must UnpinReader the returned
+// slot after their last access to loaded refs, and must pin *before*
+// loading any ref they will dereference.
+func (h *Heap) PinReader(hint uint32) int {
+	e := &h.ebr
+	for i := uint32(0); i < ebrSlots; i++ {
+		s := &e.slots[(hint+i)%ebrSlots]
+		if s.v.Load() != 0 {
+			continue
+		}
+		if s.v.CompareAndSwap(0, e.epoch.Load()|1) {
+			return int((hint + i) % ebrSlots)
+		}
+	}
+	return -1
+}
+
+// UnpinReader releases a slot returned by PinReader.
+func (h *Heap) UnpinReader(slot int) {
+	h.ebr.slots[slot].v.Store(0)
+}
+
+// retire queues r for reclamation after the current readers' grace period.
+func (h *Heap) retire(r Ref) {
+	e := &h.ebr
+	e.mu.Lock()
+	e.retired = append(e.retired, ebrRetired{ref: r, epoch: e.epoch.Load()})
+	n := len(e.retired)
+	e.mu.Unlock()
+	if n >= ebrBatch {
+		h.tryReclaim()
+	}
+}
+
+// tryReclaim advances the epoch and frees every retired object whose
+// grace period has passed.
+func (h *Heap) tryReclaim() {
+	e := &h.ebr
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epoch.Add(2)
+	minActive := e.epoch.Load()
+	for i := range e.slots {
+		if v := e.slots[i].v.Load(); v != 0 {
+			if pinned := v - 1; pinned < minActive {
+				minActive = pinned
+			}
+		}
+	}
+	keep := e.retired[:0]
+	for _, t := range e.retired {
+		if t.epoch < minActive {
+			h.reclaim(t.ref)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	clear(e.retired[len(keep):])
+	e.retired = keep
+}
+
+// reclaim performs the real free of a retired object (the pre-EBR
+// FreeObject body).
+func (h *Heap) reclaim(r Ref) {
+	if !h.IsBlockRef(r) {
+		h.small.free(r)
+		return
+	}
+	blocks := h.Blocks(r)
+	h.SetValid(r, false)
+	for _, b := range blocks {
+		h.free.push(h.BlockIndex(b))
+	}
+	h.stats.ObjFrees.Inc()
+}
+
+// ReclaimBarrier drains the retired list, waiting for in-flight readers
+// to unpin. Tests and shutdown paths use it to restore the eager-free
+// invariant before asserting on allocator state.
+func (h *Heap) ReclaimBarrier() {
+	e := &h.ebr
+	if !e.enabled.Load() {
+		return
+	}
+	for {
+		h.tryReclaim()
+		e.mu.Lock()
+		n := len(e.retired)
+		e.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+}

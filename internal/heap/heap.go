@@ -139,6 +139,8 @@ type Heap struct {
 
 	small smallAllocator
 
+	ebr ebrState // deferred reclamation for lock-free readers (ebr.go)
+
 	stats obs.HeapStats // allocator counters (object, small-pool, block source)
 }
 

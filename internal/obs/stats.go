@@ -192,12 +192,24 @@ func (s FASnapshot) Sub(prev FASnapshot) FASnapshot {
 // Grid operation names, in display order.
 var GridOps = []string{"insert", "read", "update", "rmw", "delete", "scan"}
 
+// ReadStats counts the zero-copy read path (DESIGN.md §14): how often a
+// read streamed NVMM views directly, how often it fell back to the locked
+// deep-copy path, how many generation races the seqlock validation caught,
+// and how contended the mirror shard locks are.
+type ReadStats struct {
+	ZeroCopyHits   Counter // reads served as views with a clean generation check
+	CopyFallbacks  Counter // zero-copy attempts diverted to the locked path
+	SeqlockRetries Counter // generation races detected after the consume callback
+	ShardLockWaits Counter // contended mirror-shard lock acquisitions
+}
+
 // GridStats holds the per-operation latency histograms of the grid front
 // door plus the record-cache counters (lock-free: the hit/miss counters
 // used to take a mutex on every read).
 type GridStats struct {
 	CacheHits   Counter
 	CacheMisses Counter
+	ReadPath    ReadStats
 
 	Insert Histogram
 	Read   Histogram
@@ -228,9 +240,15 @@ func (s *GridStats) Op(name string) *Histogram {
 
 // GridSnapshot is an immutable copy of GridStats.
 type GridSnapshot struct {
-	CacheHits   uint64                       `json:"cache_hits"`
-	CacheMisses uint64                       `json:"cache_misses"`
-	PerOp       map[string]HistogramSnapshot `json:"per_op"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+
+	ZeroCopyHits   uint64 `json:"zero_copy_hits"`
+	CopyFallbacks  uint64 `json:"copy_fallbacks"`
+	SeqlockRetries uint64 `json:"seqlock_retries"`
+	ShardLockWaits uint64 `json:"mirror_shard_lock_waits"`
+
+	PerOp map[string]HistogramSnapshot `json:"per_op"`
 }
 
 // Snapshot captures the counters and every per-op histogram.
@@ -238,7 +256,13 @@ func (s *GridStats) Snapshot() GridSnapshot {
 	out := GridSnapshot{
 		CacheHits:   s.CacheHits.Load(),
 		CacheMisses: s.CacheMisses.Load(),
-		PerOp:       make(map[string]HistogramSnapshot, len(GridOps)),
+
+		ZeroCopyHits:   s.ReadPath.ZeroCopyHits.Load(),
+		CopyFallbacks:  s.ReadPath.CopyFallbacks.Load(),
+		SeqlockRetries: s.ReadPath.SeqlockRetries.Load(),
+		ShardLockWaits: s.ReadPath.ShardLockWaits.Load(),
+
+		PerOp: make(map[string]HistogramSnapshot, len(GridOps)),
 	}
 	for _, op := range GridOps {
 		if h := s.Op(op); h.Count() > 0 {
@@ -262,7 +286,13 @@ func (s GridSnapshot) Sub(prev GridSnapshot) GridSnapshot {
 	out := GridSnapshot{
 		CacheHits:   s.CacheHits - prev.CacheHits,
 		CacheMisses: s.CacheMisses - prev.CacheMisses,
-		PerOp:       make(map[string]HistogramSnapshot, len(s.PerOp)),
+
+		ZeroCopyHits:   s.ZeroCopyHits - prev.ZeroCopyHits,
+		CopyFallbacks:  s.CopyFallbacks - prev.CopyFallbacks,
+		SeqlockRetries: s.SeqlockRetries - prev.SeqlockRetries,
+		ShardLockWaits: s.ShardLockWaits - prev.ShardLockWaits,
+
+		PerOp: make(map[string]HistogramSnapshot, len(s.PerOp)),
 	}
 	for op, h := range s.PerOp {
 		d := h.Sub(prev.PerOp[op])
@@ -458,6 +488,10 @@ func (s StackSnapshot) Report(w io.Writer) {
 				ns(h.Percentile(0.99)), ns(h.Max))
 		}
 		fmt.Fprintf(w, "cache: %d hits, %d misses\n", s.Grid.CacheHits, s.Grid.CacheMisses)
+		if g := s.Grid; g.ZeroCopyHits+g.CopyFallbacks+g.SeqlockRetries+g.ShardLockWaits > 0 {
+			fmt.Fprintf(w, "read path: %d zero-copy, %d copy fallbacks, %d seqlock retries, %d shard-lock waits\n",
+				g.ZeroCopyHits, g.CopyFallbacks, g.SeqlockRetries, g.ShardLockWaits)
+		}
 	}
 	if s.NVM != nil {
 		if s.Ops > 0 {

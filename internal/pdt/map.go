@@ -3,6 +3,7 @@ package pdt
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/fa"
+	"repro/internal/obs"
 )
 
 // MirrorKind selects the volatile logic of a persistent map (§4.3.2: "for
@@ -87,18 +89,6 @@ func (c *hotCache) del(k string) {
 	c.mu.Unlock()
 }
 
-// mirror is the volatile lookup structure: key -> slot index in the
-// persistent reference array.
-type mirror interface {
-	get(key string) (int, bool)
-	put(key string, idx int)
-	del(key string) bool
-	len() int
-	forEach(fn func(key string, idx int) bool)
-	ascend(from string, fn func(key string, idx int) bool)
-	ordered() bool
-}
-
 // Map is the persistent map of §4.3.2. The durable state is a PRefArray
 // whose slots reference key/value pair objects; adding or removing a
 // binding is a single reference write in NVMM, so the structure is always
@@ -107,17 +97,25 @@ type mirror interface {
 //
 // Header layout: arrRef (8) | kind (8).
 //
-// Map is safe for concurrent use; in the store integration the surrounding
-// lock striping (the Infinispan locks of §5.3.2) already serializes
-// per-key access, so the internal RWMutex is uncontended in practice.
+// Concurrency (DESIGN.md §14): readers never take a map-global lock.
+// A lookup holds only its key's mirror shard in read mode (which, by the
+// mirror's locking protocol, also keeps the binding's array slot and pair
+// stable), and loads the ref words atomically. Structural writers — Put
+// of a new key, Delete, Remove, array growth, the transactional paths —
+// serialize on wmu and additionally take the key's shard write lock for
+// the window that retires or publishes a binding. Put over an existing
+// binding mutates only that pair's value word and runs concurrently with
+// everything else; same-key exclusion between such updates and readers is
+// the caller's (e.g. the grid's lock striping, as with Infinispan in
+// §5.3.2).
 type Map struct {
 	*core.Object
 
-	mu    sync.RWMutex
-	arr   *PRefArray
+	wmu   sync.Mutex                // serializes structural writers
+	arrp  atomic.Pointer[PRefArray] // current backing array, atomically swapped by growth
 	kind  MirrorKind
 	mir   mirror
-	slots []int // free slot indices
+	slots []int // free slot indices (guarded by wmu)
 	mode  CacheMode
 	cache proxyCache // nil in base mode
 }
@@ -132,6 +130,13 @@ const (
 	pairVal = 8
 	pairLen = 16
 )
+
+// pairValOff is the pool offset of a pair's value-reference word. Pairs
+// are 16-byte payloads behind an 8-byte header in both representations
+// (block header or pooled-slot mini-header), so the payload always starts
+// at pref+8. The word is 8-aligned (pairs live in the 24-byte slot class
+// or a block), so atomic access is always available.
+func pairValOff(pref core.Ref) uint64 { return pref + 8 + pairVal }
 
 // NewMap creates an empty persistent map with the given mirror kind. The
 // map object is validated; the caller publishes it (root map, field
@@ -151,7 +156,7 @@ func NewMap(h *core.Heap, kind MirrorKind) (*Map, error) {
 	m.PWB()
 	arr.Validate()
 	m.Validate()
-	m.arr = arr
+	m.arrp.Store(arr)
 	m.kind = kind
 	m.mir = newMirror(kind)
 	for i := arr.Cap() - 1; i >= 0; i-- {
@@ -160,14 +165,11 @@ func NewMap(h *core.Heap, kind MirrorKind) (*Map, error) {
 	return m, nil
 }
 
-func newMirror(kind MirrorKind) mirror {
-	switch kind {
-	case MirrorTree:
-		return &treeMirror{t: container.NewRBTree[int]()}
-	case MirrorSkip:
-		return &skipMirror{s: container.NewSkipList[int](0x5eed)}
-	default:
-		return &hashMirror{m: make(map[string]int)}
+// SetReadObs wires the read-path counters (mirror shard-lock waits) into
+// the given stats block. Call before serving traffic.
+func (m *Map) SetReadObs(rs *obs.ReadStats) {
+	if rs != nil {
+		m.mir.setWaits(&rs.ShardLockWaits)
 	}
 }
 
@@ -183,22 +185,23 @@ const rebuildParallelMin = 4096
 // Large arrays are scanned by the heap's recovery worker fleet
 // (core.RecoverOptions): workers read their segments — slot refs, pair
 // refs, key bytes — and the mirror inserts, free-slot appends and
-// retirement writes happen in a serial merge in segment order, since none
-// of the mirrors are concurrency-safe. The merged mirror, free-slot order
+// retirement writes happen in a serial merge in segment order, since the
+// mirror table ops are unsynchronized. The merged mirror, free-slot order
 // and persistent state are identical to the serial scan's.
 func (m *Map) OnResurrect() {
 	h := m.Heap()
-	m.arr = &PRefArray{Object: h.Inspect(m.ReadRef(mapArrRef))}
+	arr := &PRefArray{Object: h.Inspect(m.ReadRef(mapArrRef))}
+	m.arrp.Store(arr)
 	m.kind = MirrorKind(m.ReadUint64(mapKind))
 	m.mir = newMirror(m.kind)
 	m.slots = m.slots[:0]
 	start := time.Now()
-	n := m.arr.Cap()
+	n := arr.Cap()
 	cleaned := false
 	if workers := h.RecoverParallelism(); workers > 1 && n >= rebuildParallelMin {
-		cleaned = m.rebuildParallel(h, n, workers)
+		cleaned = m.rebuildParallel(h, arr, n, workers)
 	} else {
-		cleaned = m.rebuildSerial(h, n)
+		cleaned = m.rebuildSerial(h, arr, n)
 	}
 	if cleaned {
 		h.PFence()
@@ -208,9 +211,9 @@ func (m *Map) OnResurrect() {
 	ro.RebuildEntries.Add(uint64(m.mir.len()))
 }
 
-func (m *Map) rebuildSerial(h *core.Heap, n int) (cleaned bool) {
+func (m *Map) rebuildSerial(h *core.Heap, arr *PRefArray, n int) (cleaned bool) {
 	for i := 0; i < n; i++ {
-		pref := m.arr.GetRef(i)
+		pref := arr.GetRef(i)
 		if pref == 0 {
 			m.slots = append(m.slots, i)
 			continue
@@ -221,7 +224,7 @@ func (m *Map) rebuildSerial(h *core.Heap, n int) (cleaned bool) {
 		if kref == 0 || vref == 0 {
 			// A crash raced the publication: the recovery traversal
 			// nullified half the binding. Retire the slot entirely.
-			m.arr.SetRef(i, 0)
+			arr.SetRef(i, 0)
 			if kref != 0 {
 				h.Mem().FreeObject(kref)
 			}
@@ -235,7 +238,7 @@ func (m *Map) rebuildSerial(h *core.Heap, n int) (cleaned bool) {
 	return cleaned
 }
 
-func (m *Map) rebuildParallel(h *core.Heap, n, workers int) (cleaned bool) {
+func (m *Map) rebuildParallel(h *core.Heap, arr *PRefArray, n, workers int) (cleaned bool) {
 	type binding struct {
 		idx int
 		key string
@@ -270,7 +273,7 @@ func (m *Map) rebuildParallel(h *core.Heap, n, workers int) (cleaned bool) {
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					pref := m.arr.GetRef(i)
+					pref := arr.GetRef(i)
 					if pref == 0 {
 						seg.slots = append(seg.slots, i)
 						continue
@@ -292,10 +295,10 @@ func (m *Map) rebuildParallel(h *core.Heap, n, workers int) (cleaned bool) {
 	for s := range results {
 		seg := &results[s]
 		for _, i := range seg.retire {
-			pref := m.arr.GetRef(i)
+			pref := arr.GetRef(i)
 			pair := h.Inspect(pref)
 			kref := pair.ReadRef(pairKey)
-			m.arr.SetRef(i, 0)
+			arr.SetRef(i, 0)
 			if kref != 0 {
 				h.Mem().FreeObject(kref)
 			}
@@ -317,23 +320,24 @@ func (m *Map) SetCacheMode(mode CacheMode) error {
 	if mode == CacheHot {
 		return fmt.Errorf("pdt: use SetCacheHot for the bounded variant")
 	}
-	m.mu.Lock()
+	m.wmu.Lock()
 	m.mode = mode
 	if mode == CacheNone {
 		m.cache = nil
 	} else {
 		m.cache = &unboundedCache{}
 	}
-	m.mu.Unlock()
+	m.wmu.Unlock()
 	if mode != CacheEager {
 		return nil
 	}
 	var err error
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mir.rlockAll()
+	defer m.mir.runlockAll()
 	h := m.Heap()
+	arr := m.arrp.Load()
 	m.mir.forEach(func(key string, idx int) bool {
-		pair := h.Inspect(m.arr.GetRef(idx))
+		pair := h.Inspect(arr.GetRef(idx))
 		po, e := h.Resurrect(pair.ReadRef(pairVal))
 		if e != nil {
 			err = e
@@ -348,40 +352,43 @@ func (m *Map) SetCacheMode(mode CacheMode) error {
 // SetCacheHot switches to the bounded hottest-proxies variant with the
 // given capacity.
 func (m *Map) SetCacheHot(capacity int) {
-	m.mu.Lock()
+	m.wmu.Lock()
 	m.mode = CacheHot
 	m.cache = &hotCache{lru: container.NewLRU[core.PObject](capacity, nil)}
-	m.mu.Unlock()
+	m.wmu.Unlock()
 }
 
 // Kind returns the persisted mirror kind.
 func (m *Map) Kind() MirrorKind { return MirrorKind(m.ReadUint64(mapKind)) }
 
 // Len returns the number of bindings.
-func (m *Map) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.mir.len()
-}
+func (m *Map) Len() int { return m.mir.len() }
 
 // Contains reports whether key is bound.
 func (m *Map) Contains(key string) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mir.rlock(key)
 	_, ok := m.mir.get(key)
+	m.mir.runlock(key)
 	return ok
 }
 
 // GetRef returns the value reference bound to key (0 if unbound), without
-// building a proxy.
+// building a proxy. Allocation-free: the mirror lookup runs under the
+// key's shard read lock (which also pins the binding against Delete and
+// growth) and the pair's value word is loaded atomically straight from
+// the pool.
 func (m *Map) GetRef(key string) core.Ref {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mir.rlock(key)
+	defer m.mir.runlock(key)
 	idx, ok := m.mir.get(key)
 	if !ok {
 		return 0
 	}
-	return m.Heap().Inspect(m.arr.GetRef(idx)).ReadRef(pairVal)
+	pref := m.arrp.Load().GetRefAtomic(idx)
+	if pref == 0 {
+		return 0
+	}
+	return m.Heap().Pool().ReadUint64Atomic(pairValOff(pref))
 }
 
 // Get resurrects the value bound to key (nil if unbound). In the cached
@@ -402,7 +409,7 @@ func (m *Map) Get(key string) (core.PObject, error) {
 		return nil, err
 	}
 	if c := m.cache; c != nil {
-		c.put(key, po)
+		c.put(strings.Clone(key), po)
 	}
 	return po, nil
 }
@@ -411,33 +418,37 @@ func (m *Map) Get(key string) (core.PObject, error) {
 // key string and a pair, publishes everything under a single fence, and
 // writes one reference slot; an existing binding atomically replaces (and
 // frees) the previous value (§4.1.6). The map owns keys and pairs; values
-// passed in become owned by the map.
+// passed in become owned by the map. The key may be transient (reused by
+// the caller): the map clones it before retaining it.
 func (m *Map) Put(key string, val core.PObject) error {
 	h := m.Heap()
 	// Fast path: updating an existing binding mutates only that pair, so
-	// the map lock is held in read mode and concurrent updates to other
-	// keys proceed in parallel (same-key exclusion is the caller's, e.g.
-	// the grid's lock striping, as with Infinispan in §5.3.2).
-	m.mu.RLock()
+	// only the key's shard read lock is held and concurrent updates to
+	// other keys proceed in parallel (same-key exclusion is the caller's,
+	// e.g. the grid's lock striping, as with Infinispan in §5.3.2).
+	m.mir.rlock(key)
 	if idx, ok := m.mir.get(key); ok {
-		pair := h.Inspect(m.arr.GetRef(idx))
-		pair.AtomicReplaceRef(pairVal, val)
-		c := m.cache
-		m.mu.RUnlock()
-		if c != nil {
-			c.put(key, val)
+		if pref := m.arrp.Load().GetRefAtomic(idx); pref != 0 {
+			pair := h.Inspect(pref)
+			pair.AtomicReplaceRef(pairVal, val)
+			c := m.cache
+			m.mir.runlock(key)
+			if c != nil {
+				c.put(strings.Clone(key), val)
+			}
+			return nil
 		}
-		return nil
 	}
-	m.mu.RUnlock()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mir.runlock(key)
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
 	// Re-check: another goroutine may have inserted the key meanwhile.
+	// Under wmu no writer can race this unsynchronized mirror read.
 	if idx, ok := m.mir.get(key); ok {
-		pair := h.Inspect(m.arr.GetRef(idx))
+		pair := h.Inspect(m.arrp.Load().GetRefAtomic(idx))
 		pair.AtomicReplaceRef(pairVal, val)
 		if m.cache != nil {
-			m.cache.put(key, val)
+			m.cache.put(strings.Clone(key), val)
 		}
 		return nil
 	}
@@ -464,36 +475,39 @@ func (m *Map) Put(key string, val core.PObject) error {
 	val.Core().Validate()
 	pair.Validate()
 	h.PFence()
-	m.arr.SetRef(idx, pair.Ref())
+	key = strings.Clone(key)
+	m.mir.lock(key)
+	m.arrp.Load().SetRefAtomic(idx, pair.Ref())
 	m.mir.put(key, idx)
-	m.slotsPushCancel(idx)
+	m.mir.unlock(key)
 	if m.cache != nil {
 		m.cache.put(key, val)
 	}
 	return nil
 }
 
-// slotsPushCancel is a no-op marker kept for symmetry; the slot was
-// already popped by takeSlotLocked.
-func (m *Map) slotsPushCancel(int) {}
-
 // Delete unbinds key and frees the pair, the key string and the value.
 // It reports whether the key was bound.
 func (m *Map) Delete(key string) bool {
 	h := m.Heap()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	m.mir.lock(key)
 	idx, ok := m.mir.get(key)
 	if !ok {
+		m.mir.unlock(key)
 		return false
 	}
-	pref := m.arr.GetRef(idx)
+	arr := m.arrp.Load()
+	pref := arr.GetRef(idx)
 	pair := h.Inspect(pref)
 	kref := pair.ReadRef(pairKey)
 	vref := pair.ReadRef(pairVal)
 	// One reference write unbinds; the fence orders it before the frees'
 	// invalidations (§4.1.5: a single fence covers a graph of frees).
-	m.arr.SetRef(idx, 0)
+	// The store is atomic so an unlocked (pinned) reader sees the old
+	// pair ref or null, never a torn word.
+	arr.SetRefAtomic(idx, 0)
 	h.PFence()
 	h.Mem().FreeObject(pref)
 	h.Mem().FreeObject(kref)
@@ -501,6 +515,7 @@ func (m *Map) Delete(key string) bool {
 		h.Mem().FreeObject(vref)
 	}
 	m.mir.del(key)
+	m.mir.unlock(key)
 	m.slots = append(m.slots, idx)
 	if m.cache != nil {
 		m.cache.del(key)
@@ -512,23 +527,27 @@ func (m *Map) Delete(key string) bool {
 // instead of freeing it.
 func (m *Map) Remove(key string) (core.PObject, error) {
 	h := m.Heap()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	m.mir.lock(key)
 	idx, ok := m.mir.get(key)
 	if !ok {
+		m.mir.unlock(key)
 		return nil, nil
 	}
-	pref := m.arr.GetRef(idx)
+	arr := m.arrp.Load()
+	pref := arr.GetRef(idx)
 	pair := h.Inspect(pref)
 	kref := pair.ReadRef(pairKey)
 	vref := pair.ReadRef(pairVal)
-	m.arr.SetRef(idx, 0)
+	arr.SetRefAtomic(idx, 0)
 	h.PFence()
 	h.Mem().FreeObject(pref)
 	if kref != vref {
 		h.Mem().FreeObject(kref)
 	}
 	m.mir.del(key)
+	m.mir.unlock(key)
 	m.slots = append(m.slots, idx)
 	if m.cache != nil {
 		m.cache.del(key)
@@ -539,13 +558,13 @@ func (m *Map) Remove(key string) (core.PObject, error) {
 // Keys returns all keys; sorted for ordered mirrors, unspecified order
 // otherwise.
 func (m *Map) Keys() []string {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mir.rlockAll()
 	out := make([]string, 0, m.mir.len())
 	m.mir.forEach(func(k string, _ int) bool {
 		out = append(out, k)
 		return true
 	})
+	m.mir.runlockAll()
 	if !m.mir.ordered() {
 		sort.Strings(out)
 	}
@@ -559,22 +578,27 @@ func (m *Map) ForEach(fn func(key string, val core.PObject) bool) error {
 		key string
 		idx int
 	}
-	m.mu.RLock()
+	m.mir.rlockAll()
 	snapshot := make([]kv, 0, m.mir.len())
 	m.mir.forEach(func(k string, idx int) bool {
 		snapshot = append(snapshot, kv{k, idx})
 		return true
 	})
-	m.mu.RUnlock()
+	m.mir.runlockAll()
 	h := m.Heap()
 	for _, e := range snapshot {
-		m.mu.RLock()
-		pref := m.arr.GetRef(e.idx)
-		m.mu.RUnlock()
-		if pref == 0 {
+		// Re-read the binding under its shard lock: it may have been
+		// deleted (vref 0) or replaced since the snapshot.
+		m.mir.rlock(e.key)
+		vref := core.Ref(0)
+		if pref := m.arrp.Load().GetRefAtomic(e.idx); pref != 0 {
+			vref = h.Pool().ReadUint64Atomic(pairValOff(pref))
+		}
+		m.mir.runlock(e.key)
+		if vref == 0 {
 			continue
 		}
-		po, err := h.Resurrect(h.Inspect(pref).ReadRef(pairVal))
+		po, err := h.Resurrect(vref)
 		if err != nil {
 			return err
 		}
@@ -588,24 +612,32 @@ func (m *Map) ForEach(fn func(key string, val core.PObject) bool) error {
 // Ascend iterates bindings with key >= from in key order; it requires an
 // ordered mirror (tree or skip list).
 func (m *Map) Ascend(from string, fn func(key string, val core.PObject) bool) error {
-	m.mu.RLock()
 	if !m.mir.ordered() {
-		m.mu.RUnlock()
 		return fmt.Errorf("pdt: Ascend requires an ordered mirror (kind %d is hash)", m.kind)
 	}
 	type kv struct {
 		key string
 		idx int
 	}
+	m.mir.rlockAll()
 	var snapshot []kv
 	m.mir.ascend(from, func(k string, idx int) bool {
 		snapshot = append(snapshot, kv{k, idx})
 		return true
 	})
-	m.mu.RUnlock()
+	m.mir.runlockAll()
 	h := m.Heap()
 	for _, e := range snapshot {
-		po, err := h.Resurrect(h.Inspect(m.arr.GetRef(e.idx)).ReadRef(pairVal))
+		m.mir.rlock(e.key)
+		vref := core.Ref(0)
+		if pref := m.arrp.Load().GetRefAtomic(e.idx); pref != 0 {
+			vref = h.Pool().ReadUint64Atomic(pairValOff(pref))
+		}
+		m.mir.runlock(e.key)
+		if vref == 0 {
+			continue
+		}
+		po, err := h.Resurrect(vref)
 		if err != nil {
 			return err
 		}
@@ -617,7 +649,10 @@ func (m *Map) Ascend(from string, fn func(key string, val core.PObject) bool) er
 }
 
 // takeSlotLocked pops a free slot, growing the persistent array when none
-// remain (atomic swing, §4.1.6).
+// remain (atomic swing, §4.1.6). Callers hold wmu. Growth takes every
+// mirror shard lock for the swap window so no reader holds the old array
+// while it is freed; with EBR active the old array's blocks additionally
+// wait out the readers' grace period.
 func (m *Map) takeSlotLocked() (int, error) {
 	if n := len(m.slots); n > 0 {
 		idx := m.slots[n-1]
@@ -625,17 +660,20 @@ func (m *Map) takeSlotLocked() (int, error) {
 		return idx, nil
 	}
 	h := m.Heap()
-	oldCap := m.arr.Cap()
+	arr := m.arrp.Load()
+	oldCap := arr.Cap()
 	bigger, err := NewRefArray(h, oldCap*2)
 	if err != nil {
 		return 0, err
 	}
 	for i := 0; i < oldCap; i++ {
-		bigger.WriteRef(uint64(i)*8, m.arr.GetRef(i))
+		bigger.WriteRef(uint64(i)*8, arr.GetRef(i))
 	}
 	bigger.PWB()
+	m.mir.lockAll()
 	m.AtomicReplaceRef(mapArrRef, bigger)
-	m.arr = bigger
+	m.arrp.Store(bigger)
+	m.mir.unlockAll()
 	for i := bigger.Cap() - 1; i > oldCap; i-- {
 		m.slots = append(m.slots, i)
 	}
@@ -650,10 +688,10 @@ func (m *Map) takeSlotLocked() (int, error) {
 // lock striping does.
 func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 	h := m.Heap()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
 	if idx, ok := m.mir.get(key); ok {
-		pair := h.Inspect(m.arr.GetRef(idx))
+		pair := h.Inspect(m.arrp.Load().GetRef(idx))
 		oldRef, err := tx.ReadRef(pair, pairVal)
 		if err != nil {
 			return err
@@ -671,6 +709,7 @@ func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 			}
 		}
 		if m.cache != nil {
+			key := strings.Clone(key)
 			tx.Defer(func() { m.cache.put(key, val) })
 		}
 		return nil
@@ -691,15 +730,20 @@ func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 	// Direct writes: the pair is invalid until commit.
 	pair.WriteRef(pairKey, ks.Ref())
 	pair.WriteRef(pairVal, val.Core().Ref())
-	if err := tx.WriteRef(m.arr.Object, uint64(idx)*8, pair.Ref()); err != nil {
+	if err := tx.WriteRef(m.arrp.Load().Object, uint64(idx)*8, pair.Ref()); err != nil {
 		return err
 	}
+	key = strings.Clone(key)
+	m.mir.lock(key)
 	m.mir.put(key, idx)
+	m.mir.unlock(key)
 	tx.OnAbort(func() {
-		m.mu.Lock()
+		m.wmu.Lock()
+		m.mir.lock(key)
 		m.mir.del(key)
+		m.mir.unlock(key)
 		m.slots = append(m.slots, idx)
-		m.mu.Unlock()
+		m.wmu.Unlock()
 	})
 	if m.cache != nil {
 		tx.Defer(func() { m.cache.put(key, val) })
@@ -711,20 +755,21 @@ func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 // and value at commit.
 func (m *Map) DeleteTx(tx *fa.Tx, key string) (bool, error) {
 	h := m.Heap()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
 	idx, ok := m.mir.get(key)
 	if !ok {
 		return false, nil
 	}
-	pref := m.arr.GetRef(idx)
+	arr := m.arrp.Load()
+	pref := arr.GetRef(idx)
 	pair := h.Inspect(pref)
 	kref := pair.ReadRef(pairKey)
 	vref, err := tx.ReadRef(pair, pairVal)
 	if err != nil {
 		return false, err
 	}
-	if err := tx.WriteRef(m.arr.Object, uint64(idx)*8, 0); err != nil {
+	if err := tx.WriteRef(arr.Object, uint64(idx)*8, 0); err != nil {
 		return false, err
 	}
 	frees := []core.Ref{pref, kref}
@@ -740,18 +785,23 @@ func (m *Map) DeleteTx(tx *fa.Tx, key string) (bool, error) {
 			return false, err
 		}
 	}
+	key = strings.Clone(key)
+	m.mir.lock(key)
 	m.mir.del(key)
+	m.mir.unlock(key)
 	m.slots = append(m.slots, idx)
 	tx.OnAbort(func() {
-		m.mu.Lock()
+		m.wmu.Lock()
+		m.mir.lock(key)
 		m.mir.put(key, idx)
+		m.mir.unlock(key)
 		for i, s := range m.slots {
 			if s == idx {
 				m.slots = append(m.slots[:i], m.slots[i+1:]...)
 				break
 			}
 		}
-		m.mu.Unlock()
+		m.wmu.Unlock()
 	})
 	tx.Defer(func() {
 		if m.cache != nil {
@@ -759,69 +809,4 @@ func (m *Map) DeleteTx(tx *fa.Tx, key string) (bool, error) {
 		}
 	})
 	return true, nil
-}
-
-// ---- mirrors ----
-
-type hashMirror struct{ m map[string]int }
-
-func (h *hashMirror) get(k string) (int, bool) { v, ok := h.m[k]; return v, ok }
-func (h *hashMirror) put(k string, v int)      { h.m[k] = v }
-func (h *hashMirror) del(k string) bool {
-	if _, ok := h.m[k]; !ok {
-		return false
-	}
-	delete(h.m, k)
-	return true
-}
-func (h *hashMirror) len() int      { return len(h.m) }
-func (h *hashMirror) ordered() bool { return false }
-func (h *hashMirror) forEach(fn func(string, int) bool) {
-	for k, v := range h.m {
-		if !fn(k, v) {
-			return
-		}
-	}
-}
-func (h *hashMirror) ascend(from string, fn func(string, int) bool) {
-	keys := make([]string, 0, len(h.m))
-	for k := range h.m {
-		if k >= from {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if !fn(k, h.m[k]) {
-			return
-		}
-	}
-}
-
-type treeMirror struct{ t *container.RBTree[int] }
-
-func (t *treeMirror) get(k string) (int, bool) { return t.t.Get(k) }
-func (t *treeMirror) put(k string, v int)      { t.t.Put(k, v) }
-func (t *treeMirror) del(k string) bool        { return t.t.Delete(k) }
-func (t *treeMirror) len() int                 { return t.t.Len() }
-func (t *treeMirror) ordered() bool            { return true }
-func (t *treeMirror) forEach(fn func(string, int) bool) {
-	t.t.Ascend("", fn)
-}
-func (t *treeMirror) ascend(from string, fn func(string, int) bool) {
-	t.t.Ascend(from, fn)
-}
-
-type skipMirror struct{ s *container.SkipList[int] }
-
-func (s *skipMirror) get(k string) (int, bool) { return s.s.Get(k) }
-func (s *skipMirror) put(k string, v int)      { s.s.Put(k, v) }
-func (s *skipMirror) del(k string) bool        { return s.s.Delete(k) }
-func (s *skipMirror) len() int                 { return s.s.Len() }
-func (s *skipMirror) ordered() bool            { return true }
-func (s *skipMirror) forEach(fn func(string, int) bool) {
-	s.s.Ascend("", fn)
-}
-func (s *skipMirror) ascend(from string, fn func(string, int) bool) {
-	s.s.Ascend(from, fn)
 }

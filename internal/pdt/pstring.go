@@ -181,6 +181,52 @@ func ReadBlobView(h *core.Heap, ref core.Ref) []byte {
 	return o.ReadBytes(4, n)
 }
 
+// BlobView is ReadBlobView for callers that cannot tolerate the chained-
+// object copy: it returns ok=false (instead of allocating) when the blob
+// spans blocks, and it bounds-checks the stored length against the
+// containing slot or block so a racing reader never builds an
+// out-of-range view. Callers run under an EBR reader pin, which keeps the
+// referenced object's memory stable.
+func BlobView(h *core.Heap, ref core.Ref) ([]byte, bool) {
+	mem := h.Mem()
+	pool := h.Pool()
+	if !mem.IsBlockRef(ref) { // pooled slot: contiguous after mini-header
+		n := uint64(pool.ReadUint32(ref + 8))
+		if n+4 > heap.SlotPayloadMax {
+			return nil, false
+		}
+		return pool.View(ref+8+4, n), true
+	}
+	if _, _, next := heap.UnpackHeader(mem.Header(ref)); next != 0 {
+		return nil, false
+	}
+	data := ref + heap.HeaderSize
+	n := uint64(pool.ReadUint32(data))
+	if n+4 > heap.Payload {
+		return nil, false
+	}
+	return pool.View(data+4, n), true
+}
+
+// BlobEquals compares the blob at ref against a volatile string without
+// allocating: pooled slots and single-block objects compare straight
+// against the NVMM view; only chained objects fall back to a copy. Hot
+// path of the store's record field lookup.
+func BlobEquals(h *core.Heap, ref core.Ref, v string) bool {
+	mem := h.Mem()
+	pool := h.Pool()
+	if !mem.IsBlockRef(ref) {
+		n := uint64(pool.ReadUint32(ref + 8))
+		return n == uint64(len(v)) && string(pool.View(ref+8+4, n)) == v
+	}
+	if _, _, next := heap.UnpackHeader(mem.Header(ref)); next == 0 {
+		data := ref + heap.HeaderSize
+		n := uint64(pool.ReadUint32(data))
+		return n == uint64(len(v)) && string(pool.View(data+4, n)) == v
+	}
+	return string(ReadBlob(h, ref)) == v
+}
+
 // ReadBlob decodes the [len u32 | bytes] layout shared by PString and
 // PBytes directly from NVMM, without allocating a proxy. This is the
 // zero-conversion read path that §5.2 credits for the YCSB gap.

@@ -59,9 +59,9 @@ func TestParallelMirrorRebuildEquivalence(t *testing.T) {
 			}
 			serial := resurrect(1)
 			parallel := resurrect(8)
-			if serial.arr.Cap() < rebuildParallelMin {
+			if serial.arrp.Load().Cap() < rebuildParallelMin {
 				t.Fatalf("array cap %d below parallel threshold %d: test exercises nothing",
-					serial.arr.Cap(), rebuildParallelMin)
+					serial.arrp.Load().Cap(), rebuildParallelMin)
 			}
 			if sl, pl := serial.Len(), parallel.Len(); sl != pl {
 				t.Fatalf("Len: serial %d, parallel %d", sl, pl)

@@ -1,6 +1,8 @@
 package pdt
 
 import (
+	"strings"
+
 	"repro/internal/core"
 	"repro/internal/fa"
 )
@@ -38,8 +40,8 @@ func (s *Set) Contains(key string) bool { return s.m.Contains(key) }
 func (s *Set) Add(key string) error {
 	m := s.m
 	h := m.Heap()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
 	if _, ok := m.mir.get(key); ok {
 		return nil
 	}
@@ -65,8 +67,11 @@ func (s *Set) Add(key string) error {
 	ks.Validate()
 	pair.Validate()
 	h.PFence()
-	m.arr.SetRef(idx, pair.Ref())
+	key = strings.Clone(key)
+	m.mir.lock(key)
+	m.arrp.Load().SetRefAtomic(idx, pair.Ref())
 	m.mir.put(key, idx)
+	m.mir.unlock(key)
 	return nil
 }
 
@@ -74,8 +79,8 @@ func (s *Set) Add(key string) error {
 func (s *Set) AddTx(tx *fa.Tx, key string) error {
 	m := s.m
 	h := m.Heap()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
 	if _, ok := m.mir.get(key); ok {
 		return nil
 	}
@@ -96,15 +101,20 @@ func (s *Set) AddTx(tx *fa.Tx, key string) error {
 	pair := pairPO.Core()
 	pair.WriteRef(pairKey, ks.Ref())
 	pair.WriteRef(pairVal, ks.Ref())
-	if err := tx.WriteRef(m.arr.Object, uint64(idx)*8, pair.Ref()); err != nil {
+	if err := tx.WriteRef(m.arrp.Load().Object, uint64(idx)*8, pair.Ref()); err != nil {
 		return err
 	}
+	key = strings.Clone(key)
+	m.mir.lock(key)
 	m.mir.put(key, idx)
+	m.mir.unlock(key)
 	tx.OnAbort(func() {
-		m.mu.Lock()
+		m.wmu.Lock()
+		m.mir.lock(key)
 		m.mir.del(key)
+		m.mir.unlock(key)
 		m.slots = append(m.slots, idx)
-		m.mu.Unlock()
+		m.wmu.Unlock()
 	})
 	return nil
 }
@@ -117,7 +127,7 @@ func (s *Set) Members() []string { return s.m.Keys() }
 
 // ForEach iterates members until fn returns false.
 func (s *Set) ForEach(fn func(key string) bool) {
-	s.m.mu.RLock()
-	defer s.m.mu.RUnlock()
+	s.m.mir.rlockAll()
+	defer s.m.mir.runlockAll()
 	s.m.mir.forEach(func(k string, _ int) bool { return fn(k) })
 }

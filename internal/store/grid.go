@@ -2,7 +2,9 @@ package store
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/container"
@@ -16,7 +18,10 @@ type Backend interface {
 	Name() string
 	// Insert stores a new record.
 	Insert(key string, rec *Record) error
-	// Read streams every field of the record to consume.
+	// Read streams every field of the record to consume. The name and
+	// value arguments are only valid for the duration of the call (the
+	// J-NVM backends stream views straight out of NVMM); consumers that
+	// retain a field must copy both.
 	Read(key string, consume func(name string, value []byte)) (bool, error)
 	// Update overwrites a subset of fields of an existing record.
 	Update(key string, fields []Field) (bool, error)
@@ -36,7 +41,18 @@ type Backend interface {
 type Grid struct {
 	backend Backend
 
+	// vr is non-nil when the backend supports zero-copy view reads and
+	// caching is off: Read then tries a seqlock-validated unlocked fast
+	// path before falling back to the stripe lock (DESIGN.md §14).
+	vr ViewReader
+
 	stripes [gridStripes]sync.Mutex
+
+	// gens are the per-stripe seqlock generations (only maintained when
+	// vr is set): writers make them odd on entry and even on exit, and an
+	// unlocked reader is valid only if its stripe generation is even and
+	// unchanged across the read.
+	gens [gridStripes]genSlot
 
 	// cache is the volatile record cache, sharded per stripe so cached
 	// reads on different keys never serialize on one mutex; nil when
@@ -45,6 +61,13 @@ type Grid struct {
 	cache []cacheShard
 
 	stats obs.GridStats
+}
+
+// genSlot pads each stripe generation to its own cache line so reader
+// validation loads never false-share with neighboring stripes' writers.
+type genSlot struct {
+	v atomic.Uint64
+	_ [56]byte
 }
 
 const gridStripes = 128
@@ -76,6 +99,12 @@ func NewGrid(b Backend, opts Options) *Grid {
 		for i := range g.cache {
 			g.cache[i].lru = container.NewLRU[*Record](per, nil)
 		}
+	} else if vr, ok := b.(ViewReader); ok {
+		// Cache off + capable backend: adopt the zero-copy read fast
+		// path. (With a record cache the cache itself is the fast path,
+		// and cached reads already avoid the backend entirely.)
+		vr.EnableViewReads(&g.stats.ReadPath)
+		g.vr = vr
 	}
 	return g
 }
@@ -115,6 +144,27 @@ func (g *Grid) stripe(h uint32) *sync.Mutex {
 	return &g.stripes[h%gridStripes]
 }
 
+// lockWrite takes the key's stripe lock as a writer and, when the
+// zero-copy read path is active, makes the stripe's seqlock generation
+// odd so unlocked readers back off.
+func (g *Grid) lockWrite(h uint32) *sync.Mutex {
+	mu := g.stripe(h)
+	mu.Lock()
+	if g.vr != nil {
+		g.gens[h%gridStripes].v.Add(1)
+	}
+	return mu
+}
+
+// unlockWrite makes the generation even again (readers that overlapped
+// the write see a changed generation and retry) and releases the stripe.
+func (g *Grid) unlockWrite(h uint32, mu *sync.Mutex) {
+	if g.vr != nil {
+		g.gens[h%gridStripes].v.Add(1)
+	}
+	mu.Unlock()
+}
+
 func (g *Grid) cacheGet(h uint32, key string) (*Record, bool) {
 	if g.cache == nil {
 		return nil, false
@@ -137,7 +187,9 @@ func (g *Grid) cachePut(h uint32, key string, rec *Record) {
 	}
 	s := &g.cache[h%gridStripes]
 	s.mu.Lock()
-	s.lru.Put(key, rec)
+	// Clone: the key may be a transient buffer the caller reuses (the
+	// benchmark drivers do), and the LRU retains it.
+	s.lru.Put(strings.Clone(key), rec)
 	s.mu.Unlock()
 }
 
@@ -178,9 +230,8 @@ func (g *Grid) Insert(key string, rec *Record) error {
 	start := time.Now()
 	defer func() { g.stats.Insert.Observe(time.Since(start)) }()
 	h := fnv32(key)
-	mu := g.stripe(h)
-	mu.Lock()
-	defer mu.Unlock()
+	mu := g.lockWrite(h)
+	defer g.unlockWrite(h, mu)
 	if err := g.backend.Insert(key, rec); err != nil {
 		return err
 	}
@@ -193,11 +244,38 @@ func (g *Grid) Insert(key string, rec *Record) error {
 }
 
 // Read streams the record's fields to consume, from the cache when
-// possible.
+// possible. With a capable backend and no cache it first tries the
+// unlocked zero-copy path: field views straight out of NVMM, validated
+// against the stripe's seqlock generation so the consumer never sees a
+// snapshot a writer overlapped. A generation race retries once; a second
+// race or an unsupported record shape falls back to the stripe lock.
 func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 	start := time.Now()
 	defer func() { g.stats.Read.Observe(time.Since(start)) }()
 	h := fnv32(key)
+	if g.vr != nil {
+		gen := &g.gens[h%gridStripes].v
+		for try := 0; try < 2; try++ {
+			g1 := gen.Load()
+			if g1&1 != 0 {
+				break // writer mid-flight on this stripe
+			}
+			found, valid, ok := g.vr.ReadView(key, h, gen, g1, consume)
+			if !ok {
+				break
+			}
+			if !valid {
+				g.stats.ReadPath.SeqlockRetries.Inc()
+				continue
+			}
+			g.stats.ReadPath.ZeroCopyHits.Inc()
+			if !found {
+				return ErrNotFound
+			}
+			return nil
+		}
+		g.stats.ReadPath.CopyFallbacks.Inc()
+	}
 	mu := g.stripe(h)
 	mu.Lock()
 	defer mu.Unlock()
@@ -214,14 +292,15 @@ func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 	ok, err := g.backend.Read(key, func(name string, value []byte) {
 		consume(name, value)
 		if filled != nil {
-			// Deep-copy the value before caching. J-NVM backends stream
-			// zero-copy views into NVMM (pRecord.read); caching the view
-			// aliases memory that a later Update/Delete frees and the
-			// allocator recycles, silently corrupting the cached record.
-			// The copy is confined to the caching path, so non-caching
+			// Deep-copy before caching. J-NVM backends stream zero-copy
+			// views into NVMM (pRecord.read) — for the value bytes and
+			// the name string alike — and caching a view aliases memory
+			// that a later Update/Delete frees and the allocator
+			// recycles, silently corrupting the cached record. The
+			// copies are confined to the caching path, so non-caching
 			// grids keep the zero-copy read.
 			filled.Fields = append(filled.Fields,
-				Field{Name: name, Value: append([]byte(nil), value...)})
+				Field{Name: strings.Clone(name), Value: append([]byte(nil), value...)})
 		}
 	})
 	if err != nil {
@@ -242,9 +321,8 @@ func (g *Grid) Update(key string, fields []Field) error {
 	start := time.Now()
 	defer func() { g.stats.Update.Observe(time.Since(start)) }()
 	h := fnv32(key)
-	mu := g.stripe(h)
-	mu.Lock()
-	defer mu.Unlock()
+	mu := g.lockWrite(h)
+	defer g.unlockWrite(h, mu)
 	ok, err := g.backend.Update(key, fields)
 	if err != nil {
 		// The backend may have applied part of the update; drop the
@@ -265,9 +343,8 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 	start := time.Now()
 	defer func() { g.stats.RMW.Observe(time.Since(start)) }()
 	h := fnv32(key)
-	mu := g.stripe(h)
-	mu.Lock()
-	defer mu.Unlock()
+	mu := g.lockWrite(h)
+	defer g.unlockWrite(h, mu)
 	var rec *Record
 	if cached, ok := g.cacheGet(h, key); ok {
 		rec = cached.Clone()
@@ -275,9 +352,10 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 		rec = &Record{}
 		ok, err := g.backend.Read(key, func(name string, value []byte) {
 			// Deep-copy: rec outlives the backend call (mutate sees it and
-			// a clone goes into the cache), so it must not alias NVMM views.
+			// a clone goes into the cache), so it must not alias NVMM views
+			// — neither the value bytes nor the name string.
 			rec.Fields = append(rec.Fields,
-				Field{Name: name, Value: append([]byte(nil), value...)})
+				Field{Name: strings.Clone(name), Value: append([]byte(nil), value...)})
 		})
 		if err != nil {
 			return err
@@ -310,9 +388,8 @@ func (g *Grid) Delete(key string) error {
 	start := time.Now()
 	defer func() { g.stats.Delete.Observe(time.Since(start)) }()
 	h := fnv32(key)
-	mu := g.stripe(h)
-	mu.Lock()
-	defer mu.Unlock()
+	mu := g.lockWrite(h)
+	defer g.unlockWrite(h, mu)
 	ok, err := g.backend.Delete(key)
 	if err != nil {
 		return err

@@ -45,7 +45,8 @@ func Classes() []*core.Class {
 
 func (r *pRecord) fieldCount() int { return int(r.ReadUint32(recCount)) }
 
-// fieldIndex locates a field by name (reading names straight from NVMM).
+// fieldIndex locates a field by name, comparing names in place in NVMM
+// without allocating (hot path of every field update).
 func (r *pRecord) fieldIndex(h *core.Heap, name string) int {
 	n := r.fieldCount()
 	for i := 0; i < n; i++ {
@@ -53,7 +54,7 @@ func (r *pRecord) fieldIndex(h *core.Heap, name string) int {
 		if nref == 0 {
 			continue
 		}
-		if string(pdt.ReadBlob(h, nref)) == name {
+		if pdt.BlobEquals(h, nref, name) {
 			return i
 		}
 	}
@@ -112,8 +113,11 @@ func newPRecordTx(tx *fa.Tx, rec *Record) (*pRecord, error) {
 	return r, nil
 }
 
-// read streams every field to consume, copying values out of NVMM without
-// any marshalling step (the decisive J-NVM advantage of Figure 8).
+// read streams every field to consume without any marshalling step (the
+// decisive J-NVM advantage of Figure 8). Names and values are zero-copy
+// views into NVMM, valid only during the consume call: the grid invokes
+// this under the key's stripe lock, so the object cannot be freed
+// concurrently, and consumers that retain a field must copy it.
 func (r *pRecord) read(h *core.Heap, consume func(name string, value []byte)) {
 	n := r.fieldCount()
 	for i := 0; i < n; i++ {
@@ -125,9 +129,7 @@ func (r *pRecord) read(h *core.Heap, consume func(name string, value []byte)) {
 			// intact and stays readable.
 			continue
 		}
-		// Zero-copy views: the grid hands them to the consumer under the
-		// key's stripe lock, so the object cannot be freed concurrently.
-		consume(string(pdt.ReadBlobView(h, nref)), pdt.ReadBlobView(h, vref))
+		consume(viewString(pdt.ReadBlobView(h, nref)), pdt.ReadBlobView(h, vref))
 	}
 }
 

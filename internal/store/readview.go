@@ -1,0 +1,143 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/pdt"
+)
+
+// ViewReader is the optional backend capability behind the grid's
+// zero-copy read fast path (DESIGN.md §14). A capable backend serves a
+// read without taking the grid's stripe lock: it pins an epoch-based-
+// reclamation reader slot (so no object it dereferences is recycled
+// mid-read), collects every field as a view straight into NVMM, and only
+// delivers the views to the consumer after the grid's seqlock generation
+// check proves no writer overlapped the collection. Only J-PDT implements
+// it — J-PFA reads share its map, but the paper's comparison keeps each
+// backend's read path its own.
+type ViewReader interface {
+	// EnableViewReads prepares the backend for unlocked readers: it
+	// switches the heap to deferred (epoch-based) reclamation and wires
+	// the read-path counters. The grid calls it once, before traffic.
+	EnableViewReads(rs *obs.ReadStats)
+
+	// ReadView reads the record under an EBR pin, with hint spreading
+	// readers across pin slots. gen/g1 are the caller's seqlock stripe
+	// and its pre-read generation: the backend re-checks the generation
+	// after collecting the field views and before invoking consume, so
+	// the consumer only ever observes a write-free snapshot.
+	//
+	// valid=false reports a generation change (caller retries);
+	// ok=false reports a record shape the unlocked reader cannot handle
+	// (caller falls back to the locked path). Field names and values
+	// passed to consume are views into NVMM, valid only during the call.
+	ReadView(key string, hint uint32, gen *atomic.Uint64, g1 uint64,
+		consume func(name string, value []byte)) (found, valid, ok bool)
+}
+
+// fieldView is one collected field: name and value bytes in NVMM.
+type fieldView struct{ name, value []byte }
+
+// viewScratchPool recycles the per-read field-view buffers so the hot
+// read loop stays allocation-free.
+var viewScratchPool = sync.Pool{
+	New: func() any {
+		s := make([]fieldView, 0, 16)
+		return &s
+	},
+}
+
+// appendRecordViews collects the record's fields as NVMM views into out.
+// It mirrors pRecord.read but is race-tolerant: the caller holds an EBR
+// pin (memory stability) rather than the stripe lock (quiescence), so
+// every reference word is loaded atomically and anything the unlocked
+// reader cannot prove safe — a chained record or blob, a misaligned
+// field table — returns ok=false for the locked path to handle.
+func appendRecordViews(h *core.Heap, ref core.Ref, out []fieldView) ([]fieldView, bool) {
+	mem := h.Mem()
+	pool := h.Pool()
+	if !mem.IsBlockRef(ref) {
+		return out, false // records are block objects; anything else is foreign
+	}
+	data := ref + heap.HeaderSize
+	if data%8 != 0 {
+		return out, false // field words would not be atomically loadable
+	}
+	if _, valid, next := heap.UnpackHeader(mem.Header(ref)); !valid || next != 0 {
+		return out, false
+	}
+	n := int(pool.ReadUint32(data + recCount))
+	if recFields+uint64(n)*16 > heap.Payload {
+		return out, false // count claims more fields than one block holds
+	}
+	for i := 0; i < n; i++ {
+		nref := pool.ReadUint64Atomic(data + fieldNameOff(i))
+		vref := pool.ReadUint64Atomic(data + fieldValOff(i))
+		if nref == 0 || vref == 0 {
+			continue // recovery-nullified field; the rest stays readable
+		}
+		nb, nok := pdt.BlobView(h, nref)
+		vb, vok := pdt.BlobView(h, vref)
+		if !nok || !vok {
+			return out, false
+		}
+		out = append(out, fieldView{name: nb, value: vb})
+	}
+	return out, true
+}
+
+// viewString reinterprets a collected name view as a string without
+// copying. The string aliases NVMM and is valid only while the EBR pin
+// holds, i.e. for the duration of the consume call.
+func viewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// EnableViewReads implements ViewReader.
+func (b *JPDTBackend) EnableViewReads(rs *obs.ReadStats) {
+	b.h.Mem().EnableEBR()
+	b.m.SetReadObs(rs)
+}
+
+// ReadView implements ViewReader.
+func (b *JPDTBackend) ReadView(key string, hint uint32, gen *atomic.Uint64, g1 uint64,
+	consume func(name string, value []byte)) (found, valid, ok bool) {
+	mem := b.h.Mem()
+	slot := mem.PinReader(hint)
+	ref := b.m.GetRef(key)
+	if ref == 0 {
+		// Absent — still validate: a concurrent insert may have landed
+		// between the caller's generation load and the map lookup.
+		mem.UnpinReader(slot)
+		return false, gen.Load() == g1, true
+	}
+	sp := viewScratchPool.Get().(*[]fieldView)
+	fields, rok := appendRecordViews(b.h, ref, (*sp)[:0])
+	*sp = fields[:0]
+	if !rok {
+		mem.UnpinReader(slot)
+		viewScratchPool.Put(sp)
+		return true, true, false
+	}
+	if gen.Load() != g1 {
+		mem.UnpinReader(slot)
+		viewScratchPool.Put(sp)
+		return true, false, true
+	}
+	// The snapshot is write-free and, under the pin, every view is
+	// immutable: deliver.
+	for i := range fields {
+		consume(viewString(fields[i].name), fields[i].value)
+	}
+	mem.UnpinReader(slot)
+	viewScratchPool.Put(sp)
+	return true, true, true
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"repro/internal/store"
 )
@@ -96,26 +97,39 @@ func Run(db DB, cfg Config) (*Result, error) {
 				}
 				return h
 			}
+			// Per-thread scratch so the hot loop allocates nothing: keys
+			// render into a reused buffer (every retention point in the
+			// store clones transient keys), updates reuse one field slot
+			// and value buffer (every backend copies on update), and the
+			// rmw closure is built once, not per operation.
+			keyBuf := make([]byte, 0, 16)
+			key := func(i int) string {
+				keyBuf = appendKey(keyBuf, i)
+				return unsafe.String(&keyBuf[0], len(keyBuf))
+			}
+			var updSlot [1]store.Field
+			updVal := make([]byte, cfg.FieldLen)
+			var rmwFields []store.Field
+			rmwMutate := func(*store.Record) []store.Field { return rmwFields }
+			noopConsume := func(string, []byte) {}
 			for i := 0; i < opsPerThread; i++ {
 				op := chooseOp(cfg, rng)
 				t0 := time.Now()
 				var err error
 				switch op {
 				case OpRead:
-					key := Key(chooser.Next(rng))
-					err = db.Read(key, func(string, []byte) {})
+					err = db.Read(key(chooser.Next(rng)), noopConsume)
 				case OpUpdate:
 					rec := chooser.Next(rng)
-					err = db.Update(Key(rec), cfg.updateFields(rng, rec, i+1))
+					fields := cfg.updateFieldsInto(rng, rec, i+1, updSlot[:], updVal)
+					err = db.Update(key(rec), fields)
 				case OpInsert:
 					idx := int(inserted.Add(1)) - 1
 					err = db.Insert(Key(idx), cfg.BuildRecord(idx))
 				case OpRMW:
 					rec := chooser.Next(rng)
-					fields := cfg.updateFields(rng, rec, i+1)
-					err = db.ReadModifyWrite(Key(rec), func(*store.Record) []store.Field {
-						return fields
-					})
+					rmwFields = cfg.updateFieldsInto(rng, rec, i+1, updSlot[:], updVal)
+					err = db.ReadModifyWrite(key(rec), rmwMutate)
 				case OpScan:
 					start := Key(chooser.Next(rng))
 					n := 1 + rng.Intn(cfg.MaxScanLen)

@@ -63,6 +63,10 @@ type Config struct {
 	WriteAllFields bool
 
 	Seed int64
+
+	// fieldNames caches the rendered field names so the hot loop never
+	// formats them (filled by Defaults).
+	fieldNames []string
 }
 
 // Defaults fills unset knobs with the paper's defaults, scaled: the paper
@@ -93,7 +97,21 @@ func (c Config) Defaults() Config {
 	if c.MaxScanLen == 0 {
 		c.MaxScanLen = 100
 	}
+	if len(c.fieldNames) != c.FieldCount {
+		c.fieldNames = make([]string, c.FieldCount)
+		for i := range c.fieldNames {
+			c.fieldNames[i] = FieldName(i)
+		}
+	}
 	return c
+}
+
+// fieldName returns the cached rendering of field index i.
+func (c Config) fieldName(i int) string {
+	if i < len(c.fieldNames) {
+		return c.fieldNames[i]
+	}
+	return FieldName(i)
 }
 
 // Workload returns the named standard workload (A, B, C, D or F).
@@ -133,6 +151,20 @@ func MustWorkload(name string) Config {
 // Key renders record index i as a YCSB key.
 func Key(i int) string { return fmt.Sprintf("user%012d", i) }
 
+// appendKey renders Key(i) into dst without allocating (given capacity):
+// the hot loop reuses one buffer per thread and hands the store a
+// transient string view over it, which every retention point in the store
+// clones.
+func appendKey(dst []byte, i int) []byte {
+	dst = append(dst[:0], "user"...)
+	var digits [12]byte
+	for p := len(digits) - 1; p >= 0; p-- {
+		digits[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(dst, digits[:]...)
+}
+
 // FieldName renders field index i.
 func FieldName(i int) string { return fmt.Sprintf("field%d", i) }
 
@@ -154,7 +186,7 @@ func (c Config) BuildRecord(i int) *store.Record {
 	for f := 0; f < c.FieldCount; f++ {
 		v := make([]byte, c.FieldLen)
 		buildValue(v, i, f, 0)
-		rec.Fields[f] = store.Field{Name: FieldName(f), Value: v}
+		rec.Fields[f] = store.Field{Name: c.fieldName(f), Value: v}
 	}
 	return rec
 }
@@ -166,12 +198,26 @@ func (c Config) updateFields(rng *rand.Rand, record, version int) []store.Field 
 		for f := 0; f < c.FieldCount; f++ {
 			v := make([]byte, c.FieldLen)
 			buildValue(v, record, f, version)
-			out[f] = store.Field{Name: FieldName(f), Value: v}
+			out[f] = store.Field{Name: c.fieldName(f), Value: v}
 		}
 		return out
 	}
 	f := rng.Intn(c.FieldCount)
 	v := make([]byte, c.FieldLen)
 	buildValue(v, record, f, version)
-	return []store.Field{{Name: FieldName(f), Value: v}}
+	return []store.Field{{Name: c.fieldName(f), Value: v}}
+}
+
+// updateFieldsInto is updateFields for the single-field default, reusing
+// the caller's scratch: every backend copies values on update (into NVMM,
+// a marshal buffer, or a fresh slice), so the buffer is safe to recycle
+// across operations.
+func (c Config) updateFieldsInto(rng *rand.Rand, record, version int, dst []store.Field, val []byte) []store.Field {
+	if c.WriteAllFields {
+		return c.updateFields(rng, record, version)
+	}
+	f := rng.Intn(c.FieldCount)
+	buildValue(val, record, f, version)
+	dst[0] = store.Field{Name: c.fieldName(f), Value: val}
+	return dst[:1]
 }

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Gate the allocation-free read paths (DESIGN.md §14): the zero-copy grid
+# read and the map GetRef/cached-Get fast paths must stay at 0 allocs/op,
+# and every other grid read regime must stay within a small ceiling. Runs
+# the read benchmarks once and parses the -benchmem column, so a stray
+# allocation in the hot loop fails CI instead of silently costing GC.
+#
+# Usage: scripts/check_allocs.sh [bench output file]
+# Without an argument the benchmarks are run here (short benchtime: the
+# allocs/op column is exact per iteration, not a statistical estimate).
+set -eu
+
+out=${1:-}
+if [ -z "$out" ]; then
+    out=$(mktemp)
+    trap 'rm -f "$out"' EXIT
+    go test -run '^$' -bench 'MapGet|GridRead' -benchtime 100x -benchmem \
+        ./internal/bench/ | tee "$out"
+fi
+
+# ceiling <pattern> <max allocs/op>: every matching benchmark row must
+# report at most max.
+fail=0
+ceiling() {
+    pattern=$1
+    max=$2
+    rows=$(grep -E "^Benchmark.*${pattern}" "$out" || true)
+    if [ -z "$rows" ]; then
+        echo "check_allocs: no benchmark rows match ${pattern}" >&2
+        fail=1
+        return
+    fi
+    echo "$rows" | while read -r name _ _ _ _ _ allocs _; do
+        if [ "$allocs" -gt "$max" ]; then
+            echo "check_allocs: $name reports $allocs allocs/op (ceiling $max)" >&2
+            exit 1
+        fi
+    done || fail=1
+}
+
+# The tentpole invariants: the seqlock zero-copy read, the proxy-cached
+# map Gets and the GetRef raw path are allocation-free.
+ceiling 'GridRead/zerocopy' 0
+ceiling 'MapGet/(hash|tree|skip)/(cached|eager)' 0
+ceiling 'MapGet/(hash|tree|skip)/getref' 0
+# The fallback and cache regimes copy by design but must stay bounded:
+# the chained-value fallback pays a few allocations per field (ReadBlob
+# copy + blob assembly), never superlinear garbage.
+ceiling 'GridRead/copyfallback' 48
+ceiling 'GridRead/cachehit' 4
+ceiling 'GridRead/cachemiss' 40
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_allocs: all read-path allocation ceilings hold"
