@@ -9,8 +9,9 @@ STATICCHECK_VERSION ?= 2024.1.1
 # concurrent mirror rebuild).
 RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/...
 
-.PHONY: check vet build test race bench bench-read bench-recovery \
-	microbench lint fmt-check staticcheck crashmc-smoke coverage
+.PHONY: check vet build test race bench bench-read bench-pwb \
+	bench-recovery microbench lint fmt-check staticcheck crashmc-smoke \
+	coverage
 
 check: vet build test race
 
@@ -49,6 +50,13 @@ bench:
 # ceilings. CI runs this on every push.
 bench-read:
 	./scripts/check_allocs.sh
+
+# Flush-rate gate (DESIGN.md §15): re-runs the baseline passes and fails
+# if pwb/op or pfence/op regressed beyond tolerance vs the committed
+# BENCH_baseline.json, or if group commit stops combining fences at 8+
+# committers. CI runs this on every push.
+bench-pwb:
+	./scripts/check_pwb.sh
 
 # Recovery-time scaling: load a large heap, crash it, re-open the image
 # once per worker count. workers=1 is the paper's serial §4.1.3 procedure;

@@ -18,10 +18,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fa"
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/tpcb"
@@ -30,12 +32,17 @@ import (
 
 // Row is one benchmark measurement.
 type Row struct {
-	Bench       string  `json:"bench"`
+	Bench string `json:"bench"`
+	// Commit is the J-NVM commit protocol of the row: empty (the
+	// per-Tx default), "per-tx" (explicit, in the group-commit sweep),
+	// "group" or "async".
+	Commit      string  `json:"commit,omitempty"`
 	Backend     string  `json:"backend"`
 	Threads     int     `json:"threads"`
 	Ops         int     `json:"ops"`
 	NumCPU      int     `json:"num_cpu"`
 	KopsSec     float64 `json:"kops_sec"`
+	P99Us       float64 `json:"p99_us"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	PWBPerOp    float64 `json:"pwb_per_op"`
 	PFencePerOp float64 `json:"pfence_per_op"`
@@ -68,8 +75,19 @@ func main() {
 	threads := flag.Int("threads", 1, "YCSB client goroutines (the J-PFA backend requires 1; see DESIGN.md)")
 	accounts := flag.Int("accounts", 10_000, "TPC-B accounts")
 	transfers := flag.Int("transfers", 40_000, "TPC-B transfers per pass")
-	out := flag.String("out", "BENCH_baseline.json", "output JSON path")
+	groupCommit := flag.Bool("group-commit", false, "run the main rows with shared commit barriers")
+	durability := flag.String("durability", "sync", "main rows' commit durability: sync or async")
+	check := flag.String("check", "", "compare against this committed baseline JSON and fail on pwb/pfence-per-op regressions instead of recording")
+	tol := flag.Float64("tol", 0.15, "relative per-op regression tolerance for -check (doubled for multi-threaded rows)")
+	out := flag.String("out", "", "output JSON path (default BENCH_baseline.json; none in -check mode)")
 	flag.Parse()
+	if *out == "" && *check == "" {
+		*out = "BENCH_baseline.json"
+	}
+	commit, err := bench.CommitModeName(*groupCommit, *durability)
+	if err != nil {
+		fatal(err)
+	}
 
 	b := Baseline{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -90,7 +108,21 @@ func main() {
 				// changing the per-op columns.
 				n = *ops / 20
 			}
-			row, err := runYCSB(wl, bk, *records, n, *threads)
+			row, err := runYCSB(wl, bk, *records, n, *threads, commit)
+			if err != nil {
+				fatal(err)
+			}
+			b.Rows = append(b.Rows, row)
+		}
+	}
+	// Group-commit sweep (DESIGN.md §15): YCSB-A over J-PFA at growing
+	// client counts, per-Tx vs shared-barrier commit. The load phase is
+	// always single-threaded (concurrent inserts hit shared map-slot
+	// blocks); the A run phase is reads and per-key updates, which the
+	// grid's stripe locks make safe to run concurrently.
+	for _, th := range []int{1, 8, 64} {
+		for _, cm := range []string{"per-tx", "group"} {
+			row, err := runYCSB("A", bench.JPFA, *records, *ops, th, cm)
 			if err != nil {
 				fatal(err)
 			}
@@ -98,7 +130,17 @@ func main() {
 		}
 	}
 	for _, clients := range []int{1, 8} {
-		row, err := runTPCB(*accounts, *transfers, clients)
+		row, err := runTPCB(*accounts, *transfers, clients, commit)
+		if err != nil {
+			fatal(err)
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	// The async watermark row: transfers are acknowledged by ticket and
+	// the drain before the closing snapshot settles every epoch, so the
+	// per-op columns include the full (amortized) fence bill.
+	for _, cm := range []string{"group", "async"} {
+		row, err := runTPCB(*accounts, *transfers, 8, cm)
 		if err != nil {
 			fatal(err)
 		}
@@ -106,17 +148,96 @@ func main() {
 	}
 
 	printRows(b.Rows)
-	buf, err := json.MarshalIndent(b, "", "  ")
-	if err == nil {
-		err = os.WriteFile(*out, buf, 0o644)
+	if *check != "" {
+		if err := checkRows(*check, b.Rows, *tol); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("check: per-op flush columns within tolerance of %s\n", *check)
 	}
-	if err != nil {
-		fatal(err)
+	if *out != "" {
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, buf, 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	fmt.Printf("wrote %s\n", *out)
 }
 
-func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int) (Row, error) {
+// rowKey identifies a row across baseline files.
+func rowKey(r Row) string {
+	return fmt.Sprintf("%s|%s|%s|%d", r.Bench, r.Backend, r.Commit, r.Threads)
+}
+
+// checkRows is the perf gate: every row present in both runs must keep
+// its pwb/op and pfence/op within tolerance of the committed baseline
+// (throughput is too host-dependent to gate on; the primitive rates are
+// deterministic modulo batching). Multi-threaded rows get double the
+// tolerance — epoch and cohort sizes depend on goroutine interleaving.
+// It also asserts the point of the group modes: at 8+ concurrent
+// committers the shared-barrier YCSB-A row must beat per-Tx on fences.
+func checkRows(path string, rows []Row, tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old Baseline
+	if err := json.Unmarshal(buf, &old); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	oldByKey := map[string]Row{}
+	for _, r := range old.Rows {
+		oldByKey[rowKey(r)] = r
+	}
+	var failures []string
+	matched := 0
+	exceeds := func(name string, now, was, t float64) {
+		// The absolute slack keeps near-zero columns (read-only
+		// workloads) from tripping on rounding.
+		if now > was*(1+t)+0.05 {
+			failures = append(failures, fmt.Sprintf("%s: %.2f -> %.2f (tol %.0f%%)", name, was, now, 100*t))
+		}
+	}
+	for _, r := range rows {
+		o, ok := oldByKey[rowKey(r)]
+		if !ok {
+			continue
+		}
+		matched++
+		t := tol
+		if r.Threads > 1 {
+			t = 2 * tol
+		}
+		exceeds(rowKey(r)+" pwb/op", r.PWBPerOp, o.PWBPerOp, t)
+		exceeds(rowKey(r)+" pfence/op", r.PFencePerOp, o.PFencePerOp, t)
+	}
+	if matched == 0 {
+		return fmt.Errorf("check: no rows of %s match this run (schema drift?)", path)
+	}
+	perTx := map[int]float64{}
+	for _, r := range rows {
+		if r.Bench == "ycsb-A" && r.Backend == string(bench.JPFA) && r.Commit == "per-tx" {
+			perTx[r.Threads] = r.PFencePerOp
+		}
+	}
+	for _, r := range rows {
+		if r.Bench != "ycsb-A" || r.Backend != string(bench.JPFA) || r.Commit != "group" || r.Threads < 8 {
+			continue
+		}
+		if base, ok := perTx[r.Threads]; ok && r.PFencePerOp >= base {
+			failures = append(failures,
+				fmt.Sprintf("group commit not combining: ycsb-A @%d threads %.2f pfence/op vs per-tx %.2f", r.Threads, r.PFencePerOp, base))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("check: %d regression(s) vs %s:\n  %s", len(failures), path, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int, commit string) (Row, error) {
 	// Rows share one process; without reclaiming the previous rows' pools
 	// and garbage first, GC pressure from earlier envs bleeds into this
 	// row's numbers (alloc-heavy workloads lose up to 4x on one CPU).
@@ -127,15 +248,25 @@ func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int) (Row, e
 	cfg.Operations = ops
 	cfg.Threads = threads
 	cfg = cfg.Defaults()
+	mode := commit
+	if mode == "per-tx" {
+		mode = "" // explicit sweep label for the default protocol
+	}
 	env, err := bench.NewEnv(bench.GridConfig{
 		Backend: bk, Records: cfg.RecordCount * 2,
 		FieldCount: cfg.FieldCount, FieldLen: cfg.FieldLen,
+		Commit: mode,
 	})
 	if err != nil {
 		return Row{}, err
 	}
 	defer env.Close()
-	if err := ycsb.Load(env.Grid, cfg); err != nil {
+	// Load single-threaded regardless of the run's client count: inserts
+	// touch shared map-slot blocks, which only the run-phase op mix
+	// avoids (the grid stripe locks cover per-key reads and updates).
+	loadCfg := cfg
+	loadCfg.Threads = 1
+	if err := ycsb.Load(env.Grid, loadCfg); err != nil {
 		return Row{}, fmt.Errorf("load %s/%s: %w", wl, bk, err)
 	}
 	before := env.Snapshot()
@@ -145,15 +276,20 @@ func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int) (Row, e
 	if err != nil {
 		return Row{}, fmt.Errorf("run %s/%s: %w", wl, bk, err)
 	}
+	if env.Mgr != nil {
+		env.Mgr.DrainDurable() // settle async epochs inside the interval
+	}
 	runtime.ReadMemStats(&msAfter)
 	stack := env.Snapshot().Sub(*before)
 	row := Row{
 		Bench:       "ycsb-" + wl,
+		Commit:      commit,
 		Backend:     string(bk),
 		Threads:     threads,
 		Ops:         int(res.Operations),
 		NumCPU:      runtime.NumCPU(),
 		KopsSec:     res.Throughput() / 1000,
+		P99Us:       float64(res.Hist().Percentile(0.99).Nanoseconds()) / 1e3,
 		PWBPerOp:    stack.PWBPerOp,
 		PFencePerOp: stack.PFencePerOp,
 		StoresPerOp: stack.StoresPerOp,
@@ -171,10 +307,17 @@ func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int) (Row, e
 	return row, nil
 }
 
-func runTPCB(accounts, transfers, clients int) (Row, error) {
+func runTPCB(accounts, transfers, clients int, commit string) (Row, error) {
 	pool := nvm.New(accounts*512+(32<<20), nvm.Options{FenceLatency: bench.DefaultFenceNs})
 	bank, err := tpcb.OpenJNVMBank(pool, accounts, false)
 	if err != nil {
+		return Row{}, err
+	}
+	mode, err := bench.ParseCommitMode(commit)
+	if err != nil {
+		return Row{}, err
+	}
+	if err := bank.Manager().SetGroupCommit(fa.GroupOptions{Mode: mode}); err != nil {
 		return Row{}, err
 	}
 	nvmBefore := pool.Obs().Snapshot()
@@ -182,54 +325,71 @@ func runTPCB(accounts, transfers, clients int) (Row, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, clients)
+	hists := make([]*ycsb.Histogram, clients)
 	per := transfers / clients
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func(seed int64) {
+		hists[c] = &ycsb.Histogram{}
+		go func(seed int64, h *ycsb.Histogram) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < per; i++ {
 				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				t0 := time.Now()
 				if err := bank.Transfer(from, to, 1); err != nil {
 					errCh <- err
 					return
 				}
+				h.Record(time.Since(t0))
 			}
-		}(int64(c) + 1)
+		}(int64(c)+1, hists[c])
 	}
 	wg.Wait()
+	// Async mode: settle the queued epochs before closing the books so
+	// every acknowledged transfer is durable and its fences are counted.
+	bank.Manager().DrainDurable()
 	close(errCh)
 	for err := range errCh {
 		return Row{}, err
 	}
 	elapsed := time.Since(start)
 	delta := pool.Obs().Snapshot().Sub(nvmBefore)
-	fa := bank.Manager().ObsSnapshot().Sub(faBefore)
+	faDelta := bank.Manager().ObsSnapshot().Sub(faBefore)
+	merged := &ycsb.Histogram{}
+	for _, h := range hists {
+		merged.Merge(h)
+	}
 	done := float64(per * clients)
 	row := Row{
 		Bench:       "tpcb",
+		Commit:      commit,
 		Backend:     "J-PFA",
 		Threads:     clients,
 		Ops:         per * clients,
 		NumCPU:      runtime.NumCPU(),
 		KopsSec:     done / elapsed.Seconds() / 1000,
+		P99Us:       float64(merged.Percentile(0.99).Nanoseconds()) / 1e3,
 		PWBPerOp:    float64(delta.PWBs) / done,
 		PFencePerOp: float64(delta.Fences()) / done,
 		StoresPerOp: float64(delta.Stores) / done,
 	}
-	row.CoalescedPerOp = float64(fa.SavedLines) / done
-	if fa.Begun > 0 {
-		row.WarmTxPct = 100 * float64(fa.TxReuse) / float64(fa.Begun)
+	row.CoalescedPerOp = float64(faDelta.SavedLines) / done
+	if faDelta.Begun > 0 {
+		row.WarmTxPct = 100 * float64(faDelta.TxReuse) / float64(faDelta.Begun)
 	}
 	return row, nil
 }
 
 func printRows(rows []Row) {
-	fmt.Printf("%-10s%-8s%9s%12s%11s%10s%12s%12s%14s%10s\n",
-		"bench", "backend", "threads", "Kops/s", "allocs/op", "pwb/op", "pfence/op", "stores/op", "coalesced/op", "warm-tx%")
+	fmt.Printf("%-10s%-8s%-8s%8s%12s%12s%11s%10s%12s%12s%14s%10s\n",
+		"bench", "backend", "commit", "threads", "Kops/s", "p99(us)", "allocs/op", "pwb/op", "pfence/op", "stores/op", "coalesced/op", "warm-tx%")
 	for _, r := range rows {
-		fmt.Printf("%-10s%-8s%9d%12.1f%11.2f%10.2f%12.2f%12.1f%14.2f%10.1f\n",
-			r.Bench, r.Backend, r.Threads, r.KopsSec, r.AllocsPerOp, r.PWBPerOp, r.PFencePerOp, r.StoresPerOp,
+		cm := r.Commit
+		if cm == "" {
+			cm = "-"
+		}
+		fmt.Printf("%-10s%-8s%-8s%8d%12.1f%12.1f%11.2f%10.2f%12.2f%12.1f%14.2f%10.1f\n",
+			r.Bench, r.Backend, cm, r.Threads, r.KopsSec, r.P99Us, r.AllocsPerOp, r.PWBPerOp, r.PFencePerOp, r.StoresPerOp,
 			r.CoalescedPerOp, r.WarmTxPct)
 	}
 }

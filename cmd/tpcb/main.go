@@ -24,8 +24,16 @@ func main() {
 	runFor := flag.Duration("run", 4*time.Second, "total injection time")
 	crashAt := flag.Duration("crash", 0, "crash instant (default run/2)")
 	bucket := flag.Duration("bucket", 100*time.Millisecond, "timeline bucket")
+	groupCommit := flag.Bool("group-commit", false, "share commit barriers across the J-PFA clients")
+	durability := flag.String("durability", "sync", "J-PFA commit durability: sync or async (epoch watermark)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics JSON + pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	commit, err := bench.CommitModeName(*groupCommit, *durability)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *metricsAddr != "" {
 		obs.Serve(*metricsAddr, func(err error) {
@@ -39,6 +47,7 @@ func main() {
 		RunFor:     *runFor,
 		CrashAfter: *crashAt,
 		Bucket:     *bucket,
+		Commit:     commit,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -26,6 +26,8 @@ func main() {
 	records := flag.Int("records", 0, "record count (0 = scaled default)")
 	ops := flag.Int("ops", 0, "operation count (0 = scaled default)")
 	threads := flag.Int("threads", 1, "client threads (the paper defaults to a sequential client)")
+	groupCommit := flag.Bool("group-commit", false, "share commit barriers across concurrent committers (J-NVM backends)")
+	durability := flag.String("durability", "sync", "commit durability: sync (Commit returns durable) or async (epoch watermark)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics JSON + pprof on this address (e.g. :6060)")
 	jsonOut := flag.String("json", "", "also write experiment rows (with embedded per-run metrics) as JSON to this file")
 	flag.Parse()
@@ -45,6 +47,12 @@ func main() {
 		sc.Operations = *ops
 	}
 	sc.Threads = *threads
+	commit, err := bench.CommitModeName(*groupCommit, *durability)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sc.Commit = commit
 
 	run := func(name string) error {
 		switch name {

@@ -48,6 +48,43 @@ type GridConfig struct {
 	FenceNs int
 	// Dir hosts FS backend files (a temp dir when empty).
 	Dir string
+	// Commit selects the commit protocol of the J-NVM backends: "" or
+	// "per-tx" (every commit fences alone, §4.2), "group" (concurrent
+	// commits share barriers, still synchronous), or "async" (epoch
+	// pipeline; Commit returns a ticket, durability trails at the
+	// watermark). Non-J-NVM backends ignore it.
+	Commit string
+}
+
+// CommitModeName folds the -group-commit/-durability flag pair of the cmd
+// tools into a GridConfig.Commit value. Async implies grouping (the epoch
+// pipeline is what amortizes the fences); sync without -group-commit is
+// the per-Tx default.
+func CommitModeName(groupCommit bool, durability string) (string, error) {
+	switch durability {
+	case "", "sync":
+		if groupCommit {
+			return "group", nil
+		}
+		return "", nil
+	case "async":
+		return "async", nil
+	}
+	return "", fmt.Errorf("bench: unknown durability %q (want sync or async)", durability)
+}
+
+// ParseCommitMode maps the -group-commit/-durability flag vocabulary to a
+// commit mode.
+func ParseCommitMode(s string) (fa.CommitMode, error) {
+	switch s {
+	case "", "per-tx":
+		return fa.CommitPerTx, nil
+	case "group", "sync":
+		return fa.CommitGroup, nil
+	case "async":
+		return fa.CommitAsync, nil
+	}
+	return 0, fmt.Errorf("bench: unknown commit mode %q (want per-tx, group or async)", s)
 }
 
 // DefaultFenceNs approximates the sfence+ADR cost the paper pays on
@@ -77,8 +114,12 @@ type Env struct {
 	cleanup func()
 }
 
-// Close releases resources.
+// Close releases resources. Queued async commits are drained first so no
+// acknowledged ticket is abandoned short of durability.
 func (e *Env) Close() {
+	if e.Mgr != nil {
+		e.Mgr.DrainDurable()
+	}
 	if e.cleanup != nil {
 		e.cleanup()
 	}
@@ -184,6 +225,15 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 				return nil, err
 			}
 			backend = b
+		}
+		if cfg.Commit != "" {
+			mode, err := ParseCommitMode(cfg.Commit)
+			if err != nil {
+				return nil, err
+			}
+			if err := mgr.SetGroupCommit(fa.GroupOptions{Mode: mode}); err != nil {
+				return nil, err
+			}
 		}
 		// The paper disables record caching for the J-NVM backends
 		// (§5.3.1: "caching brings almost no performance benefits").

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fa"
 	"repro/internal/ycsb"
 )
 
@@ -355,5 +356,49 @@ func TestExtEScanExtension(t *testing.T) {
 	PrintExtE(&buf, rows)
 	if !strings.Contains(buf.String(), "YCSB-E") {
 		t.Fatal("print broken")
+	}
+}
+
+func TestEnvCommitModes(t *testing.T) {
+	for _, tc := range []struct {
+		commit string
+		want   fa.CommitMode
+	}{
+		{"", fa.CommitPerTx},
+		{"per-tx", fa.CommitPerTx},
+		{"group", fa.CommitGroup},
+		{"async", fa.CommitAsync},
+	} {
+		t.Run("commit="+tc.commit, func(t *testing.T) {
+			env, err := NewEnv(GridConfig{Backend: JPFA, Records: 100, FieldCount: 10, FieldLen: 100, FenceNs: 1, Commit: tc.commit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer env.Close()
+			if got := env.Mgr.CommitMode(); got != tc.want {
+				t.Fatalf("CommitMode = %v, want %v", got, tc.want)
+			}
+			cfg := ycsb.MustWorkload("A")
+			cfg.RecordCount, cfg.Operations = 100, 300
+			cfg = cfg.Defaults()
+			if err := ycsb.Load(env.Grid, cfg); err != nil {
+				t.Fatal(err)
+			}
+			res, err := ycsb.Run(env.Grid, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d errors", res.Errors)
+			}
+			// Close's drain (async) plus recovery-free teardown must leave
+			// no acknowledged commit behind the watermark.
+			if w := env.Mgr.DrainDurable(); env.Mgr.CommitMode() == fa.CommitAsync && w != env.Mgr.IssuedTickets() {
+				t.Fatalf("watermark %d != issued %d", w, env.Mgr.IssuedTickets())
+			}
+		})
+	}
+	if _, err := NewEnv(GridConfig{Backend: JPFA, Records: 100, FieldCount: 10, FieldLen: 100, Commit: "bogus"}); err == nil {
+		t.Fatal("bogus commit mode accepted")
 	}
 }

@@ -26,6 +26,9 @@ type Scale struct {
 	Records    int
 	Operations int
 	Threads    int
+	// Commit is the J-NVM commit protocol ("", "per-tx", "group",
+	// "async"); see GridConfig.Commit.
+	Commit string
 }
 
 // DefaultScale runs the full suite in minutes on commodity hardware.
@@ -67,6 +70,7 @@ func Fig7(sc Scale, backends []BackendKind) ([]Fig7Row, error) {
 				Backend: bk, Records: cfg.RecordCount * 2,
 				FieldCount: cfg.FieldCount, FieldLen: cfg.FieldLen,
 				CacheEntries: fsCache(bk, cfg.RecordCount),
+				Commit:       sc.Commit,
 			})
 			if err != nil {
 				return nil, err
@@ -77,6 +81,11 @@ func Fig7(sc Scale, backends []BackendKind) ([]Fig7Row, error) {
 			}
 			before := env.Snapshot()
 			res, err := ycsb.Run(env.Grid, cfg)
+			if env.Mgr != nil {
+				// Async mode: charge the run's own epochs to the run
+				// interval before diffing snapshots.
+				env.Mgr.DrainDurable()
+			}
 			stack := env.Snapshot().Sub(*before)
 			env.Close()
 			if err != nil {
@@ -351,6 +360,10 @@ type Fig11Config struct {
 	RunFor     time.Duration
 	CrashAfter time.Duration
 	Bucket     time.Duration
+	// Commit is the J-PFA commit protocol ("", "per-tx", "group",
+	// "async"). Async makes the crash meaningful: transfers acknowledged
+	// past the watermark survive, queued ones are rolled back.
+	Commit string
 }
 
 // Fig11 runs the TPC-B crash/recovery experiment over the four systems of
@@ -372,6 +385,23 @@ func Fig11(cfg Fig11Config) ([]*tpcb.Timeline, error) {
 		cfg.Bucket = 100 * time.Millisecond
 	}
 	poolBytes := cfg.Accounts*512 + (32 << 20)
+	commitMode, err := ParseCommitMode(cfg.Commit)
+	if err != nil {
+		return nil, err
+	}
+	// openJNVM opens (or re-opens) a bank on pool and applies the
+	// configured commit protocol; recovery itself always runs before the
+	// mode takes effect, so the restart path is mode-independent.
+	openJNVM := func(pool *nvm.Pool, accounts int, nogc bool) (tpcb.Bank, error) {
+		b, err := tpcb.OpenJNVMBank(pool, accounts, nogc)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Manager().SetGroupCommit(fa.GroupOptions{Mode: commitMode}); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
 
 	var systems []tpcb.System
 	// Volatile: restart from a blank state.
@@ -386,8 +416,8 @@ func Fig11(cfg Fig11Config) ([]*tpcb.Timeline, error) {
 		obs.Default.Publish("tpcb_jpfa_nvm", func() any { return pool.Obs().Snapshot() })
 		systems = append(systems, tpcb.System{
 			Name:    "J-PFA",
-			Start:   func() (tpcb.Bank, error) { return tpcb.OpenJNVMBank(pool, cfg.Accounts, false) },
-			Restart: func() (tpcb.Bank, error) { return tpcb.OpenJNVMBank(pool, cfg.Accounts, false) },
+			Start:   func() (tpcb.Bank, error) { return openJNVM(pool, cfg.Accounts, false) },
+			Restart: func() (tpcb.Bank, error) { return openJNVM(pool, cfg.Accounts, false) },
 		})
 	}
 	// J-PFA-nogc: header-scan recovery.
@@ -396,8 +426,8 @@ func Fig11(cfg Fig11Config) ([]*tpcb.Timeline, error) {
 		obs.Default.Publish("tpcb_jpfa_nogc_nvm", func() any { return pool.Obs().Snapshot() })
 		systems = append(systems, tpcb.System{
 			Name:    "J-PFA-nogc",
-			Start:   func() (tpcb.Bank, error) { return tpcb.OpenJNVMBank(pool, cfg.Accounts, true) },
-			Restart: func() (tpcb.Bank, error) { return tpcb.OpenJNVMBank(pool, cfg.Accounts, true) },
+			Start:   func() (tpcb.Bank, error) { return openJNVM(pool, cfg.Accounts, true) },
+			Restart: func() (tpcb.Bank, error) { return openJNVM(pool, cfg.Accounts, true) },
 		})
 	}
 	// FS: files survive; the restart eagerly rewarms the 10% cache.

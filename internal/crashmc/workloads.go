@@ -23,7 +23,7 @@ import (
 // allocation/free (pool), and the non-transactional single-fence
 // publication of the J-PDT types (pdt).
 func Workloads() []*Workload {
-	return []*Workload{bankWorkload(), gridWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload()}
+	return []*Workload{bankWorkload(), gridWorkload(), gridGroupWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload()}
 }
 
 // ByName resolves a workload; "all" is handled by callers.
@@ -304,6 +304,132 @@ func gridWorkload() *Workload {
 				}
 				if v, err := read("probe"); err != nil || string(v) != "ok" {
 					return fmt.Errorf("post-recovery readback: %q, %v", v, err)
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+// ---- gridgroup: async group commit over the J-PFA backend ----
+
+// gridGroupWorkload crashes the epoch pipeline of DESIGN.md §15: updates
+// run in CommitAsync mode with manual drains, so each epoch batches
+// several commits behind one fence set. The oracle proves the prefix
+// property — a crash recovers every fully-drained epoch (the caller was
+// told so by AwaitDurable/DrainDurable returning) and, for the in-flight
+// epoch, an all-or-nothing subset per key: each key reads either its last
+// durable value or its queued update, never a torn mix and never a value
+// from a later epoch while an earlier one is missing (epochs touch every
+// key round-robin, so a skipped epoch would surface as a stale durable
+// read after a collapse).
+func gridGroupWorkload() *Workload {
+	const nkeys = 8
+	const epochs = 5
+	const opsPerEpoch = 3 // < nkeys: round-robin keeps keys distinct per epoch
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("g%02d", i)
+	}
+	return &Workload{Name: "gridgroup", PoolBytes: 1 << 21, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		durable := make(map[string][]byte) // value proven durable by a returned drain
+		pending := make(map[string][]byte) // queued in the in-flight epoch, nil = none
+		var g *store.Grid
+		var mgr *fa.Manager
+		mkval := func(i int) []byte {
+			n := 8 + rng.Intn(16)
+			v := make([]byte, n)
+			for j := range v {
+				v[j] = byte('a' + (i+j)%26)
+			}
+			return v
+		}
+		return &Run{
+			Setup: func(pool *nvm.Pool) error {
+				mgr = fa.NewManager()
+				h, err := openCheckHeap(pool, gridClasses(), mgr, 1)
+				if err != nil {
+					return err
+				}
+				backend, err := store.NewJPFABackend(h, mgr, "gridgroup.map")
+				if err != nil {
+					return err
+				}
+				g = store.NewGrid(backend, store.Options{CacheEntries: 4})
+				// Seed every key in the default per-Tx mode, then switch to
+				// the async pipeline for the explored phase.
+				for i, key := range keys {
+					v := mkval(i)
+					if err := g.Insert(key, &store.Record{Fields: []store.Field{{Name: "v", Value: v}}}); err != nil {
+						return err
+					}
+					durable[key] = v
+				}
+				return mgr.SetGroupCommit(fa.GroupOptions{Mode: fa.CommitAsync, ManualDrain: true})
+			},
+			Exec: func(pool *nvm.Pool) error {
+				for e := 0; e < epochs; e++ {
+					batch := make([]string, 0, opsPerEpoch)
+					for j := 0; j < opsPerEpoch; j++ {
+						key := keys[(e*opsPerEpoch+j)%nkeys]
+						v := mkval(e*opsPerEpoch + j + 100)
+						pending[key] = v
+						if err := g.Update(key, []store.Field{{Name: "v", Value: v}}); err != nil {
+							return fmt.Errorf("epoch %d update %s: %w", e, key, err)
+						}
+						batch = append(batch, key)
+					}
+					// Alternate the two drain APIs; both promise durability
+					// of every ticket issued so far when they return.
+					if e%2 == 0 {
+						mgr.AwaitDurable(mgr.IssuedTickets())
+					} else {
+						mgr.DrainDurable()
+					}
+					for _, key := range batch {
+						durable[key] = pending[key]
+						delete(pending, key)
+					}
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				mgr2 := fa.NewManager()
+				h, err := openCheckHeap(img, gridClasses(), mgr2, parallelism)
+				if err != nil {
+					return fmt.Errorf("reopen: %w", err)
+				}
+				if err := fsckClean(h); err != nil {
+					return err
+				}
+				backend, err := store.NewJPFABackend(h, mgr2, "gridgroup.map")
+				if err != nil {
+					return fmt.Errorf("reopen backend: %w", err)
+				}
+				g2 := store.NewGrid(backend, store.Options{})
+				for _, key := range keys {
+					var val []byte
+					err := g2.Read(key, func(name string, v []byte) {
+						if name == "v" {
+							val = append([]byte(nil), v...)
+						}
+					})
+					if err != nil {
+						return fmt.Errorf("read %s: %w", key, err)
+					}
+					if bytes.Equal(val, durable[key]) {
+						continue
+					}
+					if p, ok := pending[key]; ok && bytes.Equal(val, p) {
+						continue
+					}
+					return fmt.Errorf("key %s: recovered %q is neither the durable %q nor the queued %q",
+						key, val, durable[key], pending[key])
+				}
+				// Writability probe: the recovered heap commits per-Tx again.
+				if err := g2.Insert("probe", &store.Record{Fields: []store.Field{{Name: "v", Value: []byte("ok")}}}); err != nil {
+					return fmt.Errorf("post-recovery insert: %w", err)
 				}
 				return nil
 			},

@@ -55,6 +55,12 @@ func (tx *Tx) locate(o *core.Object, off uint64, n uint64, forWrite bool) (uint6
 	if i, ok := tx.inflight[orig]; ok {
 		return tx.writes[i].inf + heap.HeaderSize + within, nil
 	}
+	if tx.grp != nil {
+		// Async mode: a queued epoch may still hold this block's new image;
+		// reading the original now could observe (and act on) pre-apply
+		// state — e.g. free an old value ref the drain also frees.
+		tx.grp.waitClear(orig)
+	}
 	return orig + heap.HeaderSize + within, nil
 }
 

@@ -78,6 +78,14 @@ const (
 	transientCap = 32
 )
 
+// The commit retire step writes back the slot header with one
+// PWBRange(base, slotEntries); both header words must fit in that range.
+// These constants fail to compile if the layout ever moves them out.
+const (
+	_ = uint64(slotEntries - (slotStatus + 8))
+	_ = uint64(slotEntries - (slotCount + 8))
+)
+
 // lineMask returns the dirty-line bits for a store of n>0 bytes at
 // block-local offset off (header included in the coordinate space).
 func lineMask(off, n uint64) uint8 {
@@ -185,6 +193,9 @@ type Manager struct {
 	cache txCache
 	inUse atomic.Int64
 	stats obs.FAStats
+	// group holds the opt-in group-commit coordination state (group.go);
+	// nil selects the default per-Tx protocol.
+	group atomic.Pointer[groupState]
 }
 
 // Obs returns the manager's live counters.
@@ -197,7 +208,9 @@ func (m *Manager) ObsSnapshot() obs.FASnapshot {
 	if st := m.state.Load(); st != nil {
 		total = uint64(st.total)
 	}
-	return m.stats.Snapshot(total, uint64(m.inUse.Load()))
+	snap := m.stats.Snapshot(total, uint64(m.inUse.Load()))
+	m.groupSnapshot(&snap)
+	return snap
 }
 
 // NewManager creates an unattached manager. Pass it as the LogHandler of
@@ -215,6 +228,27 @@ func NewManager() *Manager { return &Manager{} }
 // blocks. One PSync closes the phase, as in the serial path.
 func (m *Manager) RecoverLogs(h *core.Heap, opts core.RecoverOptions) error {
 	off, slots, slotSize := h.Mem().LogArea()
+	// Layout guards for the commit protocol: the retire write-back
+	// covers [base, base+slotEntries), and the durable-commit-point PWB
+	// assumes status and count share the slot's first cache line, which
+	// holds only if every slot base is line-aligned.
+	if slotSize < slotEntries+entrySize {
+		return fmt.Errorf("fa: log slot size %d cannot hold a header and one entry", slotSize)
+	}
+	if off%nvm.LineSize != 0 || uint64(slotSize)%nvm.LineSize != 0 {
+		return fmt.Errorf("fa: log area (off %#x, slot size %d) not cache-line aligned", off, slotSize)
+	}
+	// Discard any async commits queued on a previous attachment: their
+	// volatile Tx state is dead, and their durable effects are exactly
+	// what the slot replay below decides.
+	if g := m.group.Load(); g != nil && g.mode == CommitAsync {
+		g.mu.Lock()
+		g.queue = nil
+		clear(g.pending)
+		g.durable = g.issued
+		g.draining = false
+		g.mu.Unlock()
+	}
 	pool := h.Pool()
 	var replayed atomic.Uint64
 	replaySlot := func(i int) {
@@ -362,6 +396,11 @@ type Tx struct {
 
 	flush  *nvm.FlushSet
 	blocks *heap.TransientPool
+
+	// grp is the group-commit state sampled at Begin (nil = per-Tx);
+	// ticket is the epoch ticket of an enqueued async commit.
+	grp    *groupState
+	ticket uint64
 }
 
 // Defer registers a volatile follow-up (mirror updates, cache fills) that
@@ -384,8 +423,10 @@ func (m *Manager) Begin() (*Tx, error) {
 	if st == nil {
 		return nil, fmt.Errorf("fa: manager not attached to a heap (pass it as core.Config.LogHandler)")
 	}
+	g := m.group.Load()
 	if tx := m.cache.get(); tx != nil {
 		tx.depth = 1
+		tx.grp = g
 		m.inUse.Add(1)
 		m.stats.Begun.Inc()
 		m.stats.TxReuse.Inc()
@@ -396,6 +437,7 @@ func (m *Manager) Begin() (*Tx, error) {
 		// A racing release may have parked its Tx after our cache scan.
 		if tx := m.cache.get(); tx != nil {
 			tx.depth = 1
+			tx.grp = g
 			m.inUse.Add(1)
 			m.stats.Begun.Inc()
 			m.stats.TxReuse.Inc()
@@ -417,6 +459,7 @@ func (m *Manager) Begin() (*Tx, error) {
 		proxies:    make(map[core.Ref]core.PObject),
 		flush:      nvm.NewFlushSet(),
 		blocks:     st.h.Mem().NewTransientPool(transientCap),
+		grp:        g,
 	}, nil
 }
 
@@ -460,6 +503,8 @@ func (tx *Tx) release() {
 	tx.deferred = nil
 	tx.onAbort = nil
 	tx.flush.Reset()
+	tx.grp = nil
+	tx.ticket = 0
 	m := tx.m
 	m.inUse.Add(-1)
 	if !m.cache.put(tx) {
@@ -564,6 +609,12 @@ func (tx *Tx) inflightFor(orig core.Ref) (int, error) {
 	if i, ok := tx.inflight[orig]; ok {
 		return i, nil
 	}
+	if tx.grp != nil {
+		// Async mode: the block may still be queued for apply by an
+		// earlier epoch; snapshotting it before that apply would fork
+		// history. Drain first.
+		tx.grp.waitClear(orig)
+	}
 	inf, _, err := tx.blocks.Get()
 	if err != nil {
 		return 0, err
@@ -582,7 +633,11 @@ func (tx *Tx) inflightFor(orig core.Ref) (int, error) {
 // ---- Commit pipeline stages ----
 //
 // The stages are split out so the crash-staging test hook executes exactly
-// the code Commit does; see hooks_test.go.
+// the code Commit does (see hooks_test.go), and so the group-commit
+// coordinator (group.go) can interleave stage bodies across transactions
+// with shared barriers between them. Each stage has a Body half — the
+// stores and PWBs — and a per-Tx wrapper that appends the fence the
+// solo protocol needs at that point.
 
 // commitStage1 persists the log and the write set and fences. Dirty-line
 // masks are patched into the write entries first — replay must know which
@@ -591,6 +646,11 @@ func (tx *Tx) inflightFor(orig core.Ref) (int, error) {
 // written back once through the flush set. No fence was needed before
 // this point because the original data is untouched (§4.2).
 func (tx *Tx) commitStage1() {
+	tx.commitStage1Body()
+	tx.h.Pool().PFence()
+}
+
+func (tx *Tx) commitStage1Body() {
 	pool := tx.h.Pool()
 	for i := range tx.writes {
 		w := &tx.writes[i]
@@ -599,15 +659,18 @@ func (tx *Tx) commitStage1() {
 	pool.WriteUint64(tx.base+slotCount, tx.count)
 	tx.flush.AddRange(tx.base+slotCount, 8+tx.count*entrySize)
 	tx.noteFlush(tx.flush.Flush(pool))
-	pool.PFence()
 }
 
 // commitStage2 is the durable commit point.
 func (tx *Tx) commitStage2() {
+	tx.commitStage2Body()
+	tx.h.Pool().PFence()
+}
+
+func (tx *Tx) commitStage2Body() {
 	pool := tx.h.Pool()
 	pool.WriteUint64(tx.base+slotStatus, statusCommitted)
 	pool.PWB(tx.base + slotStatus)
-	pool.PFence()
 }
 
 // commitStage3 applies the log — masked line copies over the originals,
@@ -616,48 +679,39 @@ func (tx *Tx) commitStage2() {
 // coalesced and fenced; the crash hook passes durable=false to model a
 // crash before any of the apply reached NVMM.
 func (tx *Tx) commitStage3(durable bool) {
-	pool := tx.h.Pool()
-	applyEntries(pool, tx.h.Mem(), tx.base, tx.count, tx.flush)
 	if !durable {
+		applyEntries(tx.h.Pool(), tx.h.Mem(), tx.base, tx.count, tx.flush)
 		tx.flush.Reset()
 		return
 	}
-	tx.noteFlush(tx.flush.Flush(pool))
-	pool.PFence()
+	tx.commitStage3Body()
+	tx.h.Pool().PFence()
 }
 
-func (tx *Tx) noteFlush(flushed, saved uint64) {
-	tx.m.stats.FlushedLines.Add(flushed)
-	tx.m.stats.SavedLines.Add(saved)
-}
-
-// Commit ends the block (faEnd). Outermost commit runs the redo protocol.
-func (tx *Tx) Commit() error {
-	tx.active()
-	tx.depth--
-	if tx.depth > 0 {
-		return nil
-	}
+func (tx *Tx) commitStage3Body() {
 	pool := tx.h.Pool()
-	mem := tx.h.Mem()
+	applyEntries(pool, tx.h.Mem(), tx.base, tx.count, tx.flush)
+	tx.noteFlush(tx.flush.Flush(pool))
+}
 
-	// 1. Persist the log and the write set (one coalesced write-back);
-	// 2. durable commit point;
-	// 3. apply, flushed and fenced.
-	tx.commitStage1()
-	tx.commitStage2()
-	tx.commitStage3(true)
-
-	// 4. Retire the log before the slot can be reused; otherwise a crash
-	//    could replay a stale committed log polluted with fresh entries.
+// commitRetireBody retires the log before the slot can be reused;
+// otherwise a crash could replay a stale committed log polluted with
+// fresh entries. The write-back covers the whole header — status and
+// count — which the compile-time guards above pin inside
+// [base, base+slotEntries).
+func (tx *Tx) commitRetireBody() {
+	pool := tx.h.Pool()
 	pool.WriteUint64(tx.base+slotStatus, statusIdle)
 	pool.WriteUint64(tx.base+slotCount, 0)
-	pool.PWBRange(tx.base, 16)
-	pool.PSync()
+	pool.PWBRange(tx.base, slotEntries)
+}
 
-	// 5. Volatile cleanup: recycle in-flight blocks into the transient
-	//    pool, push freed objects' blocks to the free queue, neutralize
-	//    freed proxies.
+// commitCleanup is the volatile tail of a committed block: recycle
+// in-flight blocks into the transient pool, push freed objects' blocks to
+// the free queue, neutralize freed proxies, release the Tx and run the
+// deferred follow-ups. Callers run it only after the retire is durable.
+func (tx *Tx) commitCleanup() {
+	mem := tx.h.Mem()
 	for i := range tx.writes {
 		tx.blocks.Put(tx.writes[i].inf)
 	}
@@ -676,11 +730,72 @@ func (tx *Tx) Commit() error {
 	for _, fn := range deferred {
 		fn()
 	}
-	return nil
+}
+
+func (tx *Tx) noteFlush(flushed, saved uint64) {
+	tx.m.stats.FlushedLines.Add(flushed)
+	tx.m.stats.SavedLines.Add(saved)
+}
+
+// commitPerTx is the solo redo protocol of §4.2 — the correctness oracle
+// the group modes are checked against:
+//
+//  1. persist the log and the write set (one coalesced write-back), fence;
+//  2. durable commit point (mark committed), fence;
+//  3. apply, flushed and fenced;
+//  4. retire the log, psync;
+//  5. volatile cleanup.
+func (tx *Tx) commitPerTx() {
+	tx.commitStage1()
+	tx.commitStage2()
+	tx.commitStage3(true)
+	tx.commitRetireBody()
+	tx.h.Pool().PSync()
+	tx.commitCleanup()
+}
+
+// Commit ends the block (faEnd). Outermost commit runs the commit
+// protocol selected by the manager's group-commit mode; when it returns,
+// the block is durable (sync and group modes) or ordered behind the
+// durability watermark (async mode — use CommitTicket to await it).
+func (tx *Tx) Commit() error {
+	_, err := tx.CommitTicket()
+	return err
+}
+
+// CommitTicket is Commit exposing the async epoch ticket: in
+// CommitAsync mode the outermost commit returns immediately with a
+// non-zero ticket to pass to Manager.AwaitDurable. In the other modes
+// (and for nested commits) the ticket is 0 and durability follows
+// Commit's usual rule.
+func (tx *Tx) CommitTicket() (uint64, error) {
+	tx.active()
+	tx.depth--
+	if tx.depth > 0 {
+		return 0, nil
+	}
+	if g := tx.grp; g != nil {
+		switch g.mode {
+		case CommitGroup:
+			tx.commitGrouped(g)
+			return 0, nil
+		case CommitAsync:
+			return g.enqueue(tx), nil
+		}
+	}
+	tx.commitPerTx()
+	return 0, nil
 }
 
 // Abort abandons the block: nothing it did becomes visible. In-flight
 // copies and allocations are recycled; originals were never touched.
+//
+// The count reset is volatile on purpose: it cannot leak stale entries
+// into a later generation of this slot. Replay is bounded by the durable
+// count, and every committing generation rewrites count and fences it
+// (stage 1) before its committed mark can possibly persist (stage 2), so
+// a replayed count always describes that generation's own entries. The
+// abort→reuse→crash regression in hooks_test.go pins this.
 func (tx *Tx) Abort() {
 	if tx.depth <= 0 {
 		return

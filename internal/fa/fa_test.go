@@ -400,7 +400,7 @@ func TestCrashAtomicityRandomized(t *testing.T) {
 		if err := transfer(tx, a, b, uint64(rng.Intn(100))); err != nil {
 			t.Fatal(err)
 		}
-		tx.commitPrefix(rng.Intn(4)) // 0..3
+		tx.commitPrefix(rng.Intn(5)) // 0..4
 
 		policy := []nvm.CrashPolicy{nvm.CrashStrict, nvm.CrashAll, nvm.CrashRandom}[rng.Intn(3)]
 		img := pool.CrashImage(policy, rng)

@@ -1,0 +1,363 @@
+// Cross-transaction group durability (DESIGN.md §15).
+//
+// Two opt-in commit modes ride on the per-Tx redo protocol of fa.go:
+//
+//   - CommitGroup keeps §4.2's synchronous guarantee (Commit returns ⇒
+//     durable) but routes the three pfences and the psync through a
+//     shared nvm.FenceCombiner, so concurrent committers whose stages
+//     overlap share barriers instead of draining their own.
+//   - CommitAsync decouples the guarantee: Commit persists the log and
+//     write set (unfenced), enqueues the block and returns an epoch
+//     ticket. A later drain — triggered by batch pressure, a conflicting
+//     access, AwaitDurable or DrainDurable — commits the whole queue as
+//     one epoch with a single fence set, then advances the durability
+//     watermark past every ticket in the batch.
+//
+// The async epoch pipeline preserves two invariants the per-Tx protocol
+// gives for free:
+//
+//   - Each block's log (entry count included) is durable before its
+//     committed mark can be: the drain fences every queued block's
+//     stage-1 write-backs before writing any mark.
+//   - Epochs are serialized: epoch e is fully applied, retired and
+//     psynced before epoch e+1's marks are written, so a crash leaves
+//     committed logs from at most one epoch — every crash image recovers
+//     to a prefix of the epoch order (plus an all-or-nothing subset of
+//     the in-flight epoch), and the parallel replay of RecoverLogs keeps
+//     its disjoint-write-set assumption.
+//
+// Within an epoch the queued blocks must also have disjoint write sets.
+// The application's locking no longer guarantees that (an async Commit
+// returns before the app releases its locks' protection window), so the
+// manager tracks every queued block's originals and any transactional
+// access to one of them — read or write — first drains the queue (see
+// groupState.waitClear). Non-transactional readers are not blocked: they
+// observe the pre-epoch state until the drain applies, the documented
+// bounded staleness of async mode.
+package fa
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/nvm"
+	"repro/internal/obs"
+)
+
+// CommitMode selects the durability protocol for outermost commits.
+type CommitMode int
+
+const (
+	// CommitPerTx is the default §4.2 protocol — every commit issues its
+	// own barriers. It is the correctness oracle the group modes are
+	// checked against (see group_test.go), same pattern as the serial
+	// recovery oracle.
+	CommitPerTx CommitMode = iota
+	// CommitGroup shares barriers across concurrent committers via a
+	// fence combiner; Commit still returns only once durable.
+	CommitGroup
+	// CommitAsync enqueues the commit and returns a ticket immediately;
+	// durability is reached at the next epoch drain (AwaitDurable).
+	CommitAsync
+)
+
+// GroupOptions configures SetGroupCommit.
+type GroupOptions struct {
+	Mode CommitMode
+	// ManualDrain (async only) disables automatic batch-pressure drains;
+	// the caller drives every epoch with DrainDurable/AwaitDurable. This
+	// keeps a single-goroutine workload fully deterministic, which is
+	// what the crashmc gridgroup workload needs.
+	ManualDrain bool
+	// BatchTarget (async only) is the queue length that triggers an
+	// automatic drain; 0 means the default of 8 (bounded above by half
+	// the log slots so enqueued blocks cannot exhaust the slot pool).
+	BatchTarget int
+}
+
+const defaultBatchTarget = 8
+
+// groupState is the per-mode coordination state, swapped atomically on
+// the manager so the default per-Tx path pays one nil check.
+type groupState struct {
+	m    *Manager
+	mode CommitMode
+
+	// Sync mode: the shared barrier.
+	combiner *nvm.FenceCombiner
+
+	// Async mode.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Tx                 // enqueued commits, ticket order
+	pending  map[core.Ref]struct{} // originals held by queued commits
+	issued   uint64                // tickets handed out
+	durable  uint64                // watermark: last ticket fully durable
+	draining bool                  // an epoch drain is in flight
+	manual   bool
+	target   int
+}
+
+// SetGroupCommit switches the manager's commit mode. It must be called
+// while no failure-atomic block is open and no async commit is queued
+// (DrainDurable first); blocks begun after the call use the new mode.
+func (m *Manager) SetGroupCommit(opts GroupOptions) error {
+	if n := m.inUse.Load(); n != 0 {
+		return fmt.Errorf("fa: cannot switch commit mode with %d blocks in flight (drain first)", n)
+	}
+	switch opts.Mode {
+	case CommitPerTx:
+		m.group.Store(nil)
+	case CommitGroup:
+		m.group.Store(&groupState{m: m, mode: CommitGroup, combiner: nvm.NewFenceCombiner()})
+	case CommitAsync:
+		target := opts.BatchTarget
+		if target <= 0 {
+			target = defaultBatchTarget
+		}
+		g := &groupState{
+			m:       m,
+			mode:    CommitAsync,
+			pending: make(map[core.Ref]struct{}),
+			manual:  opts.ManualDrain,
+			target:  target,
+		}
+		g.cond = sync.NewCond(&g.mu)
+		m.group.Store(g)
+	default:
+		return fmt.Errorf("fa: unknown commit mode %d", opts.Mode)
+	}
+	return nil
+}
+
+// CommitMode returns the manager's current commit mode.
+func (m *Manager) CommitMode() CommitMode {
+	if g := m.group.Load(); g != nil {
+		return g.mode
+	}
+	return CommitPerTx
+}
+
+// DurableWatermark returns the highest async ticket that is fully
+// durable (applied, retired, psynced). Zero in the synchronous modes,
+// where every returned Commit is already durable.
+func (m *Manager) DurableWatermark() uint64 {
+	g := m.group.Load()
+	if g == nil || g.mode != CommitAsync {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.durable
+}
+
+// IssuedTickets returns the number of async commit tickets handed out;
+// AwaitDurable(IssuedTickets()) waits for everything committed so far.
+func (m *Manager) IssuedTickets() uint64 {
+	g := m.group.Load()
+	if g == nil || g.mode != CommitAsync {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.issued
+}
+
+// AwaitDurable blocks until the given async ticket is durable, draining
+// the queue if necessary. A zero ticket, or any ticket in a synchronous
+// mode, returns immediately.
+func (m *Manager) AwaitDurable(ticket uint64) {
+	g := m.group.Load()
+	if g == nil || g.mode != CommitAsync || ticket == 0 {
+		return
+	}
+	g.mu.Lock()
+	for g.durable < ticket {
+		if len(g.queue) == 0 && !g.draining {
+			break // ticket never issued or already drained elsewhere
+		}
+		g.drainLocked()
+	}
+	g.mu.Unlock()
+}
+
+// DrainDurable commits everything currently queued as one epoch (or
+// waits out a drain already in flight) and returns the new watermark.
+// In ManualDrain mode this is the only epoch boundary.
+func (m *Manager) DrainDurable() uint64 {
+	g := m.group.Load()
+	if g == nil || g.mode != CommitAsync {
+		return 0
+	}
+	g.mu.Lock()
+	for len(g.queue) > 0 || g.draining {
+		g.drainLocked()
+	}
+	w := g.durable
+	g.mu.Unlock()
+	return w
+}
+
+// enqueue persists tx's log and write set (unfenced), assigns its epoch
+// ticket and parks it on the queue. The commit's visible effects (the
+// apply, freed-object recycling, deferred follow-ups) happen at drain
+// time on the draining goroutine.
+func (g *groupState) enqueue(tx *Tx) uint64 {
+	tx.commitStage1Body()
+	g.mu.Lock()
+	g.issued++
+	tx.ticket = g.issued
+	g.queue = append(g.queue, tx)
+	for i := range tx.writes {
+		g.pending[tx.writes[i].orig] = struct{}{}
+	}
+	n := len(g.queue)
+	g.m.stats.AsyncCommits.Inc()
+	limit := g.target
+	if st := g.m.state.Load(); st != nil && st.total/2 < limit {
+		limit = st.total / 2
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	ticket := tx.ticket
+	if !g.manual && n >= limit {
+		g.drainLocked()
+	}
+	g.mu.Unlock()
+	return ticket
+}
+
+// waitClear blocks until no queued commit holds the block orig, draining
+// the queue if needed. Called on every transactional access to an
+// original block (reads included: a block touched by a queued commit has
+// a newer image in its redo log, and basing a new block on the stale
+// original would lose the queued update). No-op outside async mode.
+func (g *groupState) waitClear(orig core.Ref) {
+	if g.mode != CommitAsync {
+		return
+	}
+	g.mu.Lock()
+	for {
+		if _, ok := g.pending[orig]; !ok {
+			g.mu.Unlock()
+			return
+		}
+		g.drainLocked()
+	}
+}
+
+// drainLocked drains the current queue as one epoch. Caller holds g.mu;
+// it is released during the epoch and re-held on return. If another
+// drain is in flight, waits for it instead (the queue it took is a
+// superset decision made under the same lock, so waiting suffices for
+// waitClear/AwaitDurable to make progress on re-check).
+func (g *groupState) drainLocked() {
+	for g.draining {
+		g.cond.Wait()
+	}
+	batch := g.queue
+	if len(batch) == 0 {
+		return
+	}
+	g.queue = nil
+	g.draining = true
+	g.mu.Unlock()
+
+	last, origs := g.drainEpoch(batch)
+
+	g.mu.Lock()
+	for _, orig := range origs {
+		delete(g.pending, orig)
+	}
+	g.durable = last
+	g.draining = false
+	g.cond.Broadcast()
+}
+
+// drainEpoch runs the group-commit pipeline over the batch: one fence
+// set for the whole epoch instead of one per commit.
+//
+//	F0  pfence        — every queued log+write set durable (stage 1)
+//	    marks + pwb   — all blocks' committed marks written back
+//	F1  pfence        — the epoch's durable commit point
+//	    apply + flush — redo logs applied, dirty originals written back
+//	F2  pfence
+//	    retire + pwb  — every slot back to idle/0
+//	F3  psync         — epoch fully durable; slots may now be reused
+//
+// Crash analysis: before F1 only a (line-granular) subset of marks can
+// be durable, and each marked block's log is complete thanks to F0, so
+// recovery replays an all-or-nothing subset of this epoch. After F1 the
+// whole epoch replays. Slots are released (commitCleanup → release) only
+// after F3, so no retired slot can collect fresh entries while its old
+// committed mark is still durable. Earlier epochs were fully retired
+// before this epoch's marks were written, hence the prefix property.
+func (g *groupState) drainEpoch(batch []*Tx) (last uint64, origs []core.Ref) {
+	pool := batch[0].h.Pool()
+	last = batch[len(batch)-1].ticket
+	// Capture the pending originals for removal after the epoch: the
+	// cleanup below truncates tx.writes and recycles the Tx objects.
+	for _, tx := range batch {
+		for i := range tx.writes {
+			origs = append(origs, tx.writes[i].orig)
+		}
+	}
+	pool.PFence() // F0
+	for _, tx := range batch {
+		tx.commitStage2Body()
+	}
+	pool.PFence() // F1: the epoch commit point
+	for _, tx := range batch {
+		tx.commitStage3Body()
+	}
+	pool.PFence() // F2
+	for _, tx := range batch {
+		tx.commitRetireBody()
+	}
+	pool.PSync() // F3
+	g.m.stats.Epochs.Inc()
+	g.m.stats.EpochTxs.Add(uint64(len(batch)))
+	for _, tx := range batch {
+		tx.commitCleanup()
+	}
+	return last, origs
+}
+
+// commitGrouped is the synchronous group-commit path: the same stores,
+// write-backs and stage order as the per-Tx protocol, with each barrier
+// shared through the combiner. Commit returns ⇒ durable, exactly §4.2.
+func (tx *Tx) commitGrouped(g *groupState) {
+	pool := tx.h.Pool()
+	tx.commitStage1Body()
+	g.combiner.Fence(pool)
+	tx.commitStage2Body()
+	g.combiner.Fence(pool)
+	tx.commitStage3Body()
+	g.combiner.Fence(pool)
+	tx.commitRetireBody()
+	g.combiner.Sync(pool)
+	tx.commitCleanup()
+}
+
+// groupSnapshot folds the group-commit gauges into an FASnapshot: the
+// fences saved by combining/epoch amortization and the async backlog.
+func (m *Manager) groupSnapshot(snap *obs.FASnapshot) {
+	g := m.group.Load()
+	if g == nil {
+		return
+	}
+	if g.combiner != nil {
+		barriers, issued, _ := g.combiner.Stats()
+		snap.CombinedFences += barriers - issued
+	}
+	if g.mode == CommitAsync {
+		// Per-Tx commit issues 4 barriers; an epoch issues 4 for the
+		// whole batch.
+		snap.CombinedFences += 4 * (snap.EpochTxs - snap.Epochs)
+		g.mu.Lock()
+		snap.WatermarkLag = g.issued - g.durable
+		g.mu.Unlock()
+	}
+}

@@ -10,6 +10,9 @@ package fa
 //	2 — + durable commit mark
 //	3 — + apply ran, but nothing of it was flushed and the log still
 //	     reads committed (replay must redo it)
+//	4 — + apply flushed and fenced, retire written back but NOT psynced:
+//	     the crash window between the retire write-back and its
+//	     durability point (the satellite-1 ordering audit)
 func (tx *Tx) commitPrefix(stage int) {
 	if stage >= 1 {
 		tx.commitStage1()
@@ -17,8 +20,12 @@ func (tx *Tx) commitPrefix(stage int) {
 	if stage >= 2 {
 		tx.commitStage2()
 	}
-	if stage >= 3 {
+	if stage == 3 {
 		tx.commitStage3(false)
+	}
+	if stage >= 4 {
+		tx.commitStage3(true)
+		tx.commitRetireBody()
 	}
 	// The crash happens here: no cleanup, no release.
 }

@@ -42,6 +42,55 @@ func TestFlushSetGaps(t *testing.T) {
 	}
 }
 
+// The accounting contract behind obs's pwb/op columns: flushed counts
+// unique lines written back, coalesced counts the duplicate marks saved,
+// and the two always sum to the raw mark count — so flushed matches the
+// pool's PWB delta exactly and neither side double-counts.
+func TestFlushSetAccountingInvariant(t *testing.T) {
+	cases := []struct {
+		name          string
+		mark          func(fs *FlushSet)
+		flushed, coal uint64
+	}{
+		{"partial line", func(fs *FlushSet) { fs.AddRange(100, 8) }, 1, 0},
+		{"line-crossing range", func(fs *FlushSet) { fs.AddRange(60, 8) }, 2, 0},
+		{"overlapping ranges", func(fs *FlushSet) {
+			fs.AddRange(0, 128)
+			fs.AddRange(64, 64)
+		}, 2, 1},
+		{"exact line", func(fs *FlushSet) { fs.AddRange(64, 64) }, 1, 0},
+		{"repeated field stores", func(fs *FlushSet) {
+			for i := 0; i < 5; i++ {
+				fs.AddRange(200, 8)
+			}
+		}, 1, 4},
+		{"contained range", func(fs *FlushSet) {
+			fs.AddRange(0, 256)
+			fs.AddRange(64, 8)
+		}, 4, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(1<<16, Options{})
+			fs := NewFlushSet()
+			tc.mark(fs)
+			marks := uint64(fs.Pending())
+			before := p.Obs().Snapshot()
+			flushed, coalesced := fs.Flush(p)
+			d := p.Obs().Snapshot().Sub(before)
+			if flushed != tc.flushed || coalesced != tc.coal {
+				t.Fatalf("Flush = (%d, %d), want (%d, %d)", flushed, coalesced, tc.flushed, tc.coal)
+			}
+			if flushed+coalesced != marks {
+				t.Fatalf("flushed %d + coalesced %d != %d raw marks", flushed, coalesced, marks)
+			}
+			if d.PWBs != flushed {
+				t.Fatalf("pool counted %d pwb, accounting claims %d", d.PWBs, flushed)
+			}
+		})
+	}
+}
+
 func TestFlushSetEmpty(t *testing.T) {
 	p := New(1<<16, Options{})
 	fs := NewFlushSet()

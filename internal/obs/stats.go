@@ -136,6 +136,10 @@ type FAStats struct {
 	TxReuse      Counter // Begin served by a warm cached Tx (slot affinity hit)
 	FlushedLines Counter // cache lines actually written back at commit
 	SavedLines   Counter // lines the flush set coalesced away (dedup hits)
+
+	Epochs       Counter // async group-commit epochs drained
+	EpochTxs     Counter // commits made durable by an epoch drain
+	AsyncCommits Counter // async commits enqueued (tickets issued)
 }
 
 // FASnapshot combines the counters with slot-occupancy gauges.
@@ -150,9 +154,20 @@ type FASnapshot struct {
 	FlushedLines uint64 `json:"flushed_lines"`
 	SavedLines   uint64 `json:"coalesced_lines_saved"`
 
+	Epochs       uint64 `json:"group_epochs"`
+	EpochTxs     uint64 `json:"group_epoch_txs"`
+	AsyncCommits uint64 `json:"async_commits"`
+	// CombinedFences counts fence requests satisfied by a barrier another
+	// committer issued (sync-mode combining) plus the barriers an epoch
+	// drain amortized away vs the per-Tx protocol. Filled by the manager.
+	CombinedFences uint64 `json:"combined_fences"`
+
 	// Gauges.
 	SlotsTotal uint64 `json:"log_slots_total"`
 	SlotsInUse uint64 `json:"log_slots_in_use"`
+	// WatermarkLag is async commits acknowledged but not yet durable
+	// (tickets issued minus the durability watermark) at snapshot time.
+	WatermarkLag uint64 `json:"watermark_lag"`
 }
 
 // Snapshot captures the counters plus the supplied occupancy gauges.
@@ -167,6 +182,10 @@ func (s *FAStats) Snapshot(slotsTotal, slotsInUse uint64) FASnapshot {
 		TxReuse:      s.TxReuse.Load(),
 		FlushedLines: s.FlushedLines.Load(),
 		SavedLines:   s.SavedLines.Load(),
+
+		Epochs:       s.Epochs.Load(),
+		EpochTxs:     s.EpochTxs.Load(),
+		AsyncCommits: s.AsyncCommits.Load(),
 
 		SlotsTotal: slotsTotal,
 		SlotsInUse: slotsInUse,
@@ -184,6 +203,10 @@ func (s FASnapshot) Sub(prev FASnapshot) FASnapshot {
 	out.TxReuse -= prev.TxReuse
 	out.FlushedLines -= prev.FlushedLines
 	out.SavedLines -= prev.SavedLines
+	out.Epochs -= prev.Epochs
+	out.EpochTxs -= prev.EpochTxs
+	out.AsyncCommits -= prev.AsyncCommits
+	out.CombinedFences -= prev.CombinedFences
 	return out
 }
 
@@ -514,6 +537,14 @@ func (s StackSnapshot) Report(w io.Writer) {
 			fmt.Fprintf(w, "fa commit pipeline: %d warm-tx reuse, %d lines flushed, %d coalesced away (%.0f%% saved)\n",
 				s.FA.TxReuse, s.FA.FlushedLines, s.FA.SavedLines,
 				100*float64(s.FA.SavedLines)/float64(s.FA.FlushedLines+s.FA.SavedLines))
+		}
+		if s.FA.EpochTxs+s.FA.AsyncCommits+s.FA.CombinedFences > 0 {
+			avg := float64(0)
+			if s.FA.Epochs > 0 {
+				avg = float64(s.FA.EpochTxs) / float64(s.FA.Epochs)
+			}
+			fmt.Fprintf(w, "fa group commit: %d epochs (avg %.1f tx), %d async commits, %d combined fences, watermark lag %d\n",
+				s.FA.Epochs, avg, s.FA.AsyncCommits, s.FA.CombinedFences, s.FA.WatermarkLag)
 		}
 	}
 	if r := s.Recovery; r != nil && r.TotalNs() > 0 {

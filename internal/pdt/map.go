@@ -452,7 +452,7 @@ func (m *Map) Put(key string, val core.PObject) error {
 		}
 		return nil
 	}
-	idx, err := m.takeSlotLocked()
+	idx, err := m.takeSlotLocked(nil)
 	if err != nil {
 		return err
 	}
@@ -653,7 +653,13 @@ func (m *Map) Ascend(from string, fn func(key string, val core.PObject) bool) er
 // mirror shard lock for the swap window so no reader holds the old array
 // while it is freed; with EBR active the old array's blocks additionally
 // wait out the readers' grace period.
-func (m *Map) takeSlotLocked() (int, error) {
+// tx, when non-nil, makes the growth copy read the old array through the
+// transaction: with async group commit a queued epoch may still hold a
+// slot's write in its redo log, and a direct copy would take the stale
+// word and orphan the binding once the swing retargets readers to the new
+// array. The transactional read settles the queued epoch first (the fa
+// waitClear guard) — reads are not logged, so the copy stays cheap.
+func (m *Map) takeSlotLocked(tx *fa.Tx) (int, error) {
 	if n := len(m.slots); n > 0 {
 		idx := m.slots[n-1]
 		m.slots = m.slots[:n-1]
@@ -667,7 +673,13 @@ func (m *Map) takeSlotLocked() (int, error) {
 		return 0, err
 	}
 	for i := 0; i < oldCap; i++ {
-		bigger.WriteRef(uint64(i)*8, arr.GetRef(i))
+		ref := arr.GetRef(i)
+		if tx != nil {
+			if ref, err = tx.ReadRef(arr.Object, uint64(i)*8); err != nil {
+				return 0, err
+			}
+		}
+		bigger.WriteRef(uint64(i)*8, ref)
 	}
 	bigger.PWB()
 	m.mir.lockAll()
@@ -691,7 +703,14 @@ func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
 	if idx, ok := m.mir.get(key); ok {
-		pair := h.Inspect(m.arrp.Load().GetRef(idx))
+		// Transactional slot read: a queued async epoch may still hold
+		// the insert that created this binding.
+		arr := m.arrp.Load()
+		pref, err := tx.ReadRef(arr.Object, uint64(idx)*8)
+		if err != nil {
+			return err
+		}
+		pair := h.Inspect(pref)
 		oldRef, err := tx.ReadRef(pair, pairVal)
 		if err != nil {
 			return err
@@ -714,7 +733,7 @@ func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 		}
 		return nil
 	}
-	idx, err := m.takeSlotLocked()
+	idx, err := m.takeSlotLocked(tx)
 	if err != nil {
 		return err
 	}
@@ -762,7 +781,12 @@ func (m *Map) DeleteTx(tx *fa.Tx, key string) (bool, error) {
 		return false, nil
 	}
 	arr := m.arrp.Load()
-	pref := arr.GetRef(idx)
+	// Transactional slot read: a queued async epoch may still hold the
+	// insert that created this binding.
+	pref, err := tx.ReadRef(arr.Object, uint64(idx)*8)
+	if err != nil {
+		return false, err
+	}
 	pair := h.Inspect(pref)
 	kref := pair.ReadRef(pairKey)
 	vref, err := tx.ReadRef(pair, pairVal)

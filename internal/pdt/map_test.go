@@ -543,3 +543,41 @@ func TestMapCacheHotBounded(t *testing.T) {
 		t.Fatal("delete ignored")
 	}
 }
+
+// Regression: with async group commit the slot writes of queued epochs live
+// in redo logs targeting the *old* array's blocks. A growth that copied the
+// array with direct reads missed them, and after the arrp swing the drain
+// applied them to the orphaned old array — the bindings were lost forever.
+// takeSlotLocked now settles each slot through the transaction while
+// copying.
+func TestMapAsyncGrowthKeepsQueuedBindings(t *testing.T) {
+	h, mgr, _ := openPDT(t, 1<<23, false)
+	m := newTestMap(t, h, MirrorHash, "m")
+	if err := mgr.SetGroupCommit(fa.GroupOptions{Mode: fa.CommitAsync}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100 // crosses two array growths (cap 32 -> 64 -> 128)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		err := mgr.Run(func(tx *fa.Tx) error {
+			v, err := NewBytesTx(tx, []byte("v"+key))
+			if err != nil {
+				return err
+			}
+			return m.PutTx(tx, key, v)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr.DrainDurable()
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		if v, ok := getStr(t, m, key); !ok || v != "v"+key {
+			t.Fatalf("binding %q lost across growth: %q %v", key, v, ok)
+		}
+	}
+}

@@ -45,7 +45,7 @@ func (s *Set) Add(key string) error {
 	if _, ok := m.mir.get(key); ok {
 		return nil
 	}
-	idx, err := m.takeSlotLocked()
+	idx, err := m.takeSlotLocked(nil)
 	if err != nil {
 		return err
 	}
@@ -84,7 +84,7 @@ func (s *Set) AddTx(tx *fa.Tx, key string) error {
 	if _, ok := m.mir.get(key); ok {
 		return nil
 	}
-	idx, err := m.takeSlotLocked()
+	idx, err := m.takeSlotLocked(tx)
 	if err != nil {
 		return err
 	}

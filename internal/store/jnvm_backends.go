@@ -168,9 +168,27 @@ func (b *JPFABackend) Insert(key string, rec *Record) error {
 	})
 }
 
+// get resolves key through the map. In async commit mode an acknowledged
+// insert may still sit in the epoch queue — its map write and mirror
+// update only land at drain — so a miss drains once and retries before
+// reporting not-found. That keeps read-your-acknowledged-writes for
+// existence; a pending *update* of a present key stays visible as the
+// pre-epoch value, the documented bounded staleness (DESIGN.md §15).
+func (b *JPFABackend) get(key string) (core.PObject, error) {
+	po, err := b.m.Get(key)
+	if err != nil || po != nil {
+		return po, err
+	}
+	if b.mgr.CommitMode() == fa.CommitAsync {
+		b.mgr.DrainDurable()
+		return b.m.Get(key)
+	}
+	return nil, nil
+}
+
 // Read implements Backend (reads need no block, as in the paper).
 func (b *JPFABackend) Read(key string, consume func(string, []byte)) (bool, error) {
-	po, err := b.m.Get(key)
+	po, err := b.get(key)
 	if err != nil || po == nil {
 		return false, err
 	}
@@ -180,7 +198,7 @@ func (b *JPFABackend) Read(key string, consume func(string, []byte)) (bool, erro
 
 // Update implements Backend.
 func (b *JPFABackend) Update(key string, fields []Field) (bool, error) {
-	po, err := b.m.Get(key)
+	po, err := b.get(key)
 	if err != nil || po == nil {
 		return false, err
 	}
@@ -220,6 +238,12 @@ func (b *JPFABackend) Delete(key string) (bool, error) {
 	found := false
 	err := b.mgr.Run(func(tx *fa.Tx) error {
 		ref := b.m.GetRef(key)
+		if ref == 0 && b.mgr.CommitMode() == fa.CommitAsync {
+			// A queued insert of this key has not reached the mirror yet;
+			// settle the epoch before concluding it does not exist.
+			b.mgr.DrainDurable()
+			ref = b.m.GetRef(key)
+		}
 		if ref == 0 {
 			return nil
 		}
