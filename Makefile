@@ -10,8 +10,8 @@ STATICCHECK_VERSION ?= 2024.1.1
 RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/...
 
 .PHONY: check vet build test race bench bench-read bench-pwb \
-	bench-recovery microbench lint fmt-check staticcheck crashmc-smoke \
-	coverage
+	bench-recovery bench-lockfree microbench lint fmt-check staticcheck \
+	crashmc-smoke coverage
 
 check: vet build test race
 
@@ -63,6 +63,17 @@ bench-pwb:
 # speedups are relative to it (and bounded by the host's core count).
 bench-recovery:
 	$(GO) run ./cmd/recoverbench -out results/BENCH_recovery.json
+
+# Lock-free J-PDT smoke (DESIGN.md §16): the EBR-pinned grid read must
+# stay allocation-free next to the seqlock path, the lock-free suites must
+# hold under the race detector, and the pdtlockfree crash workload must
+# survive CI-depth exploration with the serial-vs-parallel recovery
+# cross-check. CI runs this on every push (crashmc-smoke re-covers the
+# workload at the same depth via -workload all).
+bench-lockfree:
+	$(GO) test -run '^$$' -bench 'GridRead/(zerocopy|lockfree)' -benchtime 100x -benchmem ./internal/bench/
+	$(GO) test -race -run 'TestLF|TestMapHotCache|TestMirrorSkipAscend' ./internal/pdt/
+	$(GO) run ./cmd/crashmc -workload pdtlockfree -points 200 -samples 4 -seed 1
 
 microbench:
 	$(GO) test -bench=. -benchmem .

@@ -115,6 +115,24 @@ func main() {
 			b.Rows = append(b.Rows, row)
 		}
 	}
+	// Lock-free head-to-head (DESIGN.md §16): locked vs lock-free J-PDT
+	// on YCSB-A/B/C at 1 and 8 client goroutines. The lock-free rows are
+	// the tentpole evidence: at 8 goroutines J-PDT-LF must beat J-PDT on
+	// both Kops/s and pwb/op (the -check gate enforces the pwb side).
+	for _, wl := range []string{"A", "B", "C"} {
+		for _, th := range []int{1, 8} {
+			for _, bk := range []bench.BackendKind{bench.JPDT, bench.JPDTLF} {
+				if bk == bench.JPDT && th == *threads && commit == "" {
+					continue // identical to a main-loop row above
+				}
+				row, err := runYCSB(wl, bk, *records, *ops, th, "")
+				if err != nil {
+					fatal(err)
+				}
+				b.Rows = append(b.Rows, row)
+			}
+		}
+	}
 	// Group-commit sweep (DESIGN.md §15): YCSB-A over J-PFA at growing
 	// client counts, per-Tx vs shared-barrier commit. The load phase is
 	// always single-threaded (concurrent inserts hit shared map-slot
@@ -229,6 +247,30 @@ func checkRows(path string, rows []Row, tol float64) error {
 		if base, ok := perTx[r.Threads]; ok && r.PFencePerOp >= base {
 			failures = append(failures,
 				fmt.Sprintf("group commit not combining: ycsb-A @%d threads %.2f pfence/op vs per-tx %.2f", r.Threads, r.PFencePerOp, base))
+		}
+	}
+	// Lock-free head-to-head (DESIGN.md §16): wherever this run produced
+	// both a locked and a lock-free J-PDT row for the same workload at 8+
+	// goroutines, the lock-free row must keep its pwb/op advantage. Rows
+	// for variants absent from the committed baseline are tolerated above
+	// (they simply do not match); this check only fires when both sides
+	// ran, so older baselines without lock-free rows still pass.
+	lockedPWB := map[string]float64{}
+	for _, r := range rows {
+		if r.Backend == string(bench.JPDT) && r.Threads >= 8 {
+			lockedPWB[fmt.Sprintf("%s|%d", r.Bench, r.Threads)] = r.PWBPerOp
+		}
+	}
+	for _, r := range rows {
+		if r.Backend != string(bench.JPDTLF) || r.Threads < 8 {
+			continue
+		}
+		// Read-only mixes flush nothing on either side; the superiority
+		// gate only bites where the locked baseline actually pays pwbs.
+		if base, ok := lockedPWB[fmt.Sprintf("%s|%d", r.Bench, r.Threads)]; ok && base > 0 && r.PWBPerOp >= base {
+			failures = append(failures,
+				fmt.Sprintf("lock-free not cheaper: %s @%d threads %.2f pwb/op vs locked %.2f",
+					r.Bench, r.Threads, r.PWBPerOp, base))
 		}
 	}
 	if len(failures) > 0 {

@@ -31,6 +31,7 @@ import (
 	"repro"
 	"repro/internal/nvm"
 	"repro/internal/obs"
+	"repro/internal/pdt"
 )
 
 // Row is one recovery measurement at a fixed worker count.
@@ -52,6 +53,7 @@ type Result struct {
 	GoVersion   string    `json:"go_version"`
 	GOMAXPROCS  int       `json:"gomaxprocs"`
 	NumCPU      int       `json:"num_cpu"`
+	Structure   string    `json:"structure"`
 	Entries     int       `json:"entries"`
 	LiveEntries int       `json:"live_entries"`
 	ValueBytes  int       `json:"value_bytes"`
@@ -70,6 +72,7 @@ func main() {
 	poolMB := flag.Int("pool-mb", 2048, "pool size in MiB")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated recovery worker counts (1 = serial oracle)")
 	deleteEvery := flag.Int("delete-every", 7, "delete every Nth entry so the sweep sees garbage (0 disables)")
+	structure := flag.String("structure", "hash", "table structure: hash (locked pdt.Map) or lockfree (pdt.LFMap; its rebuild is the §16 cell judgment, parallel above the chunk threshold)")
 	repeat := flag.Int("repeat", 3, "recoveries per worker count; the fastest is reported")
 	out := flag.String("out", "results/BENCH_recovery.json", "output JSON path")
 	flag.Parse()
@@ -83,9 +86,13 @@ func main() {
 		workerCounts = append(workerCounts, w)
 	}
 
-	fmt.Printf("building heap: %d entries, %dB values, %d MiB pool\n",
-		*entries, *valueBytes, *poolMB)
-	snapshot, liveEntries, err := buildCrashImage(*entries, *valueBytes, *poolMB, *deleteEvery)
+	if *structure != "hash" && *structure != "lockfree" {
+		fatal(fmt.Errorf("bad -structure %q (want hash or lockfree)", *structure))
+	}
+
+	fmt.Printf("building heap: %d entries, %dB values, %d MiB pool, %s table\n",
+		*entries, *valueBytes, *poolMB, *structure)
+	snapshot, liveEntries, err := buildCrashImage(*entries, *valueBytes, *poolMB, *deleteEvery, *structure)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,6 +102,7 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
+		Structure:   *structure,
 		Entries:     *entries,
 		LiveEntries: liveEntries,
 		ValueBytes:  *valueBytes,
@@ -103,18 +111,18 @@ func main() {
 	// Warm-up: the first recovery grows the Go runtime heap (mark queues,
 	// mirror maps) and faults in fresh spans, which would otherwise be
 	// billed entirely to whichever worker count runs first.
-	if _, err := recoverOnce(snapshot, 1, liveEntries); err != nil {
+	if _, err := recoverOnce(snapshot, 1, liveEntries, *structure); err != nil {
 		fatal(err)
 	}
 
 	var base float64
 	for _, w := range workerCounts {
-		row, err := recoverOnce(snapshot, w, liveEntries)
+		row, err := recoverOnce(snapshot, w, liveEntries, *structure)
 		if err != nil {
 			fatal(fmt.Errorf("workers=%d: %w", w, err))
 		}
 		for r := 1; r < *repeat; r++ {
-			again, err := recoverOnce(snapshot, w, liveEntries)
+			again, err := recoverOnce(snapshot, w, liveEntries, *structure)
 			if err != nil {
 				fatal(fmt.Errorf("workers=%d: %w", w, err))
 			}
@@ -153,18 +161,49 @@ func main() {
 // would leave it (the pool is in direct mode, so the post-PSync image is
 // exactly the durable state), plus the number of live map entries a
 // correct recovery must reproduce.
-func buildCrashImage(entries, valueBytes, poolMB, deleteEvery int) ([]byte, int, error) {
+func buildCrashImage(entries, valueBytes, poolMB, deleteEvery int, structure string) ([]byte, int, error) {
 	pool := nvm.New(poolMB<<20, nvm.Options{})
 	db, err := jnvm.OpenPool(pool, jnvm.Options{})
 	if err != nil {
 		return nil, 0, err
 	}
-	m, err := jnvm.NewMap(db, jnvm.MirrorHash)
-	if err != nil {
-		return nil, 0, err
-	}
-	if err := db.Root().Put("table", m); err != nil {
-		return nil, 0, err
+	// put/del abstract over the two table structures; the lock-free map
+	// takes born-valid values and persists only the destination cell.
+	var put func(key string, payload []byte) error
+	var del func(key string) bool
+	switch structure {
+	case "hash":
+		m, err := jnvm.NewMap(db, jnvm.MirrorHash)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := db.Root().Put("table", m); err != nil {
+			return nil, 0, err
+		}
+		put = func(key string, payload []byte) error {
+			val, err := jnvm.NewBytes(db, payload)
+			if err != nil {
+				return err
+			}
+			return m.Put(key, val)
+		}
+		del = m.Delete
+	case "lockfree":
+		m, err := pdt.NewLFMap(db.Heap, entries/3)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := db.Root().Put("table", m); err != nil {
+			return nil, 0, err
+		}
+		put = func(key string, payload []byte) error {
+			val, err := pdt.NewBytesValid(db.Heap, payload)
+			if err != nil {
+				return err
+			}
+			return m.Put(key, val)
+		}
+		del = m.Delete
 	}
 	payload := make([]byte, valueBytes)
 	for i := range payload {
@@ -172,18 +211,14 @@ func buildCrashImage(entries, valueBytes, poolMB, deleteEvery int) ([]byte, int,
 	}
 	start := time.Now()
 	for i := 0; i < entries; i++ {
-		val, err := jnvm.NewBytes(db, payload)
-		if err != nil {
-			return nil, 0, fmt.Errorf("entry %d: %w", i, err)
-		}
-		if err := m.Put(fmt.Sprintf("key-%08d", i), val); err != nil {
+		if err := put(fmt.Sprintf("key-%08d", i), payload); err != nil {
 			return nil, 0, fmt.Errorf("entry %d: %w", i, err)
 		}
 	}
 	live := entries
 	if deleteEvery > 0 {
 		for i := 0; i < entries; i += deleteEvery {
-			if m.Delete(fmt.Sprintf("key-%08d", i)) {
+			if del(fmt.Sprintf("key-%08d", i)) {
 				live--
 			}
 		}
@@ -198,7 +233,7 @@ func buildCrashImage(entries, valueBytes, poolMB, deleteEvery int) ([]byte, int,
 // recoverOnce restores the crash image into a fresh pool and runs the
 // full recovery pipeline at the given worker count, verifying that the
 // recovered table has the expected size.
-func recoverOnce(snapshot []byte, workers, wantEntries int) (Row, error) {
+func recoverOnce(snapshot []byte, workers, wantEntries int, structure string) (Row, error) {
 	pool := nvm.New(len(snapshot), nvm.Options{})
 	pool.WriteBytes(0, snapshot)
 
@@ -216,11 +251,16 @@ func recoverOnce(snapshot []byte, workers, wantEntries int) (Row, error) {
 	}
 	rebuildDur := time.Since(rebuildStart)
 
-	m, ok := po.(*jnvm.Map)
-	if !ok {
-		return Row{}, fmt.Errorf("root object has type %T, want *jnvm.Map", po)
+	var got int
+	switch m := po.(type) {
+	case *jnvm.Map:
+		got = m.Len()
+	case *pdt.LFMap:
+		got = m.Len()
+	default:
+		return Row{}, fmt.Errorf("root object has type %T, want a map (structure %s)", po, structure)
 	}
-	if got := m.Len(); got != wantEntries {
+	if got != wantEntries {
 		return Row{}, fmt.Errorf("recovered map has %d entries, want %d", got, wantEntries)
 	}
 	snap := db.RecoveryObs().Snapshot()

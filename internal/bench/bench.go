@@ -24,6 +24,7 @@ type BackendKind string
 // The evaluated backends.
 const (
 	JPDT     BackendKind = "J-PDT"
+	JPDTLF   BackendKind = "J-PDT-LF"
 	JPFA     BackendKind = "J-PFA"
 	FS       BackendKind = "FS"
 	PCJ      BackendKind = "PCJ"
@@ -187,7 +188,7 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 			return nil, err
 		}
 		return (&Env{Grid: store.NewGrid(b, store.Options{CacheEntries: cfg.CacheEntries}), cleanup: cleanup}).publish(), nil
-	case JPDT, JPFA, PCJ:
+	case JPDT, JPDTLF, JPFA, PCJ:
 		pool := nvm.New(EstimatePoolBytes(cfg.Records, cfg.FieldCount, cfg.FieldLen),
 			nvm.Options{FenceLatency: cfg.FenceNs})
 		mgr := fa.NewManager()
@@ -211,6 +212,12 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 				if err := b.SetProxyCache(cfg.ProxyCache); err != nil {
 					return nil, err
 				}
+			}
+			backend = b
+		case JPDTLF:
+			b, err := store.NewJPDTLFBackend(h, "kv")
+			if err != nil {
+				return nil, err
 			}
 			backend = b
 		case JPFA:

@@ -128,10 +128,10 @@ func BenchmarkMapGet(b *testing.B) {
 
 const gridBenchRecords = 2048
 
-func newBenchGrid(b *testing.B, cacheEntries, fieldLen int) *Env {
+func newBenchGrid(b *testing.B, backend BackendKind, cacheEntries, fieldLen int) *Env {
 	b.Helper()
 	env, err := NewEnv(GridConfig{
-		Backend: JPDT, Records: gridBenchRecords * 2,
+		Backend: backend, Records: gridBenchRecords * 2,
 		FieldCount: 10, FieldLen: fieldLen,
 		CacheEntries: cacheEntries,
 		FenceNs:      0, // default
@@ -158,23 +158,33 @@ func benchGridRead(b *testing.B, g *store.Grid, span int) {
 	}
 }
 
-// BenchmarkGridRead covers the four grid read regimes: the seqlock
-// zero-copy fast path (no cache, must be allocation-free), the locked
-// copy fallback (chained values defeat the view reader), and record-cache
-// hits and misses.
+// BenchmarkGridRead covers the five grid read regimes: the seqlock
+// zero-copy fast path (no cache, must be allocation-free), the lock-free
+// EBR-pinned read of the J-PDT-LF backend (also allocation-free, no
+// stripe locks or seqlock generations at all), the locked copy fallback
+// (chained values defeat the view reader), and record-cache hits and
+// misses.
 func BenchmarkGridRead(b *testing.B) {
 	b.Run("zerocopy", func(b *testing.B) {
-		env := newBenchGrid(b, 0, 100)
+		env := newBenchGrid(b, JPDT, 0, 100)
 		defer env.Close()
 		benchGridRead(b, env.Grid, gridBenchRecords)
 		if hits := env.Grid.ObsSnapshot().ZeroCopyHits; hits == 0 {
 			b.Fatal("zero-copy path never taken")
 		}
 	})
+	b.Run("lockfree", func(b *testing.B) {
+		env := newBenchGrid(b, JPDTLF, 0, 100)
+		defer env.Close()
+		benchGridRead(b, env.Grid, gridBenchRecords)
+		if lfr := env.Grid.ObsSnapshot().LockFreeReads; lfr == 0 {
+			b.Fatal("lock-free read path never taken")
+		}
+	})
 	b.Run("copyfallback", func(b *testing.B) {
 		// 400-byte values span blocks, which the unlocked view reader
 		// refuses; every read falls back to the stripe lock.
-		env := newBenchGrid(b, 0, 400)
+		env := newBenchGrid(b, JPDT, 0, 400)
 		defer env.Close()
 		benchGridRead(b, env.Grid, gridBenchRecords)
 		if fb := env.Grid.ObsSnapshot().CopyFallbacks; fb == 0 {
@@ -182,7 +192,7 @@ func BenchmarkGridRead(b *testing.B) {
 		}
 	})
 	b.Run("cachehit", func(b *testing.B) {
-		env := newBenchGrid(b, gridBenchRecords*2, 100)
+		env := newBenchGrid(b, JPDT, gridBenchRecords*2, 100)
 		defer env.Close()
 		// One warmup pass so every benchmark read hits the cache.
 		for i := 0; i < gridBenchRecords; i++ {
@@ -195,7 +205,7 @@ func BenchmarkGridRead(b *testing.B) {
 	b.Run("cachemiss", func(b *testing.B) {
 		// A cache far smaller than the keyspace keeps the hit rate near
 		// zero while still exercising the fill path.
-		env := newBenchGrid(b, 128, 100)
+		env := newBenchGrid(b, JPDT, 128, 100)
 		defer env.Close()
 		benchGridRead(b, env.Grid, gridBenchRecords)
 	})

@@ -20,10 +20,11 @@ import (
 // persistence discipline in the system: failure-atomic blocks (bank),
 // the store's J-PFA backend (grid), the J-PDT backend with the zero-copy
 // read path and EBR deferral active (gridread), transactional
-// allocation/free (pool), and the non-transactional single-fence
-// publication of the J-PDT types (pdt).
+// allocation/free (pool), the non-transactional single-fence publication
+// of the J-PDT types (pdt), and the lock-free persist-at-destination
+// map/set (pdtlockfree).
 func Workloads() []*Workload {
-	return []*Workload{bankWorkload(), gridWorkload(), gridGroupWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload()}
+	return []*Workload{bankWorkload(), gridWorkload(), gridGroupWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload(), pdtLockFreeWorkload()}
 }
 
 // ByName resolves a workload; "all" is handled by callers.
@@ -992,6 +993,254 @@ func pdtWorkload() *Workload {
 				h2.PFence()
 				if arr2.Get(0) != 42 {
 					return fmt.Errorf("post-recovery array write lost")
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+// ---- pdtlockfree: lock-free map/set persist-at-destination writes ----
+
+// pdtLockFreeWorkload crashes the SOFT-style lock-free structures of
+// DESIGN.md §16: every structural write persists only its destination
+// cell (one pwb + one fence), validity brackets gate recovery, and the
+// links are volatile (rebuilt by OnResurrect). Individual ops are not
+// atomic across a crash and their durability rides later fences, so the
+// oracle is a possible-state set per key: every value bound since the
+// last full checkpoint plus the checkpointed state. The key mix includes
+// indirect keys (> 36 bytes, spilled to a key blob) so crash points land
+// inside the two-object publication. Every Check recovers through the
+// standard path and fscks both the heap and the map's own
+// bracket-vs-reachability invariant; parallel-recovery Checks replay the
+// identical image through the serial §4.1.3 oracle too and demand
+// observationally identical maps (the cross-check of the §16
+// fixed-index-merge argument — at this scale the parallel path degrades
+// to serial below lfRebuildParallelMin, so divergence here would mean
+// the dispatch itself is unsound).
+func pdtLockFreeWorkload() *Workload {
+	const ops = 34
+	keys := []string{
+		"l00", "l01", "l02", "l03", "l04", "l05",
+		// Indirect keys: longer than the 36-byte inline bound.
+		"l-indirect-" + strings.Repeat("x", 40),
+		"l-indirect-" + strings.Repeat("y", 40),
+	}
+	return &Workload{Name: "pdtlockfree", PoolBytes: 1 << 21, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		mapPoss := make(map[string]map[string]bool)
+		setPoss := make(map[string]map[string]bool)
+		mapCur := make(map[string]string)
+		setCur := make(map[string]bool)
+		for _, k := range keys {
+			mapPoss[k] = map[string]bool{absentState: true}
+			setPoss[k] = map[string]bool{absentState: true}
+		}
+		var h *core.Heap
+		var m *pdt.LFMap
+		var s *pdt.LFSet
+		collapse := func() {
+			for _, k := range keys {
+				if v, ok := mapCur[k]; ok {
+					mapPoss[k] = map[string]bool{v: true}
+				} else {
+					mapPoss[k] = map[string]bool{absentState: true}
+				}
+				if setCur[k] {
+					setPoss[k] = map[string]bool{"present": true}
+				} else {
+					setPoss[k] = map[string]bool{absentState: true}
+				}
+			}
+		}
+		// checkOne verifies one recovered heap against the oracle and
+		// returns the map's observable state for the serial/parallel
+		// comparison: sorted "key=value" bindings plus sorted members.
+		checkOne := func(img *nvm.Pool, parallelism int) ([]string, []string, error) {
+			h2, err := openCheckHeap(img, pdt.Classes(), fa.NewManager(), parallelism)
+			if err != nil {
+				return nil, nil, fmt.Errorf("reopen: %w", err)
+			}
+			if err := fsckClean(h2); err != nil {
+				return nil, nil, err
+			}
+			mpo, err := h2.Root().Get("lf.map")
+			if err != nil {
+				return nil, nil, fmt.Errorf("root lf.map: %w", err)
+			}
+			m2, ok := mpo.(*pdt.LFMap)
+			if !ok {
+				return nil, nil, fmt.Errorf("root lf.map is %T, not *pdt.LFMap", mpo)
+			}
+			spo, err := h2.Root().Get("lf.set")
+			if err != nil {
+				return nil, nil, fmt.Errorf("root lf.set: %w", err)
+			}
+			s2, ok := spo.(*pdt.LFSet)
+			if !ok {
+				return nil, nil, fmt.Errorf("root lf.set is %T, not *pdt.LFSet", spo)
+			}
+			if err := m2.FsckOrphans(); err != nil {
+				return nil, nil, err
+			}
+			if err := s2.FsckOrphans(); err != nil {
+				return nil, nil, err
+			}
+			for _, k := range keys {
+				vpo, err := m2.Get(k)
+				if err != nil {
+					return nil, nil, fmt.Errorf("map get %s: %w", k, err)
+				}
+				state := absentState
+				if vpo != nil {
+					pb, ok := vpo.(*pdt.PBytes)
+					if !ok {
+						return nil, nil, fmt.Errorf("map %s: half-initialized value %T", k, vpo)
+					}
+					state = string(pb.Value())
+				}
+				if !mapPoss[k][state] {
+					return nil, nil, fmt.Errorf("map %s: recovered %q not in legal states %v", k, state, stateNames(mapPoss[k]))
+				}
+				sstate := absentState
+				if s2.Contains(k) {
+					sstate = "present"
+				}
+				if !setPoss[k][sstate] {
+					return nil, nil, fmt.Errorf("set %s: recovered %q not in legal states %v", k, sstate, stateNames(setPoss[k]))
+				}
+			}
+			binds := make([]string, 0, m2.Len())
+			m2.ForEach(func(k string, vref core.Ref) bool {
+				if !strings.HasPrefix(k, "l") {
+					err = fmt.Errorf("phantom map key %q", k)
+					return false
+				}
+				binds = append(binds, k+"="+string(pdt.ReadBlobView(h2, vref)))
+				return true
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			sort.Strings(binds)
+			members := s2.Members()
+			for _, k := range members {
+				if !strings.HasPrefix(k, "l") {
+					return nil, nil, fmt.Errorf("phantom set member %q", k)
+				}
+			}
+			sort.Strings(members)
+			// Writability probe: the recovered structures must accept the
+			// full op mix through the same lock-free path.
+			pb, err := pdt.NewBytesValid(h2, []byte("ok"))
+			if err != nil {
+				return nil, nil, fmt.Errorf("post-recovery alloc: %w", err)
+			}
+			if err := m2.Put("z-probe", pb); err != nil {
+				return nil, nil, fmt.Errorf("post-recovery put: %w", err)
+			}
+			if got, err := m2.Get("z-probe"); err != nil {
+				return nil, nil, fmt.Errorf("post-recovery get: %w", err)
+			} else if b, ok := got.(*pdt.PBytes); !ok || string(b.Value()) != "ok" {
+				return nil, nil, fmt.Errorf("post-recovery readback mismatch")
+			}
+			if !m2.Delete("z-probe") {
+				return nil, nil, fmt.Errorf("post-recovery delete lost the probe")
+			}
+			if err := s2.Add("z-probe"); err != nil {
+				return nil, nil, fmt.Errorf("post-recovery set add: %w", err)
+			}
+			if !s2.Contains("z-probe") {
+				return nil, nil, fmt.Errorf("post-recovery set membership lost")
+			}
+			return binds, members, nil
+		}
+		return &Run{
+			Setup: func(pool *nvm.Pool) error {
+				var err error
+				h, err = openCheckHeap(pool, pdt.Classes(), fa.NewManager(), 1)
+				if err != nil {
+					return err
+				}
+				if m, err = pdt.NewLFMap(h, 16); err != nil {
+					return err
+				}
+				if err = h.Root().Put("lf.map", m); err != nil {
+					return err
+				}
+				if s, err = pdt.NewLFSet(h, 16); err != nil {
+					return err
+				}
+				return h.Root().Put("lf.set", s)
+			},
+			Exec: func(pool *nvm.Pool) error {
+				for i := 0; i < ops; i++ {
+					k := keys[rng.Intn(len(keys))]
+					switch rng.Intn(8) {
+					case 0, 1, 2: // map put (insert or CAS-update)
+						v := fmt.Sprintf("v%03d", i)
+						pb, err := pdt.NewBytesValid(h, []byte(v))
+						if err != nil {
+							return err
+						}
+						mapPoss[k][v] = true
+						if err := m.Put(k, pb); err != nil {
+							return fmt.Errorf("op %d put %s: %w", i, k, err)
+						}
+						mapCur[k] = v
+					case 3: // map delete (claim + one pwb + volatile unlink)
+						mapPoss[k][absentState] = true
+						m.Delete(k)
+						delete(mapCur, k)
+					case 4: // set add (idempotent marker insert)
+						setPoss[k]["present"] = true
+						if err := s.Add(k); err != nil {
+							return fmt.Errorf("op %d add %s: %w", i, k, err)
+						}
+						setCur[k] = true
+					case 5: // set delete
+						setPoss[k][absentState] = true
+						s.Delete(k)
+						delete(setCur, k)
+					case 6: // lock-free read, checked live against the model
+						var got string
+						found := m.WithValue(k, func(vref core.Ref) {
+							got = string(pdt.ReadBlobView(h, vref))
+						})
+						want, ok := mapCur[k]
+						if found != ok || (found && got != want) {
+							return fmt.Errorf("op %d read %s: got (%q,%v), model (%q,%v)", i, k, got, found, want, ok)
+						}
+					case 7: // checkpoint: everything becomes durable
+						h.PSync()
+						collapse()
+					}
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				var snapshot []byte
+				if parallelism > 1 {
+					snapshot = img.ReadBytes(0, img.Size())
+				}
+				binds, members, err := checkOne(img, parallelism)
+				if err != nil {
+					return err
+				}
+				if parallelism > 1 {
+					// Serial-vs-parallel cross-check on the identical image.
+					img2 := nvm.New(len(snapshot), nvm.Options{})
+					img2.WriteBytes(0, snapshot)
+					sbinds, smembers, err := checkOne(img2, 1)
+					if err != nil {
+						return fmt.Errorf("serial replay of parallel image: %w", err)
+					}
+					if strings.Join(binds, ",") != strings.Join(sbinds, ",") {
+						return fmt.Errorf("serial/parallel map divergence: par=%v serial=%v", binds, sbinds)
+					}
+					if strings.Join(members, ",") != strings.Join(smembers, ",") {
+						return fmt.Errorf("serial/parallel set divergence: par=%v serial=%v", members, smembers)
+					}
 				}
 				return nil
 			},

@@ -44,11 +44,25 @@ const (
 	// ebrBatch is how many retired objects accumulate before a reclaim
 	// pass runs.
 	ebrBatch = 32
+	// ebrHighWater is the backlog beyond which retiring writers yield the
+	// processor after a failed reclaim. A reader descheduled while pinned
+	// blocks every later retire's grace period for its whole scheduling
+	// quantum; on a saturated host the backlog would otherwise grow by
+	// thousands of entries per quantum, starving the allocator free lists
+	// (every update then carves fresh pool chunks instead of reusing
+	// slots). One Gosched hands the pinned reader the CPU it needs to
+	// unpin, bounding the backlog at a few quanta of churn.
+	ebrHighWater = 1024
 )
 
 type ebrRetired struct {
 	ref   Ref
 	epoch uint64
+	// fn, when non-nil, runs instead of reclaiming ref once the grace
+	// period passes. Lock-free structures use it to defer reuse of
+	// non-object memory (e.g. node cells inside a chunk) past any reader
+	// that may still be traversing it.
+	fn func()
 }
 
 type ebrState struct {
@@ -106,6 +120,36 @@ func (h *Heap) retire(r Ref) {
 	e.mu.Unlock()
 	if n >= ebrBatch {
 		h.tryReclaim()
+		h.backpressure(n)
+	}
+}
+
+// backpressure yields after a reclaim attempt that left a deep backlog:
+// the grace period is then being held open by a pinned reader that needs
+// the processor to finish its read section and unpin (see ebrHighWater).
+func (h *Heap) backpressure(n int) {
+	if n >= ebrHighWater {
+		runtime.Gosched()
+	}
+}
+
+// Defer runs fn after the current readers' grace period — the callback
+// flavor of retire, for memory that is not a heap object (lock-free node
+// cells carved from a chunk, DESIGN.md §16). With EBR off it runs fn
+// immediately, preserving the eager-free invariant.
+func (h *Heap) Defer(fn func()) {
+	if !h.ebr.enabled.Load() {
+		fn()
+		return
+	}
+	e := &h.ebr
+	e.mu.Lock()
+	e.retired = append(e.retired, ebrRetired{epoch: e.epoch.Load(), fn: fn})
+	n := len(e.retired)
+	e.mu.Unlock()
+	if n >= ebrBatch {
+		h.tryReclaim()
+		h.backpressure(n)
 	}
 }
 
@@ -124,16 +168,35 @@ func (h *Heap) tryReclaim() {
 			}
 		}
 	}
-	keep := e.retired[:0]
-	for _, t := range e.retired {
-		if t.epoch < minActive {
-			h.reclaim(t.ref)
+	// Retire epochs are monotonic (each append loads the live epoch under
+	// the same mutex that serializes epoch advances), so the reclaimable
+	// entries form a prefix: stop at the first blocked entry instead of
+	// re-walking the whole backlog, which kept this pass O(backlog) per
+	// batch — quadratic while a descheduled pinned reader held the grace
+	// period open.
+	n := 0
+	for n < len(e.retired) && e.retired[n].epoch < minActive {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	// One fence per reclaim batch: every unlink published before the
+	// retire is queued ahead of the header invalidations the reclaims are
+	// about to flush, so a crash can never persist an invalidation before
+	// the store that unlinked the object (§4.1.5 ordering, amortized over
+	// the batch).
+	h.pool.PFence()
+	for _, t := range e.retired[:n] {
+		if t.fn != nil {
+			t.fn()
 		} else {
-			keep = append(keep, t)
+			h.reclaim(t.ref)
 		}
 	}
-	clear(e.retired[len(keep):])
-	e.retired = keep
+	rest := copy(e.retired, e.retired[n:])
+	clear(e.retired[rest:])
+	e.retired = e.retired[:rest]
 }
 
 // reclaim performs the real free of a retired object (the pre-EBR

@@ -322,6 +322,19 @@ func (h *Heap) SetValid(r Ref, v bool) {
 	h.pool.PWB(r)
 }
 
+// SetValidDeferred flips the valid bit like SetValid but does not flush:
+// born-valid constructors (DESIGN.md §16) set the bit before their single
+// whole-extent flush, folding the header write-back into the payload's.
+func (h *Heap) SetValidDeferred(r Ref, v bool) {
+	if h.IsBlockRef(r) {
+		id, _, next := UnpackHeader(h.Header(r))
+		h.WriteHeader(r, PackHeader(id, v, next))
+		return
+	}
+	hdr := h.pool.ReadUint64(r)
+	h.pool.WriteUint64(r, setSlotValid(hdr, v))
+}
+
 // Blocks walks the next-chain starting at master block r and returns the
 // refs of all blocks of the object, master first.
 func (h *Heap) Blocks(r Ref) []Ref {

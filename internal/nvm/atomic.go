@@ -51,3 +51,20 @@ func (p *Pool) WriteUint64Atomic(off, v uint64) {
 	atomic.StoreUint64(w, v)
 	p.noteStore(off, 8)
 }
+
+// CompareAndSwapUint64 atomically swaps the 8-byte word at off from old to
+// new, reporting whether the swap happened. It is the publication
+// primitive of the lock-free durable types (DESIGN.md §16): the fault
+// plane observes the attempt before it takes effect (a crash at that
+// point leaves the pre-CAS word), and a successful swap marks the line
+// dirty exactly like a store. A failed swap leaves the cache model
+// untouched — nothing was written.
+func (p *Pool) CompareAndSwapUint64(off, old, new uint64) bool {
+	w := p.atomicWord(off)
+	p.observe(FaultCAS, off, 8)
+	if !atomic.CompareAndSwapUint64(w, old, new) {
+		return false
+	}
+	p.noteStore(off, 8)
+	return true
+}

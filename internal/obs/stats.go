@@ -224,6 +224,12 @@ type ReadStats struct {
 	CopyFallbacks  Counter // zero-copy attempts diverted to the locked path
 	SeqlockRetries Counter // generation races detected after the consume callback
 	ShardLockWaits Counter // contended mirror-shard lock acquisitions
+
+	// Lock-free J-PDT path (DESIGN.md §16).
+	LockFreeReads  Counter // lock-free lookups (pin + chain walk, no locks)
+	LockFreeWrites Counter // lock-free inserts/updates/deletes
+	CASRetries     Counter // failed CAS attempts retried (contention measure)
+	LFPersists     Counter // pwb/pfence primitives the lock-free ops issued
 }
 
 // GridStats holds the per-operation latency histograms of the grid front
@@ -271,6 +277,14 @@ type GridSnapshot struct {
 	SeqlockRetries uint64 `json:"seqlock_retries"`
 	ShardLockWaits uint64 `json:"mirror_shard_lock_waits"`
 
+	LockFreeReads  uint64 `json:"lockfree_reads"`
+	LockFreeWrites uint64 `json:"lockfree_writes"`
+	CASRetries     uint64 `json:"cas_retries"`
+	LFPersists     uint64 `json:"lf_persists"`
+	// LFPersistPerOp is LFPersists over the lock-free op count — the
+	// structure-level persist-at-destination cost (excludes value flushes).
+	LFPersistPerOp float64 `json:"lf_persist_per_op"`
+
 	PerOp map[string]HistogramSnapshot `json:"per_op"`
 }
 
@@ -285,14 +299,28 @@ func (s *GridStats) Snapshot() GridSnapshot {
 		SeqlockRetries: s.ReadPath.SeqlockRetries.Load(),
 		ShardLockWaits: s.ReadPath.ShardLockWaits.Load(),
 
+		LockFreeReads:  s.ReadPath.LockFreeReads.Load(),
+		LockFreeWrites: s.ReadPath.LockFreeWrites.Load(),
+		CASRetries:     s.ReadPath.CASRetries.Load(),
+		LFPersists:     s.ReadPath.LFPersists.Load(),
+
 		PerOp: make(map[string]HistogramSnapshot, len(GridOps)),
 	}
+	out.finalizeLF()
 	for _, op := range GridOps {
 		if h := s.Op(op); h.Count() > 0 {
 			out.PerOp[op] = h.Snapshot()
 		}
 	}
 	return out
+}
+
+// finalizeLF recomputes the derived lock-free persist rate.
+func (s *GridSnapshot) finalizeLF() {
+	s.LFPersistPerOp = 0
+	if ops := s.LockFreeReads + s.LockFreeWrites; ops > 0 {
+		s.LFPersistPerOp = float64(s.LFPersists) / float64(ops)
+	}
 }
 
 // Ops returns the total operations across all histograms.
@@ -315,8 +343,14 @@ func (s GridSnapshot) Sub(prev GridSnapshot) GridSnapshot {
 		SeqlockRetries: s.SeqlockRetries - prev.SeqlockRetries,
 		ShardLockWaits: s.ShardLockWaits - prev.ShardLockWaits,
 
+		LockFreeReads:  s.LockFreeReads - prev.LockFreeReads,
+		LockFreeWrites: s.LockFreeWrites - prev.LockFreeWrites,
+		CASRetries:     s.CASRetries - prev.CASRetries,
+		LFPersists:     s.LFPersists - prev.LFPersists,
+
 		PerOp: make(map[string]HistogramSnapshot, len(s.PerOp)),
 	}
+	out.finalizeLF()
 	for op, h := range s.PerOp {
 		d := h.Sub(prev.PerOp[op])
 		if d.Count == 0 {
@@ -514,6 +548,10 @@ func (s StackSnapshot) Report(w io.Writer) {
 		if g := s.Grid; g.ZeroCopyHits+g.CopyFallbacks+g.SeqlockRetries+g.ShardLockWaits > 0 {
 			fmt.Fprintf(w, "read path: %d zero-copy, %d copy fallbacks, %d seqlock retries, %d shard-lock waits\n",
 				g.ZeroCopyHits, g.CopyFallbacks, g.SeqlockRetries, g.ShardLockWaits)
+		}
+		if g := s.Grid; g.LockFreeReads+g.LockFreeWrites > 0 {
+			fmt.Fprintf(w, "lockfree: %d reads, %d writes, %d cas retries, %d persists (%.2f/op)\n",
+				g.LockFreeReads, g.LockFreeWrites, g.CASRetries, g.LFPersists, g.LFPersistPerOp)
 		}
 	}
 	if s.NVM != nil {

@@ -1,0 +1,125 @@
+package pdt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMapHotCacheDeleteRace pins the stale-reinsert race on the bounded
+// proxy cache: Get used to insert into the cache after dropping the
+// key's shard lock, so a concurrent Delete could run its mirror removal
+// AND its cache eviction inside that window — the late put then parked a
+// proxy to freed NVMM in the LRU, and every later Get served the deleted
+// value. With the put held under the shard read lock, a cache hit after
+// Delete returns is impossible.
+func TestMapHotCacheDeleteRace(t *testing.T) {
+	h, _, _ := openPDT(t, 1<<23, false)
+	m := newTestMap(t, h, MirrorHash, "m")
+	m.SetCacheHot(64)
+	const iters = 300
+	for i := 0; i < iters; i++ {
+		key := fmt.Sprintf("k%03d", i%7)
+		putStr(t, h, m, key, "v")
+		start := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			close(start)
+			for j := 0; j < 50; j++ {
+				if _, err := m.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			close(done)
+		}()
+		<-start
+		m.Delete(key)
+		<-done
+		// The mirror says the key is gone; the cache must agree.
+		if po, err := m.Get(key); err != nil {
+			t.Fatal(err)
+		} else if po != nil {
+			t.Fatalf("iter %d: Get(%q) served a deleted value from the hot cache", i, key)
+		}
+	}
+}
+
+// TestMapHotCacheConcurrentChurn is the -race companion: writers churn
+// disjoint key ranges while readers hammer Get/Contains through the
+// bounded cache, checking the lock order (shard lock → cache mutex)
+// introduced by the fix is consistent and data-race free.
+func TestMapHotCacheConcurrentChurn(t *testing.T) {
+	h, _, _ := openPDT(t, 1<<24, false)
+	m := newTestMap(t, h, MirrorHash, "m")
+	m.SetCacheHot(32) // smaller than the live key set: eviction is exercised
+	const (
+		writers = 4
+		perKey  = 24
+		rounds  = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < perKey; i++ {
+					key := fmt.Sprintf("w%d-k%02d", w, i)
+					v, err := NewBytes(h, []byte(fmt.Sprintf("r%d", r)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := m.Put(key, v); err != nil {
+						t.Error(err)
+						return
+					}
+					if i%3 == 0 {
+						m.Delete(key)
+					}
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("w%d-k%02d", (g+i)%writers, i%perKey)
+				if _, err := m.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+				m.Contains(key)
+				i++
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perKey; i++ {
+			key := fmt.Sprintf("w%d-k%02d", w, i)
+			want := i%3 != 0
+			if got := m.Contains(key); got != want {
+				t.Fatalf("%s present=%v, want %v", key, got, want)
+			}
+			if want {
+				if v, ok := getStr(t, m, key); !ok || v != fmt.Sprintf("r%d", rounds-1) {
+					t.Fatalf("%s = %q %v", key, v, ok)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,1003 @@
+package pdt
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obs"
+)
+
+// Lock-free durable hash map and set (DESIGN.md §16).
+//
+// The locked Map of §4.3.2 serializes structural writers on a mutex and
+// keeps the key lookup in a volatile mirror. LFMap replaces both with the
+// recipe of Zuriel et al. (Efficient Lock-Free Durable Sets) specialized
+// to J-NVM's heap: CAS-linked bucket chains whose nodes ("cells") live in
+// NVMM, per-cell validity brackets instead of redo logging, and
+// persist-at-destination writes — an insert flushes exactly one cache
+// line (its cell) and issues exactly one fence. Links are volatile
+// content (NVTraverse's observation): recovery ignores every next
+// pointer and rebuilds the chains from the validity brackets alone.
+//
+// Cell layout (64 bytes, cache-line aligned, raw pool offsets):
+//
+//	+0   vstart   1 = live (atomic; the insert's publication word)
+//	+8   vref     value reference (atomic CAS target; 0 = vanished)
+//	+16  klen     u32 key length; 0xFFFFFFFF = out-of-line key
+//	+20  key      inline key bytes (≤ 36), or kref at +24 when out of line
+//	+56  word7    next-cell offset | vend validity bit (bit 0)
+//
+// Validity bracket: a cell is recovery-accepted iff vstart == 1 AND the
+// vend bit is set. The two bracket words sit at opposite ends of the
+// line and the crash model (nvm.CrashLine) only tears lines into a
+// contiguous head or tail at 8-byte boundaries, so over a durably zeroed
+// cell no torn image can fabricate both brackets: any partial persist of
+// an insert is detectably incomplete. Free cells are durably zeroed
+// before reuse (deferRecycle + the next insert's fence), which is what
+// makes the argument compositional across reuse.
+//
+// Ordering protocol (the one pwb + one fence of the paper's Table 3):
+//
+//	insert: write words 1..7 (vref, key, vend) → PFence (orders the
+//	        born-valid key/value flushes AND drains any pending
+//	        recycle-zero of this cell) → store vstart=1 → one PWB of the
+//	        cell line → CAS the bucket head (volatile link).
+//	update: PFence (orders the new value's flush) → CAS vref → one PWB.
+//	delete: CAS vstart 1→0 (claim) → CAS vref →0 (value ownership) →
+//	        one PWB → unlink → frees ride the EBR batch fence.
+//
+// Readers never lock, never copy, and never fall back: they pin an EBR
+// slot, walk the chain with atomic loads, and hand out the value ref
+// under the pin. Deleted cells keep their next pointer until the grace
+// period expires, so a reader standing on an unlinked cell still reaches
+// the rest of its chain.
+const (
+	ClassLFMap     = "pdt.lfmap"
+	ClassLFSet     = "pdt.lfset"
+	ClassLFBuckets = "pdt.lfbuckets"
+	ClassLFChunk   = "pdt.lfchunk"
+)
+
+// Header layout (object data offsets).
+const (
+	lfBucketsRef = 0  // ClassLFBuckets object: nb words of cell offsets
+	lfDirRef     = 8  // ClassRefArr directory of ClassLFChunk objects
+	lfNBOff      = 16 // bucket count (power of two)
+	lfMarkerRef  = 24 // sets only: the shared membership marker object
+
+	lfMapHeaderLen = 24
+	lfSetHeaderLen = 32
+
+	lfDirInitial = 16
+	lfDefaultNB  = 1024
+)
+
+// Cell geometry (offsets relative to the cell's pool base).
+const (
+	lfCellSize   = 64
+	lfCellVStart = 0
+	lfCellVRef   = 8
+	lfCellKLen   = 16
+	lfCellKey    = 20
+	lfCellKRef   = 24
+	lfCellWord7  = 56
+
+	lfInlineKeyMax = lfCellWord7 - lfCellKey // 36 inline key bytes
+	lfKLenIndirect = 0xFFFFFFFF
+	lfVEndBit      = uint64(1)
+)
+
+// lfCellBases are the chunk-data offsets of the three cells carved from
+// one 256 B block: the block is 256-aligned, so pool offsets block+64,
+// +128, +192 are line-aligned, i.e. data offsets 56, 120, 184.
+var lfCellBases = [3]uint64{56, 120, 184}
+
+// lfChunkRefs reports the recovery references of a chunk: for every
+// bracket-complete cell, the value reference and (for out-of-line keys)
+// the key reference. Bracket-incomplete cells report nothing — their
+// referents are unreachable and the sweep reclaims them; the map's
+// normalization pass (OnResurrect) then must NOT free them again.
+func lfChunkRefs(o *core.Object) []uint64 {
+	var offs []uint64
+	for _, base := range lfCellBases {
+		if o.ReadUint64(base+lfCellVStart) != 1 {
+			continue
+		}
+		if o.ReadUint64(base+lfCellWord7)&lfVEndBit == 0 {
+			continue
+		}
+		offs = append(offs, base+lfCellVRef)
+		if o.ReadUint32(base+lfCellKLen) == lfKLenIndirect {
+			offs = append(offs, base+lfCellKRef)
+		}
+	}
+	return offs
+}
+
+// lfFreeNode is a volatile Treiber-stack node tracking one free cell.
+// Nodes are ordinary Go heap objects, so the stack is ABA-safe under GC.
+type lfFreeNode struct {
+	cell uint64
+	next *lfFreeNode
+}
+
+// LFMap is the lock-free durable hash map. Same ownership contract as
+// Map: the map owns keys and cells; values passed to Put become owned.
+type LFMap struct {
+	*core.Object
+
+	buckets *core.Object // ClassLFBuckets: nb bucket-head words
+	nb      uint64       // bucket count (power of two)
+	dir     *PRefArray   // chunk directory (recovery reachability)
+	marker  core.Ref     // set marker (0 for maps)
+	isSet   bool
+
+	count  atomic.Int64
+	free   atomic.Pointer[lfFreeNode]
+	growMu sync.Mutex // serializes chunk carving and dir growth
+	nchunk int        // occupied dir slots (guarded by growMu)
+
+	rs atomic.Pointer[obs.ReadStats]
+}
+
+// LFSet is the lock-free durable set: LFMap binding every member key to
+// one shared marker object, so a member costs one cell (plus a key blob
+// for long keys) and membership updates are idempotent CAS no-ops.
+type LFSet struct{ LFMap }
+
+// NewLFMap creates an empty lock-free map with the given bucket count
+// (rounded up to a power of two; ≤ 0 selects the default). The map is
+// validated and fenced; the caller publishes it (root map, field write).
+func NewLFMap(h *core.Heap, buckets int) (*LFMap, error) {
+	po, err := newLF(h, ClassLFMap, lfMapHeaderLen, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return po.(*LFMap), nil
+}
+
+// NewLFSet creates an empty lock-free set (see NewLFMap).
+func NewLFSet(h *core.Heap, buckets int) (*LFSet, error) {
+	po, err := newLF(h, ClassLFSet, lfSetHeaderLen, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return po.(*LFSet), nil
+}
+
+func lfBucketCount(buckets int) uint64 {
+	if buckets <= 0 {
+		buckets = lfDefaultNB
+	}
+	nb := uint64(16)
+	for nb < uint64(buckets) {
+		nb <<= 1
+	}
+	return nb
+}
+
+func newLF(h *core.Heap, class string, headerLen uint64, buckets int) (core.PObject, error) {
+	nb := lfBucketCount(buckets)
+	bpo, err := h.Alloc(mustClass(h, ClassLFBuckets), nb*8)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := NewRefArray(h, lfDirInitial)
+	if err != nil {
+		return nil, err
+	}
+	po, err := h.Alloc(mustClass(h, class), headerLen)
+	if err != nil {
+		return nil, err
+	}
+	m := po.(interface{ lf() *LFMap }).lf()
+	var marker core.Ref
+	if class == ClassLFSet {
+		mk, err := NewBytesValid(h, nil)
+		if err != nil {
+			return nil, err
+		}
+		marker = mk.Ref()
+		m.WriteRef(lfMarkerRef, marker)
+	}
+	m.WriteRef(lfBucketsRef, bpo.Core().Ref())
+	m.WriteRef(lfDirRef, dir.Ref())
+	m.WriteUint64(lfNBOff, nb)
+	m.PWB()
+	bpo.Core().Validate()
+	dir.Validate()
+	m.Validate()
+	h.PFence()
+	m.initRuntime(h, bpo.Core(), dir, nb, marker)
+	h.Mem().EnableEBR()
+	return po, nil
+}
+
+// lf lets the shared constructor reach the embedded state through either
+// concrete type.
+func (m *LFMap) lf() *LFMap { return m }
+
+func (m *LFMap) initRuntime(h *core.Heap, buckets *core.Object, dir *PRefArray, nb uint64, marker core.Ref) {
+	m.buckets = buckets
+	m.nb = nb
+	m.dir = dir
+	m.marker = marker
+	m.count.Store(0)
+	m.free.Store(nil)
+	m.nchunk = 0
+}
+
+// SetReadObs wires the lock-free counters (reads, writes, CAS retries,
+// persists) into the given stats block. Call before serving traffic.
+func (m *LFMap) SetReadObs(rs *obs.ReadStats) { m.rs.Store(rs) }
+
+func (m *LFMap) obsRead() {
+	if rs := m.rs.Load(); rs != nil {
+		rs.LockFreeReads.Inc()
+	}
+}
+
+func (m *LFMap) obsWrite() {
+	if rs := m.rs.Load(); rs != nil {
+		rs.LockFreeWrites.Inc()
+	}
+}
+
+func (m *LFMap) obsRetry() {
+	if rs := m.rs.Load(); rs != nil {
+		rs.CASRetries.Inc()
+	}
+}
+
+func (m *LFMap) obsPersist(n uint64) {
+	if rs := m.rs.Load(); rs != nil {
+		rs.LFPersists.Add(n)
+	}
+}
+
+// Len returns the number of bindings.
+func (m *LFMap) Len() int { return int(m.count.Load()) }
+
+// IsSet reports whether this instance carries set semantics.
+func (m *LFMap) IsSet() bool { return m.isSet }
+
+// pin claims an EBR reader slot, spinning until one frees up: the
+// lock-free path never falls back to a locked or copying alternative.
+func (m *LFMap) pin(mem *heap.Heap, hint uint32) int {
+	slot := mem.PinReader(hint)
+	for slot < 0 {
+		runtime.Gosched()
+		slot = mem.PinReader(hint)
+	}
+	return slot
+}
+
+func (m *LFMap) bucketOf(hash uint32) uint64 { return uint64(hash) & (m.nb - 1) }
+
+func (m *LFMap) bucketHead(b uint64) uint64 { return m.buckets.ReadRefAtomic(b * 8) }
+
+func (m *LFMap) casBucketHead(b, old, new uint64) bool {
+	return m.buckets.CompareAndSwapRef(b*8, old, new)
+}
+
+// cellKeyEquals compares the key stored in cell c against key without
+// allocating. Middle words of a reachable cell are immutable, so plain
+// reads are safe under the publication CAS's happens-before edge.
+func (m *LFMap) cellKeyEquals(c uint64, key string) bool {
+	p := m.Heap().Pool()
+	kl := p.ReadUint32(c + lfCellKLen)
+	if kl == lfKLenIndirect {
+		return BlobEquals(m.Heap(), p.ReadUint64(c+lfCellKRef), key)
+	}
+	if uint64(kl) != uint64(len(key)) {
+		return false
+	}
+	return string(p.View(c+lfCellKey, uint64(kl))) == key
+}
+
+// findFrom walks the chain starting at cell c for a live cell holding
+// key. Traversal loads vstart and word7 atomically (they are mutated by
+// concurrent claims and unlinks); dead cells are skipped but still
+// traversed through — delete never truncates a chain.
+func (m *LFMap) findFrom(c uint64, key string) uint64 {
+	p := m.Heap().Pool()
+	for c != 0 {
+		if p.ReadUint64Atomic(c+lfCellVStart) == 1 && m.cellKeyEquals(c, key) {
+			return c
+		}
+		c = p.ReadUint64Atomic(c+lfCellWord7) &^ lfVEndBit
+	}
+	return 0
+}
+
+// ---- allocation: chunk carving and the free-cell stack ----
+
+func (m *LFMap) pushFree(c uint64) {
+	n := &lfFreeNode{cell: c}
+	for {
+		old := m.free.Load()
+		n.next = old
+		if m.free.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+func (m *LFMap) popFree() uint64 {
+	for {
+		old := m.free.Load()
+		if old == nil {
+			return 0
+		}
+		if m.free.CompareAndSwap(old, old.next) {
+			return old.cell
+		}
+	}
+}
+
+// takeCell pops a free cell, carving a fresh chunk when the stack is
+// empty. Carving publishes the chunk in the directory and fences before
+// any of its cells can be used, so a cell with a durable vstart=1 always
+// sits in a durably reachable chunk.
+func (m *LFMap) takeCell() (uint64, error) {
+	if c := m.popFree(); c != 0 {
+		return c, nil
+	}
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	if c := m.popFree(); c != 0 {
+		return c, nil
+	}
+	h := m.Heap()
+	po, err := h.Alloc(mustClass(h, ClassLFChunk), heap.Payload)
+	if err != nil {
+		return 0, err
+	}
+	co := po.(*core.Object)
+	co.ValidateDeferred()
+	co.PWB()
+	if m.nchunk == m.dir.Cap() {
+		if err := m.growDir(h); err != nil {
+			return 0, err
+		}
+	}
+	m.dir.SetRef(m.nchunk, co.Ref())
+	h.PFence()
+	m.nchunk++
+	ref := co.Ref()
+	m.pushFree(ref + 192)
+	m.pushFree(ref + 128)
+	return ref + 64, nil
+}
+
+func (m *LFMap) growDir(h *core.Heap) error {
+	bigger, err := NewRefArray(h, m.dir.Cap()*2)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m.dir.Cap(); i++ {
+		bigger.WriteRef(uint64(i)*8, m.dir.GetRef(i))
+	}
+	bigger.PWB()
+	// Atomic swing frees the old directory (§4.1.6); no reader ever
+	// holds the directory, so the EBR grace period is a formality.
+	m.AtomicReplaceRef(lfDirRef, bigger)
+	m.dir = bigger
+	return nil
+}
+
+// deferRecycle zeroes and reuses a claimed cell once every reader that
+// could still be traversing it has unpinned. The durable zero (one pwb,
+// drained by the next insert's fence) restores the bracket argument's
+// base state before the cell can carry a new binding.
+func (m *LFMap) deferRecycle(c uint64) {
+	p := m.Heap().Pool()
+	m.Heap().Mem().Defer(func() {
+		for i := uint64(0); i < lfCellSize; i += 8 {
+			p.WriteUint64(c+i, 0)
+		}
+		p.PWBRange(c, lfCellSize)
+		m.pushFree(c)
+	})
+}
+
+// recycleUnpublished recycles a cell that lost an insert race before it
+// was ever linked: no reader can hold it, so no grace period is needed.
+func (m *LFMap) recycleUnpublished(c uint64) {
+	p := m.Heap().Pool()
+	p.WriteUint64Atomic(c+lfCellVStart, 0)
+	for i := uint64(8); i < lfCellSize; i += 8 {
+		p.WriteUint64(c+i, 0)
+	}
+	p.PWBRange(c, lfCellSize)
+	m.obsPersist(1)
+	m.pushFree(c)
+}
+
+// ---- write path ----
+
+const (
+	lfSwapped = iota
+	lfVanished
+)
+
+// casValue swings cell c's value reference to vref, freeing the
+// displaced value. CAS-displacement is the ownership rule: whoever swaps
+// a value OUT frees it, so racing updaters and deleters never double
+// free. needFence orders the new value's flush before it becomes
+// reachable; callers that already fenced (the insert path) skip it.
+func (m *LFMap) casValue(c uint64, vref core.Ref, needFence bool) int {
+	h := m.Heap()
+	p := h.Pool()
+	if needFence {
+		p.PFence()
+		m.obsPersist(1)
+	}
+	for {
+		old := p.ReadUint64Atomic(c + lfCellVRef)
+		if old == 0 {
+			return lfVanished // a deleter claimed the cell
+		}
+		if old == vref {
+			return lfSwapped // idempotent (set re-add, same-object put)
+		}
+		if p.CompareAndSwapUint64(c+lfCellVRef, old, vref) {
+			p.PWBRange(c, lfCellSize)
+			m.obsPersist(1)
+			if old != m.marker {
+				h.Mem().FreeObject(old)
+			}
+			return lfSwapped
+		}
+		m.obsRetry()
+	}
+}
+
+// insert binds key to vref. valFence is true when vref's content was
+// flushed but not yet fenced (fresh value objects); the marker of a set
+// is durable since construction and skips it on the update path.
+func (m *LFMap) insert(key string, vref core.Ref, valFence bool) error {
+	h := m.Heap()
+	p := h.Pool()
+	mem := h.Mem()
+	hash := keyHash(key)
+	b := m.bucketOf(hash)
+	slot := m.pin(mem, hash)
+	defer mem.UnpinReader(slot)
+	m.obsWrite()
+	for {
+		// Update path: the newest binding for a key is always the first
+		// live match from the head (inserts prepend).
+		if c := m.findFrom(m.bucketHead(b), key); c != 0 {
+			swapped := m.casValue(c, vref, valFence) == lfSwapped
+			valFence = false // the fence, if any, is issued exactly once
+			if swapped {
+				return nil
+			}
+			m.obsRetry()
+			continue // vanished under us; retry as a fresh insert
+		}
+		cell, kref, err := m.prepareCell(key, vref)
+		if err != nil {
+			return err
+		}
+		valFence = false // fence A covered the value flush
+		linked := false
+		for {
+			head := m.bucketHead(b)
+			if dup := m.findFrom(head, key); dup != 0 {
+				// Lost the insert race: withdraw our cell, then update
+				// the winner. Recovery tolerates a crash image holding
+				// both cells (first-seen dedup + shared-vref guard).
+				m.recycleUnpublished(cell)
+				if kref != 0 {
+					mem.FreeObject(kref)
+				}
+				break
+			}
+			p.WriteUint64Atomic(cell+lfCellWord7, head|lfVEndBit)
+			if m.casBucketHead(b, head, cell) {
+				linked = true
+				break
+			}
+			m.obsRetry()
+		}
+		if linked {
+			m.count.Add(1)
+			return nil
+		}
+	}
+}
+
+// prepareCell writes a cell's payload, fences (fence A: orders the
+// born-valid key/value flushes and any pending recycle-zero of this
+// cell), stores vstart and issues the insert's single pwb. The returned
+// cell is bracket-complete in cache but not yet linked.
+func (m *LFMap) prepareCell(key string, vref core.Ref) (cell uint64, kref core.Ref, err error) {
+	h := m.Heap()
+	p := h.Pool()
+	cell, err = m.takeCell()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(key) <= lfInlineKeyMax {
+		p.WriteUint32(cell+lfCellKLen, uint32(len(key)))
+		p.WriteBytes(cell+lfCellKey, []byte(key))
+	} else {
+		ks, kerr := NewStringValid(h, key)
+		if kerr != nil {
+			m.pushFree(cell)
+			return 0, 0, kerr
+		}
+		kref = ks.Ref()
+		p.WriteUint32(cell+lfCellKLen, lfKLenIndirect)
+		p.WriteUint64(cell+lfCellKRef, kref)
+	}
+	p.WriteUint64(cell+lfCellVRef, vref)
+	p.WriteUint64(cell+lfCellWord7, lfVEndBit)
+	p.PFence() // fence A
+	p.WriteUint64Atomic(cell+lfCellVStart, 1)
+	p.PWBRange(cell, lfCellSize)
+	m.obsPersist(2)
+	return cell, kref, nil
+}
+
+// Put binds key to the persistent object val; val becomes owned by the
+// map. One pwb + one fence on the structure in the common case, plus the
+// value's own (born-valid) flush.
+func (m *LFMap) Put(key string, val core.PObject) error {
+	vo := val.Core()
+	if !vo.Valid() {
+		vo.Validate()
+	}
+	return m.insert(key, vo.Ref(), true)
+}
+
+// PutRef binds key to an already-durable value reference (the store
+// backend's path for born-valid records: content flushed, fence pending).
+func (m *LFMap) PutRef(key string, vref core.Ref) error {
+	return m.insert(key, vref, true)
+}
+
+// remove unbinds key; freeVal selects Delete (free the value) vs Remove
+// (hand it back). Returns the claimed value reference.
+func (m *LFMap) remove(key string, freeVal bool) (core.Ref, bool) {
+	h := m.Heap()
+	p := h.Pool()
+	mem := h.Mem()
+	hash := keyHash(key)
+	b := m.bucketOf(hash)
+	slot := m.pin(mem, hash)
+	defer mem.UnpinReader(slot)
+	m.obsWrite()
+	for {
+		c := m.findFrom(m.bucketHead(b), key)
+		if c == 0 {
+			return 0, false
+		}
+		if !p.CompareAndSwapUint64(c+lfCellVStart, 1, 0) {
+			m.obsRetry()
+			continue // another deleter claimed it; look again
+		}
+		// Claim the value by swapping it out (ownership rule): a racing
+		// updater that loses sees vref==0 and retries as an insert.
+		var vref uint64
+		for {
+			v := p.ReadUint64Atomic(c + lfCellVRef)
+			if p.CompareAndSwapUint64(c+lfCellVRef, v, 0) {
+				vref = v
+				break
+			}
+			m.obsRetry()
+		}
+		var kref uint64
+		if p.ReadUint32(c+lfCellKLen) == lfKLenIndirect {
+			kref = p.ReadUint64(c + lfCellKRef)
+		}
+		// One pwb persists the withdrawal; durability rides the next
+		// fence anywhere (the EBR batch fence at the latest, which
+		// orders it before the frees' invalidations).
+		p.PWBRange(c, lfCellSize)
+		m.obsPersist(1)
+		m.unlink(b, c)
+		if kref != 0 {
+			mem.FreeObject(kref)
+		}
+		if freeVal && vref != 0 && vref != m.marker {
+			mem.FreeObject(vref)
+		}
+		m.deferRecycle(c)
+		m.count.Add(-1)
+		return vref, true
+	}
+}
+
+// unlink splices cell c out of bucket b, re-traversing until c is
+// unreachable: a predecessor spliced concurrently can resurrect c's
+// reachability, so one successful CAS is not enough.
+func (m *LFMap) unlink(b, c uint64) {
+	p := m.Heap().Pool()
+	for {
+		prev := uint64(0)
+		cur := m.bucketHead(b)
+		for cur != 0 && cur != c {
+			prev = cur
+			cur = p.ReadUint64Atomic(cur+lfCellWord7) &^ lfVEndBit
+		}
+		if cur == 0 {
+			return // unreachable
+		}
+		nxt := p.ReadUint64Atomic(c+lfCellWord7) &^ lfVEndBit
+		if prev == 0 {
+			if !m.casBucketHead(b, c, nxt) {
+				m.obsRetry()
+			}
+			continue
+		}
+		w := p.ReadUint64Atomic(prev + lfCellWord7)
+		if w&^lfVEndBit != c {
+			continue // chain moved; re-traverse
+		}
+		if !p.CompareAndSwapUint64(prev+lfCellWord7, w, nxt|(w&lfVEndBit)) {
+			m.obsRetry()
+		}
+	}
+}
+
+// Delete unbinds key, freeing the value (and the key blob); reports
+// whether the key was bound.
+func (m *LFMap) Delete(key string) bool {
+	_, ok := m.remove(key, true)
+	return ok
+}
+
+// Remove unbinds key like Delete but hands the value back to the caller.
+func (m *LFMap) Remove(key string) (core.PObject, error) {
+	vref, ok := m.remove(key, false)
+	if !ok || vref == 0 || vref == m.marker {
+		return nil, nil
+	}
+	return m.Heap().Resurrect(vref)
+}
+
+// ---- read path ----
+
+// WithValue looks up key and, when bound, invokes fn with the value
+// reference while the EBR pin is held — the zero-copy window in which
+// the referenced object cannot be recycled. fn may be nil (membership
+// test). Never locks, never copies, never falls back.
+func (m *LFMap) WithValue(key string, fn func(vref core.Ref)) bool {
+	h := m.Heap()
+	p := h.Pool()
+	mem := h.Mem()
+	hash := keyHash(key)
+	slot := m.pin(mem, hash)
+	defer mem.UnpinReader(slot)
+	m.obsRead()
+	c := m.findFrom(m.bucketHead(m.bucketOf(hash)), key)
+	if c == 0 {
+		return false
+	}
+	vref := p.ReadUint64Atomic(c + lfCellVRef)
+	if vref == 0 {
+		return false
+	}
+	if fn != nil {
+		fn(vref)
+	}
+	return true
+}
+
+// Contains reports whether key is bound.
+func (m *LFMap) Contains(key string) bool { return m.WithValue(key, nil) }
+
+// GetRef returns the value reference bound to key (0 if unbound). The
+// reference is only guaranteed stable for callers that serialize against
+// deleters externally; concurrent readers should use WithValue.
+func (m *LFMap) GetRef(key string) core.Ref {
+	var out core.Ref
+	m.WithValue(key, func(vref core.Ref) { out = vref })
+	return out
+}
+
+// Get resurrects the value bound to key (nil if unbound). The proxy is
+// built under the reader pin.
+func (m *LFMap) Get(key string) (core.PObject, error) {
+	var po core.PObject
+	var err error
+	found := m.WithValue(key, func(vref core.Ref) {
+		if vref != m.marker {
+			po, err = m.Heap().Resurrect(vref)
+		}
+	})
+	if !found {
+		return nil, nil
+	}
+	return po, err
+}
+
+// ForEach calls fn for every binding until it returns false. The
+// iteration pins per bucket, so it observes a sequence of per-bucket
+// snapshots, the usual weak semantics of lock-free iteration.
+func (m *LFMap) ForEach(fn func(key string, vref core.Ref) bool) {
+	h := m.Heap()
+	p := h.Pool()
+	mem := h.Mem()
+	for b := uint64(0); b < m.nb; b++ {
+		slot := m.pin(mem, uint32(b))
+		c := m.bucketHead(b)
+		cont := true
+		for c != 0 && cont {
+			if p.ReadUint64Atomic(c+lfCellVStart) == 1 {
+				vref := p.ReadUint64Atomic(c + lfCellVRef)
+				if vref != 0 {
+					cont = fn(m.cellKey(c), vref)
+				}
+			}
+			c = p.ReadUint64Atomic(c+lfCellWord7) &^ lfVEndBit
+		}
+		mem.UnpinReader(slot)
+		if !cont {
+			return
+		}
+	}
+}
+
+// cellKey decodes (copies) the key stored in cell c.
+func (m *LFMap) cellKey(c uint64) string {
+	p := m.Heap().Pool()
+	kl := p.ReadUint32(c + lfCellKLen)
+	if kl == lfKLenIndirect {
+		return readStringAt(m.Heap(), p.ReadUint64(c+lfCellKRef))
+	}
+	return string(p.View(c+lfCellKey, uint64(kl)))
+}
+
+// Keys returns all bound keys, sorted (for test determinism).
+func (m *LFMap) Keys() []string {
+	out := make([]string, 0, m.Len())
+	m.ForEach(func(k string, _ core.Ref) bool {
+		out = append(out, k)
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// ---- set facade ----
+
+// Add inserts key; idempotent.
+func (s *LFSet) Add(key string) error { return s.insert(key, s.marker, false) }
+
+// Members returns the member keys, sorted.
+func (s *LFSet) Members() []string { return s.Keys() }
+
+// ---- recovery: validity-bit normalization and mirror-free rebuild ----
+
+// lfJudged is the verdict on one cell, produced read-only so the
+// parallel rebuild can fan judging out and merge deterministically.
+type lfJudged struct {
+	cell     uint64
+	key      string
+	vref     core.Ref
+	kref     core.Ref
+	complete bool // both validity brackets durable
+	accept   bool // complete + value + decodable key (pre-dedup)
+	nonzero  bool // needs a durable re-zero before reuse
+}
+
+func (m *LFMap) judgeCell(c uint64) lfJudged {
+	p := m.Heap().Pool()
+	j := lfJudged{cell: c}
+	for i := uint64(0); i < lfCellSize; i += 8 {
+		if p.ReadUint64(c+i) != 0 {
+			j.nonzero = true
+			break
+		}
+	}
+	vstart := p.ReadUint64(c + lfCellVStart)
+	vend := p.ReadUint64(c+lfCellWord7) & lfVEndBit
+	j.complete = vstart == 1 && vend != 0
+	if !j.complete {
+		return j
+	}
+	j.vref = p.ReadUint64(c + lfCellVRef)
+	kl := p.ReadUint32(c + lfCellKLen)
+	switch {
+	case kl == lfKLenIndirect:
+		j.kref = p.ReadUint64(c + lfCellKRef)
+		if j.kref != 0 {
+			j.key = readStringAt(m.Heap(), j.kref)
+		}
+	case uint64(kl) <= lfInlineKeyMax:
+		j.key = string(p.ReadBytes(c+lfCellKey, uint64(kl)))
+	default:
+		return j // torn beyond the bracket model; treat as garbage
+	}
+	j.accept = j.vref != 0 && (kl != lfKLenIndirect || j.kref != 0)
+	return j
+}
+
+// OnResurrect reconstructs the volatile state from the validity bits
+// (§4.1.3 adapted to SOFT's recipe): every bracket-complete cell with a
+// surviving value and key is relinked; everything else is normalized —
+// validity bits cleared, payload durably re-zeroed, cell returned to the
+// free stack. First-seen-wins dedup resolves the (legal) crash image of
+// an insert race, with a shared-vref guard so the loser's value is not
+// freed when the winner holds the same reference.
+func (m *LFMap) OnResurrect() {
+	h := m.Heap()
+	if m.isSet {
+		m.marker = m.ReadRef(lfMarkerRef)
+		if m.marker == 0 {
+			// The marker was nullified (it can only happen on images
+			// predating its durability point, where the set is empty).
+			if mk, err := NewBytesValid(h, nil); err == nil {
+				m.marker = mk.Ref()
+				m.WriteRef(lfMarkerRef, m.marker)
+				m.PWBField(lfMarkerRef, 8)
+				h.PFence()
+			}
+		}
+	}
+	m.buckets = h.Inspect(m.ReadRef(lfBucketsRef))
+	m.nb = m.ReadUint64(lfNBOff)
+	m.dir = &PRefArray{Object: h.Inspect(m.ReadRef(lfDirRef))}
+	m.count.Store(0)
+	m.free.Store(nil)
+	// Bucket words are volatile content: reset before relinking.
+	for b := uint64(0); b < m.nb; b++ {
+		m.buckets.WriteRef(b*8, 0)
+	}
+	var chunks []core.Ref
+	for i := 0; i < m.dir.Cap(); i++ {
+		if ref := m.dir.GetRef(i); ref != 0 {
+			chunks = append(chunks, ref)
+		}
+	}
+	m.nchunk = len(chunks)
+
+	start := time.Now()
+	judged := make([]lfJudged, len(chunks)*len(lfCellBases))
+	workers := h.RecoverParallelism()
+	if workers > 1 && len(chunks) >= lfRebuildParallelMin {
+		m.judgeParallel(chunks, judged, workers)
+	} else {
+		for ci, ref := range chunks {
+			for k := range lfCellBases {
+				judged[ci*len(lfCellBases)+k] = m.judgeCell(ref + uint64(64*(k+1)))
+			}
+		}
+	}
+	cleaned := m.mergeJudged(h, judged)
+	if cleaned {
+		h.PFence()
+	}
+	ro := h.RecoveryObs()
+	ro.RebuildNs.Add(uint64(time.Since(start)))
+	ro.RebuildEntries.Add(uint64(m.count.Load()))
+	h.Mem().EnableEBR()
+}
+
+// lfRebuildParallelMin is the chunk count below which judging stays
+// serial (mirrors the locked Map's rebuildParallelMin economics).
+const lfRebuildParallelMin = 1024
+
+// judgeParallel fans the read-only cell judging across workers; the
+// fixed index mapping makes the merge identical to the serial scan.
+func (m *LFMap) judgeParallel(chunks []core.Ref, judged []lfJudged, workers int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	per := 64 // chunks per grab
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(per))) - per
+				if lo >= len(chunks) {
+					return
+				}
+				hi := lo + per
+				if hi > len(chunks) {
+					hi = len(chunks)
+				}
+				for ci := lo; ci < hi; ci++ {
+					ref := chunks[ci]
+					for k := range lfCellBases {
+						judged[ci*len(lfCellBases)+k] = m.judgeCell(ref + uint64(64*(k+1)))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeJudged applies the verdicts in scan order: accepted cells are
+// relinked (volatile), rejected bracket-complete cells free their
+// surviving referents (bracket-incomplete ones must not — the sweep
+// already reclaimed anything they referenced), and every non-accepted
+// cell is normalized to durable zero and pushed onto the free stack.
+func (m *LFMap) mergeJudged(h *core.Heap, judged []lfJudged) (cleaned bool) {
+	p := h.Pool()
+	mem := h.Mem()
+	seen := make(map[string]core.Ref)
+	for i := range judged {
+		j := &judged[i]
+		accept := j.accept
+		if accept {
+			if win, dup := seen[j.key]; dup {
+				// Insert-race image: keep the first-seen binding.
+				if j.vref != 0 && j.vref != win && j.vref != m.marker {
+					mem.FreeObject(j.vref)
+				}
+				if j.kref != 0 {
+					mem.FreeObject(j.kref)
+				}
+				accept = false
+			}
+		} else if j.complete {
+			if j.vref != 0 && j.vref != m.marker {
+				mem.FreeObject(j.vref)
+			}
+			if j.kref != 0 {
+				mem.FreeObject(j.kref)
+			}
+		}
+		if accept {
+			seen[j.key] = j.vref
+			b := m.bucketOf(keyHash(j.key))
+			head := m.buckets.ReadRef(b * 8)
+			// Keep the durable vend bit; next pointers are volatile.
+			p.WriteUint64(j.cell+lfCellWord7, head|lfVEndBit)
+			m.buckets.WriteRef(b*8, j.cell)
+			m.count.Add(1)
+			continue
+		}
+		if j.nonzero {
+			for off := uint64(0); off < lfCellSize; off += 8 {
+				p.WriteUint64(j.cell+off, 0)
+			}
+			p.PWBRange(j.cell, lfCellSize)
+			cleaned = true
+		}
+		m.pushFree(j.cell)
+	}
+	return cleaned
+}
+
+// FsckOrphans reports cells that are bracket-complete but unreachable
+// from any bucket — a diagnostic invariant check for tests: after any
+// quiescent point the set of bracket-complete cells must exactly match
+// the live bindings.
+func (m *LFMap) FsckOrphans() error {
+	p := m.Heap().Pool()
+	reach := make(map[uint64]bool)
+	for b := uint64(0); b < m.nb; b++ {
+		for c := m.bucketHead(b); c != 0; c = p.ReadUint64Atomic(c+lfCellWord7) &^ lfVEndBit {
+			reach[c] = true
+		}
+	}
+	for i := 0; i < m.dir.Cap(); i++ {
+		ref := m.dir.GetRef(i)
+		if ref == 0 {
+			continue
+		}
+		for k := range lfCellBases {
+			c := ref + uint64(64*(k+1))
+			live := p.ReadUint64Atomic(c+lfCellVStart) == 1 &&
+				p.ReadUint64Atomic(c+lfCellWord7)&lfVEndBit != 0
+			if live && !reach[c] {
+				return fmt.Errorf("pdt: bracket-complete cell %#x unreachable", c)
+			}
+		}
+	}
+	return nil
+}

@@ -400,7 +400,17 @@ func (m *Map) Get(key string) (core.PObject, error) {
 			return po, nil
 		}
 	}
-	ref := m.GetRef(key)
+	m.mir.rlock(key)
+	defer m.mir.runlock(key)
+	idx, ok := m.mir.get(key)
+	if !ok {
+		return nil, nil
+	}
+	pref := m.arrp.Load().GetRefAtomic(idx)
+	if pref == 0 {
+		return nil, nil
+	}
+	ref := m.Heap().Pool().ReadUint64Atomic(pairValOff(pref))
 	if ref == 0 {
 		return nil, nil
 	}
@@ -408,6 +418,11 @@ func (m *Map) Get(key string) (core.PObject, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The cache insert must stay under the shard read lock: Delete holds
+	// the exclusive shard lock before its mirror removal and runs its
+	// cache.del after, so a racing delete is ordered after this put. A
+	// put after runlock could overtake the del and park a proxy to freed
+	// NVMM in the bounded LRU.
 	if c := m.cache; c != nil {
 		c.put(strings.Clone(key), po)
 	}
@@ -431,11 +446,13 @@ func (m *Map) Put(key string, val core.PObject) error {
 		if pref := m.arrp.Load().GetRefAtomic(idx); pref != 0 {
 			pair := h.Inspect(pref)
 			pair.AtomicReplaceRef(pairVal, val)
-			c := m.cache
-			m.mir.runlock(key)
-			if c != nil {
+			// Cache under the shard lock (see Get): a put after runlock
+			// could overtake a racing Delete's cache.del and reinsert a
+			// stale proxy.
+			if c := m.cache; c != nil {
 				c.put(strings.Clone(key), val)
 			}
+			m.mir.runlock(key)
 			return nil
 		}
 	}
@@ -515,11 +532,13 @@ func (m *Map) Delete(key string) bool {
 		h.Mem().FreeObject(vref)
 	}
 	m.mir.del(key)
-	m.mir.unlock(key)
-	m.slots = append(m.slots, idx)
+	// Cache eviction stays inside the exclusive shard section so a
+	// concurrent Get cannot reinsert the dying proxy after this del.
 	if m.cache != nil {
 		m.cache.del(key)
 	}
+	m.mir.unlock(key)
+	m.slots = append(m.slots, idx)
 	return true
 }
 
@@ -547,11 +566,11 @@ func (m *Map) Remove(key string) (core.PObject, error) {
 		h.Mem().FreeObject(kref)
 	}
 	m.mir.del(key)
+	if m.cache != nil {
+		m.cache.del(key) // under the shard lock, as in Delete
+	}
 	m.mir.unlock(key)
 	m.slots = append(m.slots, idx)
-	if m.cache != nil {
-		m.cache.del(key)
-	}
 	return h.Resurrect(vref)
 }
 

@@ -46,6 +46,12 @@ type Grid struct {
 	// path before falling back to the stripe lock (DESIGN.md §14).
 	vr ViewReader
 
+	// lockFree is set when the backend is internally linearizable
+	// (LockFreeBackend): insert/read/update/delete skip the stripe locks
+	// and seqlock generations entirely; only ReadModifyWrite keeps the
+	// stripe lock, for its read-then-write atomicity contract.
+	lockFree bool
+
 	stripes [gridStripes]sync.Mutex
 
 	// gens are the per-stripe seqlock generations (only maintained when
@@ -99,6 +105,11 @@ func NewGrid(b Backend, opts Options) *Grid {
 		for i := range g.cache {
 			g.cache[i].lru = container.NewLRU[*Record](per, nil)
 		}
+	} else if lfb, ok := b.(LockFreeBackend); ok {
+		// Lock-free backend + no cache: every op goes straight through;
+		// the backend's own CAS/EBR protocol is the concurrency control.
+		lfb.EnableLockFree(&g.stats.ReadPath)
+		g.lockFree = true
 	} else if vr, ok := b.(ViewReader); ok {
 		// Cache off + capable backend: adopt the zero-copy read fast
 		// path. (With a record cache the cache itself is the fast path,
@@ -229,6 +240,9 @@ var ErrNotFound = fmt.Errorf("store: key not found")
 func (g *Grid) Insert(key string, rec *Record) error {
 	start := time.Now()
 	defer func() { g.stats.Insert.Observe(time.Since(start)) }()
+	if g.lockFree {
+		return g.backend.Insert(key, rec)
+	}
 	h := fnv32(key)
 	mu := g.lockWrite(h)
 	defer g.unlockWrite(h, mu)
@@ -252,6 +266,16 @@ func (g *Grid) Insert(key string, rec *Record) error {
 func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 	start := time.Now()
 	defer func() { g.stats.Read.Observe(time.Since(start)) }()
+	if g.lockFree {
+		found, err := g.backend.Read(key, consume)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return ErrNotFound
+		}
+		return nil
+	}
 	h := fnv32(key)
 	if g.vr != nil {
 		gen := &g.gens[h%gridStripes].v
@@ -320,6 +344,16 @@ func (g *Grid) Read(key string, consume func(name string, value []byte)) error {
 func (g *Grid) Update(key string, fields []Field) error {
 	start := time.Now()
 	defer func() { g.stats.Update.Observe(time.Since(start)) }()
+	if g.lockFree {
+		ok, err := g.backend.Update(key, fields)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return ErrNotFound
+		}
+		return nil
+	}
 	h := fnv32(key)
 	mu := g.lockWrite(h)
 	defer g.unlockWrite(h, mu)
@@ -387,6 +421,16 @@ func (g *Grid) ReadModifyWrite(key string, mutate func(rec *Record) []Field) err
 func (g *Grid) Delete(key string) error {
 	start := time.Now()
 	defer func() { g.stats.Delete.Observe(time.Since(start)) }()
+	if g.lockFree {
+		ok, err := g.backend.Delete(key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return ErrNotFound
+		}
+		return nil
+	}
 	h := fnv32(key)
 	mu := g.lockWrite(h)
 	defer g.unlockWrite(h, mu)

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/nvm"
+)
+
+func newLFGrid(t testing.TB, size int) (*Grid, *JPDTLFBackend, *nvm.Pool) {
+	t.Helper()
+	h, _, pool := openStoreHeap(t, size, false)
+	b, err := NewJPDTLFBackend(h, "lf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGrid(b, Options{}) // no cache: the grid adopts the lock-free paths
+	return g, b, pool
+}
+
+// TestJPDTLFGridOps drives the four lock-free grid operations end to end
+// and checks the grid actually took the lock-free paths (no stripe locks,
+// no seqlock generations).
+func TestJPDTLFGridOps(t *testing.T) {
+	g, _, _ := newLFGrid(t, 1<<22)
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		if err := g.Insert(key, testRecord(3, key)); err != nil {
+			t.Fatalf("insert %s: %v", key, err)
+		}
+	}
+	rec := &Record{}
+	if err := g.Read("k07", func(name string, val []byte) {
+		rec.Fields = append(rec.Fields, Field{Name: name, Value: append([]byte(nil), val...)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Fields) != 3 || string(rec.Fields[1].Value) != "k07-value-1" {
+		t.Fatalf("read back %+v", rec.Fields)
+	}
+	if err := g.Update("k07", []Field{{Name: "field1", Value: []byte("swapped")}}); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := g.Read("k07", func(name string, val []byte) {
+		if name == "field1" {
+			got = append([]byte(nil), val...)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "swapped" {
+		t.Fatalf("field1 = %q after update", got)
+	}
+	if err := g.Update("k07", []Field{{Name: "nosuch", Value: []byte("x")}}); err == nil {
+		t.Fatal("update of missing field did not error")
+	}
+	if err := g.Delete("k07"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Read("k07", func(string, []byte) {}); err != ErrNotFound {
+		t.Fatalf("read after delete: %v", err)
+	}
+	if err := g.Delete("k07"); err != ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := g.Update("k07", []Field{{Name: "field1", Value: []byte("x")}}); err != ErrNotFound {
+		t.Fatalf("update after delete: %v", err)
+	}
+	snap := g.ObsSnapshot()
+	if snap.LockFreeReads == 0 || snap.LockFreeWrites == 0 {
+		t.Fatalf("lock-free paths not taken: reads=%d writes=%d", snap.LockFreeReads, snap.LockFreeWrites)
+	}
+	if snap.ZeroCopyHits != 0 || snap.SeqlockRetries != 0 {
+		t.Fatalf("seqlock path leaked into lock-free grid: %+v", snap)
+	}
+}
+
+// TestJPDTLFConcurrentUpdateDelete races updaters against deleters and
+// re-inserters on a shared key set: the CAS-displacement ownership rule
+// must keep every read coherent (a field is either a complete written
+// value or the record is gone) with no double frees — the heap's
+// validity fsck runs implicitly via the final full read pass.
+func TestJPDTLFConcurrentUpdateDelete(t *testing.T) {
+	g, b, _ := newLFGrid(t, 1<<23)
+	const nkeys = 8
+	const rounds = 120
+	for i := 0; i < nkeys; i++ {
+		if err := g.Insert(fmt.Sprintf("c%d", i), testRecord(2, "seed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				key := fmt.Sprintf("c%d", (w*3+r)%nkeys)
+				val := []byte(fmt.Sprintf("u%d-%04d", w, r))
+				if _, err := b.Update(key, []Field{{Name: "field0", Value: val}}); err != nil {
+					errc <- fmt.Errorf("update %s: %w", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			key := fmt.Sprintf("c%d", r%nkeys)
+			if _, err := b.Delete(key); err != nil {
+				errc <- fmt.Errorf("delete %s: %w", key, err)
+				return
+			}
+			if err := g.Insert(key, testRecord(2, "re")); err != nil {
+				errc <- fmt.Errorf("reinsert %s: %w", key, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds*2; r++ {
+			key := fmt.Sprintf("c%d", r%nkeys)
+			err := g.Read(key, func(name string, val []byte) {
+				if len(val) == 0 {
+					errc <- fmt.Errorf("empty field %s of %s", name, key)
+				}
+			})
+			if err != nil && err != ErrNotFound {
+				errc <- fmt.Errorf("read %s: %w", key, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	for i := 0; i < nkeys; i++ {
+		rec, ok := readAll(t, b, fmt.Sprintf("c%d", i))
+		if !ok {
+			t.Fatalf("key c%d lost", i)
+		}
+		if len(rec.Fields) != 2 {
+			t.Fatalf("key c%d has %d fields", i, len(rec.Fields))
+		}
+	}
+}
+
+// TestJPDTLFGridRecovery crashes a lock-free grid (snapshot after PSync)
+// and reopens the image through a fresh grid: every committed record must
+// come back byte-for-byte through the lock-free read path, and the
+// recovered backend must accept the full op mix.
+func TestJPDTLFGridRecovery(t *testing.T) {
+	g, b, pool := newLFGrid(t, 1<<22)
+	want := map[string][]byte{}
+	for i := 0; i < 24; i++ {
+		key := fmt.Sprintf("r%02d", i)
+		if err := g.Insert(key, testRecord(2, key)); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = []byte(key + "-value-1")
+	}
+	for i := 0; i < 24; i += 3 {
+		key := fmt.Sprintf("r%02d", i)
+		val := []byte(fmt.Sprintf("updated-%d", i))
+		if _, err := b.Update(key, []Field{{Name: "field1", Value: val}}); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	for i := 1; i < 24; i += 6 {
+		key := fmt.Sprintf("r%02d", i)
+		if _, err := b.Delete(key); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, key)
+	}
+	b.h.PSync()
+	snapshot := pool.ReadBytes(0, pool.Size())
+
+	img := nvm.New(len(snapshot), nvm.Options{})
+	img.WriteBytes(0, snapshot)
+	h2, _, _ := reopenStoreHeap(t, img)
+	b2, err := NewJPDTLFBackend(h2, "lf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGrid(b2, Options{})
+	if got := b2.Count(); got != len(want) {
+		t.Fatalf("recovered %d records, want %d", got, len(want))
+	}
+	for key, val := range want {
+		var got []byte
+		found := false
+		if err := g2.Read(key, func(name string, v []byte) {
+			if name == "field1" {
+				got = append([]byte(nil), v...)
+				found = true
+			}
+		}); err != nil {
+			t.Fatalf("read %s: %v", key, err)
+		}
+		if !found || !bytes.Equal(got, val) {
+			t.Fatalf("key %s: field1 = %q, want %q", key, got, val)
+		}
+	}
+	if err := g2.Read("r01", func(string, []byte) {}); err != ErrNotFound {
+		t.Fatalf("deleted key r01 resurrected: %v", err)
+	}
+	if err := g2.Insert("probe", testRecord(2, "probe")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Update("probe", []Field{{Name: "field0", Value: []byte("ok")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Delete("probe"); err != nil {
+		t.Fatal(err)
+	}
+}

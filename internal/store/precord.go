@@ -88,6 +88,34 @@ func newPRecord(h *core.Heap, rec *Record) (*pRecord, []core.PObject, error) {
 	return r, children, nil
 }
 
+// newPRecordValid builds a born-valid record: the record and every field
+// object are written, validity-marked unfenced and flushed, ready to ride
+// a single downstream ordering point (the lock-free map insert's fence,
+// DESIGN.md §16). No per-object Validate/fence pairs.
+func newPRecordValid(h *core.Heap, rec *Record) (*pRecord, error) {
+	po, err := h.Alloc(mustClass(h, ClassRecord), recFields+uint64(len(rec.Fields))*16)
+	if err != nil {
+		return nil, err
+	}
+	r := po.(*pRecord)
+	r.WriteUint32(recCount, uint32(len(rec.Fields)))
+	for i, f := range rec.Fields {
+		ns, err := pdt.NewStringValid(h, f.Name)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := pdt.NewBytesValid(h, f.Value)
+		if err != nil {
+			return nil, err
+		}
+		r.WriteRef(fieldNameOff(i), ns.Ref())
+		r.WriteRef(fieldValOff(i), vb.Ref())
+	}
+	r.ValidateDeferred()
+	r.PWB()
+	return r, nil
+}
+
 // newPRecordTx is the failure-atomic flavor: everything is allocated in
 // the block and validated only at commit.
 func newPRecordTx(tx *fa.Tx, rec *Record) (*pRecord, error) {
