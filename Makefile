@@ -7,11 +7,11 @@ STATICCHECK_VERSION ?= 2024.1.1
 # a race-detector pass in addition to the plain suite. core and pdt joined
 # when recovery went parallel (work-stealing traversal, segment sweep,
 # concurrent mirror rebuild).
-RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/...
+RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/... ./internal/shard/...
 
-.PHONY: check vet build test race bench bench-read bench-pwb \
-	bench-recovery bench-lockfree microbench lint fmt-check staticcheck \
-	crashmc-smoke coverage
+.PHONY: check vet build test race bench bench-read bench-pwb bench-check \
+	bench-recovery bench-lockfree bench-shard microbench lint fmt-check \
+	staticcheck crashmc-smoke coverage
 
 check: vet build test race
 
@@ -58,11 +58,24 @@ bench-read:
 bench-pwb:
 	./scripts/check_pwb.sh
 
+# Full benchmark gate (DESIGN.md §15, §17): everything bench-pwb checks,
+# plus Kops/s for rows whose committed counterpart ran on a host with the
+# same CPU count, plus the in-run sharding head-to-head. CI runs this on
+# every push.
+bench-check:
+	./scripts/check_bench.sh
+
 # Recovery-time scaling: load a large heap, crash it, re-open the image
 # once per worker count. workers=1 is the paper's serial §4.1.3 procedure;
 # speedups are relative to it (and bounded by the host's core count).
 bench-recovery:
 	$(GO) run ./cmd/recoverbench -out results/BENCH_recovery.json
+
+# Pool-count sweep (DESIGN.md §17): YCSB-A over the sharded heap at
+# 1/4/8 pools. The gate requires the 4+-pool rows to beat single-pool on
+# a multicore host, and bounds the routing tax at 20% otherwise.
+bench-shard:
+	$(GO) run ./cmd/shardbench -out results/BENCH_shard.json
 
 # Lock-free J-PDT smoke (DESIGN.md §16): the EBR-pinned grid read must
 # stay allocation-free next to the seqlock path, the lock-free suites must

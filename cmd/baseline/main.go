@@ -36,9 +36,12 @@ type Row struct {
 	// Commit is the J-NVM commit protocol of the row: empty (the
 	// per-Tx default), "per-tx" (explicit, in the group-commit sweep),
 	// "group" or "async".
-	Commit      string  `json:"commit,omitempty"`
-	Backend     string  `json:"backend"`
-	Threads     int     `json:"threads"`
+	Commit  string `json:"commit,omitempty"`
+	Backend string `json:"backend"`
+	Threads int    `json:"threads"`
+	// Pools is the NVMM pool count of the row's heap (DESIGN.md §17);
+	// 0/1 is the classic single-pool stack.
+	Pools       int     `json:"pools,omitempty"`
 	Ops         int     `json:"ops"`
 	NumCPU      int     `json:"num_cpu"`
 	KopsSec     float64 `json:"kops_sec"`
@@ -77,7 +80,9 @@ func main() {
 	transfers := flag.Int("transfers", 40_000, "TPC-B transfers per pass")
 	groupCommit := flag.Bool("group-commit", false, "run the main rows with shared commit barriers")
 	durability := flag.String("durability", "sync", "main rows' commit durability: sync or async")
+	pools := flag.Int("pools", 1, "shard the main YCSB rows across this many NVMM pools (1 = classic single-pool stack)")
 	check := flag.String("check", "", "compare against this committed baseline JSON and fail on pwb/pfence-per-op regressions instead of recording")
+	checkKops := flag.Bool("check-kops", false, "with -check, also gate throughput: rows whose committed counterpart ran on the same CPU count must keep their Kops/s within tolerance")
 	tol := flag.Float64("tol", 0.15, "relative per-op regression tolerance for -check (doubled for multi-threaded rows)")
 	out := flag.String("out", "", "output JSON path (default BENCH_baseline.json; none in -check mode)")
 	flag.Parse()
@@ -108,7 +113,7 @@ func main() {
 				// changing the per-op columns.
 				n = *ops / 20
 			}
-			row, err := runYCSB(wl, bk, *records, n, *threads, commit)
+			row, err := runYCSB(wl, bk, *records, n, *threads, commit, *pools)
 			if err != nil {
 				fatal(err)
 			}
@@ -125,7 +130,7 @@ func main() {
 				if bk == bench.JPDT && th == *threads && commit == "" {
 					continue // identical to a main-loop row above
 				}
-				row, err := runYCSB(wl, bk, *records, *ops, th, "")
+				row, err := runYCSB(wl, bk, *records, *ops, th, "", 1)
 				if err != nil {
 					fatal(err)
 				}
@@ -140,7 +145,24 @@ func main() {
 	// grid's stripe locks make safe to run concurrently.
 	for _, th := range []int{1, 8, 64} {
 		for _, cm := range []string{"per-tx", "group"} {
-			row, err := runYCSB("A", bench.JPFA, *records, *ops, th, cm)
+			row, err := runYCSB("A", bench.JPFA, *records, *ops, th, cm, 1)
+			if err != nil {
+				fatal(err)
+			}
+			b.Rows = append(b.Rows, row)
+		}
+	}
+	// Heap-sharding head-to-head (DESIGN.md §17): YCSB-A at 8 client
+	// goroutines, single-pool vs 4 pools, for the two mutex-bound J-NVM
+	// backends. With 4 pools every pool owns its allocator, redo-log
+	// manager and backend lock, so 8 clients stop colliding on one mutex;
+	// check_bench.sh gates the expected throughput win.
+	for _, bk := range []bench.BackendKind{bench.JPFA, bench.JPDT} {
+		for _, np := range []int{1, 4} {
+			if bk == bench.JPDT && np == 1 {
+				continue // identical to the lock-free head-to-head row above
+			}
+			row, err := runYCSB("A", bk, *records, *ops, 8, "", np)
 			if err != nil {
 				fatal(err)
 			}
@@ -167,7 +189,7 @@ func main() {
 
 	printRows(b.Rows)
 	if *check != "" {
-		if err := checkRows(*check, b.Rows, *tol); err != nil {
+		if err := checkRows(*check, b.Rows, *tol, *checkKops); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("check: per-op flush columns within tolerance of %s\n", *check)
@@ -186,7 +208,11 @@ func main() {
 
 // rowKey identifies a row across baseline files.
 func rowKey(r Row) string {
-	return fmt.Sprintf("%s|%s|%s|%d", r.Bench, r.Backend, r.Commit, r.Threads)
+	np := r.Pools
+	if np == 0 {
+		np = 1
+	}
+	return fmt.Sprintf("%s|%s|%s|%d|%dp", r.Bench, r.Backend, r.Commit, r.Threads, np)
 }
 
 // checkRows is the perf gate: every row present in both runs must keep
@@ -196,7 +222,7 @@ func rowKey(r Row) string {
 // tolerance — epoch and cohort sizes depend on goroutine interleaving.
 // It also asserts the point of the group modes: at 8+ concurrent
 // committers the shared-barrier YCSB-A row must beat per-Tx on fences.
-func checkRows(path string, rows []Row, tol float64) error {
+func checkRows(path string, rows []Row, tol float64, checkKops bool) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -230,6 +256,12 @@ func checkRows(path string, rows []Row, tol float64) error {
 		}
 		exceeds(rowKey(r)+" pwb/op", r.PWBPerOp, o.PWBPerOp, t)
 		exceeds(rowKey(r)+" pfence/op", r.PFencePerOp, o.PFencePerOp, t)
+		// Throughput is only comparable between hosts of the same width;
+		// -check-kops gates it where num_cpu matches the committed row.
+		if checkKops && r.NumCPU == o.NumCPU && o.KopsSec > 0 && r.KopsSec < o.KopsSec*(1-t) {
+			failures = append(failures, fmt.Sprintf("%s Kops/s: %.1f -> %.1f (tol %.0f%%)",
+				rowKey(r), o.KopsSec, r.KopsSec, 100*t))
+		}
 	}
 	if matched == 0 {
 		return fmt.Errorf("check: no rows of %s match this run (schema drift?)", path)
@@ -273,13 +305,47 @@ func checkRows(path string, rows []Row, tol float64) error {
 					r.Bench, r.Threads, r.PWBPerOp, base))
 		}
 	}
+	// Heap-sharding head-to-head (DESIGN.md §17): wherever this run
+	// produced both a single-pool and a 4+-pool row for the same workload,
+	// backend, commit mode and client count, the sharded row must win on
+	// throughput — the whole point of splitting the allocator, redo-log
+	// manager and backend mutex per pool. In-run comparison, so host speed
+	// cancels out. The win is physical parallelism, so on a host without
+	// spare cores (GOMAXPROCS < 4) the gate instead bounds the routing
+	// tax at 20%.
+	singlePool := map[string]float64{}
+	for _, r := range rows {
+		if (r.Pools == 0 || r.Pools == 1) && r.Threads >= 8 {
+			singlePool[fmt.Sprintf("%s|%s|%s|%d", r.Bench, r.Backend, r.Commit, r.Threads)] = r.KopsSec
+		}
+	}
+	multicore := runtime.GOMAXPROCS(0) >= 4
+	for _, r := range rows {
+		if r.Pools < 4 || r.Threads < 8 {
+			continue
+		}
+		base, ok := singlePool[fmt.Sprintf("%s|%s|%s|%d", r.Bench, r.Backend, r.Commit, r.Threads)]
+		if !ok {
+			continue
+		}
+		if multicore && r.KopsSec <= base {
+			failures = append(failures,
+				fmt.Sprintf("sharding did not pay: %s/%s @%d threads %.1f Kops/s with %d pools vs %.1f single-pool",
+					r.Bench, r.Backend, r.Threads, r.KopsSec, r.Pools, base))
+		}
+		if !multicore && r.KopsSec < base*0.8 {
+			failures = append(failures,
+				fmt.Sprintf("routing tax too high: %s/%s @%d threads %.1f Kops/s with %d pools vs %.1f single-pool (>20%%)",
+					r.Bench, r.Backend, r.Threads, r.KopsSec, r.Pools, base))
+		}
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("check: %d regression(s) vs %s:\n  %s", len(failures), path, strings.Join(failures, "\n  "))
 	}
 	return nil
 }
 
-func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int, commit string) (Row, error) {
+func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int, commit string, pools int) (Row, error) {
 	// Rows share one process; without reclaiming the previous rows' pools
 	// and garbage first, GC pressure from earlier envs bleeds into this
 	// row's numbers (alloc-heavy workloads lose up to 4x on one CPU).
@@ -298,6 +364,7 @@ func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int, commit 
 		Backend: bk, Records: cfg.RecordCount * 2,
 		FieldCount: cfg.FieldCount, FieldLen: cfg.FieldLen,
 		Commit: mode,
+		Pools:  pools,
 	})
 	if err != nil {
 		return Row{}, err
@@ -318,9 +385,7 @@ func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int, commit 
 	if err != nil {
 		return Row{}, fmt.Errorf("run %s/%s: %w", wl, bk, err)
 	}
-	if env.Mgr != nil {
-		env.Mgr.DrainDurable() // settle async epochs inside the interval
-	}
+	env.DrainDurable() // settle async epochs inside the interval
 	runtime.ReadMemStats(&msAfter)
 	stack := env.Snapshot().Sub(*before)
 	row := Row{
@@ -328,6 +393,7 @@ func runYCSB(wl string, bk bench.BackendKind, records, ops, threads int, commit 
 		Commit:      commit,
 		Backend:     string(bk),
 		Threads:     threads,
+		Pools:       pools,
 		Ops:         int(res.Operations),
 		NumCPU:      runtime.NumCPU(),
 		KopsSec:     res.Throughput() / 1000,
@@ -423,15 +489,19 @@ func runTPCB(accounts, transfers, clients int, commit string) (Row, error) {
 }
 
 func printRows(rows []Row) {
-	fmt.Printf("%-10s%-8s%-8s%8s%12s%12s%11s%10s%12s%12s%14s%10s\n",
-		"bench", "backend", "commit", "threads", "Kops/s", "p99(us)", "allocs/op", "pwb/op", "pfence/op", "stores/op", "coalesced/op", "warm-tx%")
+	fmt.Printf("%-10s%-8s%-8s%8s%7s%12s%12s%11s%10s%12s%12s%14s%10s\n",
+		"bench", "backend", "commit", "threads", "pools", "Kops/s", "p99(us)", "allocs/op", "pwb/op", "pfence/op", "stores/op", "coalesced/op", "warm-tx%")
 	for _, r := range rows {
 		cm := r.Commit
 		if cm == "" {
 			cm = "-"
 		}
-		fmt.Printf("%-10s%-8s%-8s%8d%12.1f%12.1f%11.2f%10.2f%12.2f%12.1f%14.2f%10.1f\n",
-			r.Bench, r.Backend, cm, r.Threads, r.KopsSec, r.P99Us, r.AllocsPerOp, r.PWBPerOp, r.PFencePerOp, r.StoresPerOp,
+		np := r.Pools
+		if np == 0 {
+			np = 1
+		}
+		fmt.Printf("%-10s%-8s%-8s%8d%7d%12.1f%12.1f%11.2f%10.2f%12.2f%12.1f%14.2f%10.1f\n",
+			r.Bench, r.Backend, cm, r.Threads, np, r.KopsSec, r.P99Us, r.AllocsPerOp, r.PWBPerOp, r.PFencePerOp, r.StoresPerOp,
 			r.CoalescedPerOp, r.WarmTxPct)
 	}
 }

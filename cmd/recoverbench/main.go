@@ -29,9 +29,14 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/heap"
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/pdt"
+	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 // Row is one recovery measurement at a fixed worker count.
@@ -44,7 +49,12 @@ type Row struct {
 	Speedup float64 `json:"speedup"`
 	// Recovery is the per-phase breakdown and counters from the obs layer
 	// (replay/mark/sweep/rebuild ns, live objects, swept blocks, ...).
+	// For sharded runs it is the element-wise sum across pools.
 	Recovery obs.RecoverySnapshot `json:"recovery"`
+	// PerPool is the per-pool recovery breakdown of a sharded run
+	// (DESIGN.md §17.4): pools recover concurrently, so the slowest
+	// entry bounds the open time, not the sum.
+	PerPool []obs.RecoverySnapshot `json:"per_pool,omitempty"`
 }
 
 // Result is the serialized benchmark file.
@@ -58,6 +68,7 @@ type Result struct {
 	LiveEntries int       `json:"live_entries"`
 	ValueBytes  int       `json:"value_bytes"`
 	PoolMB      int       `json:"pool_mb"`
+	Pools       int       `json:"pools"`
 	Rows        []Row     `json:"rows"`
 }
 
@@ -74,6 +85,7 @@ func main() {
 	deleteEvery := flag.Int("delete-every", 7, "delete every Nth entry so the sweep sees garbage (0 disables)")
 	structure := flag.String("structure", "hash", "table structure: hash (locked pdt.Map) or lockfree (pdt.LFMap; its rebuild is the §16 cell judgment, parallel above the chunk threshold)")
 	repeat := flag.Int("repeat", 3, "recoveries per worker count; the fastest is reported")
+	poolsN := flag.Int("pools", 1, "shard the heap across this many NVMM pools (DESIGN.md §17); pools recover concurrently, workers split across them")
 	out := flag.String("out", "results/BENCH_recovery.json", "output JSON path")
 	flag.Parse()
 
@@ -90,11 +102,28 @@ func main() {
 		fatal(fmt.Errorf("bad -structure %q (want hash or lockfree)", *structure))
 	}
 
-	fmt.Printf("building heap: %d entries, %dB values, %d MiB pool, %s table\n",
-		*entries, *valueBytes, *poolMB, *structure)
-	snapshot, liveEntries, err := buildCrashImage(*entries, *valueBytes, *poolMB, *deleteEvery, *structure)
-	if err != nil {
-		fatal(err)
+	fmt.Printf("building heap: %d entries, %dB values, %d MiB pool, %s table, %d pool(s)\n",
+		*entries, *valueBytes, *poolMB, *structure, *poolsN)
+	var snapshots [][]byte
+	var liveEntries int
+	if *poolsN > 1 {
+		var err error
+		snapshots, liveEntries, err = buildShardCrashImages(*entries, *valueBytes, *poolMB, *deleteEvery, *structure, *poolsN)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		one, live, err := buildCrashImage(*entries, *valueBytes, *poolMB, *deleteEvery, *structure)
+		if err != nil {
+			fatal(err)
+		}
+		snapshots, liveEntries = [][]byte{one}, live
+	}
+	recover := func(workers int) (Row, error) {
+		if *poolsN > 1 {
+			return recoverOnceShard(snapshots, workers, liveEntries, *structure)
+		}
+		return recoverOnce(snapshots[0], workers, liveEntries, *structure)
 	}
 
 	res := Result{
@@ -107,22 +136,23 @@ func main() {
 		LiveEntries: liveEntries,
 		ValueBytes:  *valueBytes,
 		PoolMB:      *poolMB,
+		Pools:       *poolsN,
 	}
 	// Warm-up: the first recovery grows the Go runtime heap (mark queues,
 	// mirror maps) and faults in fresh spans, which would otherwise be
 	// billed entirely to whichever worker count runs first.
-	if _, err := recoverOnce(snapshot, 1, liveEntries, *structure); err != nil {
+	if _, err := recover(1); err != nil {
 		fatal(err)
 	}
 
 	var base float64
 	for _, w := range workerCounts {
-		row, err := recoverOnce(snapshot, w, liveEntries, *structure)
+		row, err := recover(w)
 		if err != nil {
 			fatal(fmt.Errorf("workers=%d: %w", w, err))
 		}
 		for r := 1; r < *repeat; r++ {
-			again, err := recoverOnce(snapshot, w, liveEntries, *structure)
+			again, err := recover(w)
 			if err != nil {
 				fatal(fmt.Errorf("workers=%d: %w", w, err))
 			}
@@ -272,4 +302,109 @@ func recoverOnce(snapshot []byte, workers, wantEntries int, structure string) (R
 		TotalMs:   float64((openDur + rebuildDur).Nanoseconds()) / 1e6,
 		Recovery:  snap,
 	}, nil
+}
+
+// shardCfg builds the shard set configuration for the sharded benchmark
+// variants: a J-PDT backend per pool ("hash") or its lock-free sibling
+// ("lockfree"), with the recovery worker budget split across pools.
+func shardCfg(structure string, workers int) shard.Config {
+	return shard.Config{
+		HeapOptions: heap.Options{LogSlots: 16, LogSlotSize: 1 << 15},
+		Classes:     func() []*core.Class { return append(pdt.Classes(), store.Classes()...) },
+		Parallelism: workers,
+		NewBackend: func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+			if structure == "lockfree" {
+				return store.NewJPDTLFBackend(h, "kv")
+			}
+			return store.NewJPDTBackend(h, "kv")
+		},
+	}
+}
+
+// buildShardCrashImages loads the dataset through the sharded heap's
+// routing backend, with the pool budget split evenly, and snapshots every
+// pool image as a crash would leave it.
+func buildShardCrashImages(entries, valueBytes, poolMB, deleteEvery int, structure string, npools int) ([][]byte, int, error) {
+	per := poolMB / npools
+	if per < 16 {
+		per = 16
+	}
+	pools := make([]*nvm.Pool, npools)
+	for i := range pools {
+		pools[i] = nvm.New(per<<20, nvm.Options{})
+	}
+	set, err := shard.Open(pools, shardCfg(structure, 0))
+	if err != nil {
+		return nil, 0, err
+	}
+	b := set.Backend()
+	payload := make([]byte, valueBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	field := []store.Field{{Name: "v", Value: payload}}
+	for i := 0; i < entries; i++ {
+		if err := b.Insert(fmt.Sprintf("key-%08d", i), &store.Record{Fields: field}); err != nil {
+			return nil, 0, fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	live := entries
+	if deleteEvery > 0 {
+		for i := 0; i < entries; i += deleteEvery {
+			ok, err := b.Delete(fmt.Sprintf("key-%08d", i))
+			if err != nil {
+				return nil, 0, err
+			}
+			if ok {
+				live--
+			}
+		}
+	}
+	set.DrainDurable()
+	snapshots := make([][]byte, npools)
+	for i, p := range pools {
+		p.PSync()
+		snapshots[i] = p.ReadBytes(0, p.Size())
+	}
+	fmt.Printf("loaded in %.1f s (%d live entries across %d pools)\n", time.Since(start).Seconds(), live, npools)
+	return snapshots, live, set.Close()
+}
+
+// recoverOnceShard restores every pool image and re-opens the set: pools
+// recover concurrently (the worker budget splits across them), then the
+// first Count() forces every pool's mirror rebuild. The per-pool
+// breakdown shows where the concurrency helped; the summed snapshot keeps
+// the single-pool JSON shape.
+func recoverOnceShard(snapshots [][]byte, workers, wantEntries int, structure string) (Row, error) {
+	pools := make([]*nvm.Pool, len(snapshots))
+	for i, sn := range snapshots {
+		pools[i] = nvm.New(len(sn), nvm.Options{})
+		pools[i].WriteBytes(0, sn)
+	}
+	openStart := time.Now()
+	set, err := shard.Open(pools, shardCfg(structure, workers))
+	if err != nil {
+		return Row{}, err
+	}
+	openDur := time.Since(openStart)
+
+	rebuildStart := time.Now()
+	got := set.Backend().Count()
+	rebuildDur := time.Since(rebuildStart)
+	if got != wantEntries {
+		return Row{}, fmt.Errorf("recovered set has %d entries, want %d", got, wantEntries)
+	}
+	row := Row{
+		Workers:   workers,
+		OpenMs:    float64(openDur.Nanoseconds()) / 1e6,
+		RebuildMs: float64(rebuildDur.Nanoseconds()) / 1e6,
+		TotalMs:   float64((openDur + rebuildDur).Nanoseconds()) / 1e6,
+	}
+	for i := 0; i < set.Pools(); i++ {
+		snap := set.Heap(i).RecoveryObs().Snapshot()
+		row.PerPool = append(row.PerPool, snap)
+		row.Recovery = row.Recovery.Add(snap)
+	}
+	return row, set.Close()
 }

@@ -1,0 +1,155 @@
+// Command shardbench sweeps the NVMM pool count of the sharded heap
+// (DESIGN.md §17) under one YCSB workload and records the throughput
+// curve. The pools=1 row runs the classic single-pool stack — the same
+// code path as BENCH_baseline.json — so the curve's origin is directly
+// comparable with the committed baseline; the sharded rows route records
+// by jump consistent hashing across per-pool allocators, redo logs and
+// backend locks. `make bench-shard` writes results/BENCH_shard.json.
+//
+// With -gate (the default), the run fails if a 4+-pool configuration
+// does not beat the single-pool row at 8+ client goroutines: the win is
+// the tentpole claim of the sharding work, and the gate keeps it from
+// silently rotting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// Result is the serialized sweep file.
+type Result struct {
+	GeneratedAt time.Time        `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	Records     int              `json:"records"`
+	Operations  int              `json:"operations"`
+	Threads     int              `json:"threads"`
+	Rows        []bench.ShardRow `json:"rows"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shardbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	records := flag.Int("records", 8_000, "YCSB record count")
+	ops := flag.Int("ops", 30_000, "YCSB operations per client goroutine")
+	threads := flag.Int("threads", 8, "client goroutines")
+	workload := flag.String("workload", "A", "YCSB workload letter")
+	backendsFlag := flag.String("backends", "J-PFA,J-PDT", "comma-separated backends to sweep")
+	poolsFlag := flag.String("pools", "1,4,8", "comma-separated pool counts (1 = classic single-pool stack)")
+	commit := flag.String("commit", "", "J-NVM commit protocol: empty (per-tx), group or async")
+	gate := flag.Bool("gate", true, "fail unless every 4+-pool row beats the single-pool row at 8+ threads")
+	out := flag.String("out", "results/BENCH_shard.json", "output JSON path")
+	flag.Parse()
+
+	var poolCounts []int
+	for _, tok := range strings.Split(*poolsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -pools entry %q", tok))
+		}
+		poolCounts = append(poolCounts, n)
+	}
+
+	res := Result{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Records:     *records,
+		Operations:  *ops,
+		Threads:     *threads,
+	}
+	sc := bench.Scale{Records: *records, Operations: *ops, Threads: *threads, Commit: *commit}
+	for _, tok := range strings.Split(*backendsFlag, ",") {
+		bk := bench.BackendKind(strings.TrimSpace(tok))
+		rows, err := bench.ShardSweep(sc, bk, *workload, poolCounts)
+		if err != nil {
+			fatal(err)
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+
+	bench.PrintShard(os.Stdout, res.Rows)
+
+	if *gate {
+		if err := gateRows(res.Rows); err != nil {
+			fatal(err)
+		}
+	}
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// gateRows enforces the sharding win in-run (host speed cancels out):
+// each backend's 4+-pool rows must beat its single-pool row when 8+
+// clients contend. The win is physical parallelism — per-pool locks and
+// fence spins overlapping on separate cores — so on a host without
+// spare cores (GOMAXPROCS < 4) the gate degrades to bounding the
+// routing tax: sharded rows must stay within 20% of single-pool.
+// Errors on any row are a hard failure regardless.
+func gateRows(rows []bench.ShardRow) error {
+	var failures []string
+	single := map[string]float64{}
+	for _, r := range rows {
+		if r.Errors != 0 {
+			failures = append(failures, fmt.Sprintf("%s/%s/%dp: %d op errors", r.Workload, r.Backend, r.Pools, r.Errors))
+		}
+		if r.Pools == 1 {
+			single[r.Workload+"|"+string(r.Backend)] = r.KopsSec
+		}
+	}
+	multicore := runtime.GOMAXPROCS(0) >= 4
+	if !multicore {
+		fmt.Printf("gate: GOMAXPROCS=%d — no spare cores for pool parallelism; bounding the routing tax instead of requiring a win\n",
+			runtime.GOMAXPROCS(0))
+	}
+	for _, r := range rows {
+		if r.Pools < 4 || r.Threads < 8 {
+			continue
+		}
+		base, ok := single[r.Workload+"|"+string(r.Backend)]
+		if !ok {
+			continue
+		}
+		if multicore && r.KopsSec <= base {
+			failures = append(failures,
+				fmt.Sprintf("sharding did not pay: %s/%s %.1f Kops/s with %d pools vs %.1f single-pool",
+					r.Workload, r.Backend, r.KopsSec, r.Pools, base))
+		}
+		if !multicore && r.KopsSec < base*0.8 {
+			failures = append(failures,
+				fmt.Sprintf("routing tax too high: %s/%s %.1f Kops/s with %d pools vs %.1f single-pool (>20%%)",
+					r.Workload, r.Backend, r.KopsSec, r.Pools, base))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/pdt"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -55,6 +56,11 @@ type GridConfig struct {
 	// pipeline; Commit returns a ticket, durability trails at the
 	// watermark). Non-J-NVM backends ignore it.
 	Commit string
+	// Pools shards the J-NVM backends across this many NVMM pools
+	// (DESIGN.md §17): per-pool allocators, logs, and backends behind
+	// one routing grid backend. 0 or 1 keeps the classic single-pool
+	// stack; non-J-NVM backends ignore it.
+	Pools int
 }
 
 // CommitModeName folds the -group-commit/-durability flag pair of the cmd
@@ -109,18 +115,28 @@ func EstimatePoolBytes(records, fieldCount, fieldLen int) int {
 // Env is one ready-to-run grid with its lifecycle.
 type Env struct {
 	Grid    *store.Grid
-	Heap    *core.Heap  // nil for non-J-NVM backends
-	Pool    *nvm.Pool   // nil for non-J-NVM backends
-	Mgr     *fa.Manager // nil for non-J-NVM backends
+	Heap    *core.Heap  // nil for non-J-NVM backends and sharded envs
+	Pool    *nvm.Pool   // nil for non-J-NVM backends and sharded envs
+	Mgr     *fa.Manager // nil for non-J-NVM backends and sharded envs
+	Set     *shard.Set  // non-nil when GridConfig.Pools > 1
 	cleanup func()
+}
+
+// DrainDurable forces every queued async commit out to NVMM — all pools
+// of a sharded env, the single manager otherwise.
+func (e *Env) DrainDurable() {
+	if e.Set != nil {
+		e.Set.DrainDurable()
+	}
+	if e.Mgr != nil {
+		e.Mgr.DrainDurable()
+	}
 }
 
 // Close releases resources. Queued async commits are drained first so no
 // acknowledged ticket is abandoned short of durability.
 func (e *Env) Close() {
-	if e.Mgr != nil {
-		e.Mgr.DrainDurable()
-	}
+	e.DrainDurable()
 	if e.cleanup != nil {
 		e.cleanup()
 	}
@@ -147,6 +163,22 @@ func (e *Env) Snapshot() *obs.StackSnapshot {
 		f := e.Mgr.ObsSnapshot()
 		s.FA = &f
 	}
+	if e.Set != nil {
+		sh := e.Set.Snapshot()
+		s.Shard = &sh
+		// The global layer gauges are the element-wise sums of the
+		// per-pool breakdown, so existing tooling (check_pwb.sh, the
+		// report printer) reads a sharded stack unchanged.
+		var nv obs.NVMSnapshot
+		var hp obs.HeapSnapshot
+		var fs obs.FASnapshot
+		for _, p := range sh.PerPool {
+			nv = nv.Add(p.NVM)
+			hp = hp.Add(p.Heap)
+			fs = fs.Add(p.FA)
+		}
+		s.NVM, s.Heap, s.FA = &nv, &hp, &fs
+	}
 	s.Finalize()
 	return s
 }
@@ -164,6 +196,13 @@ func (e *Env) publish() *Env {
 func NewEnv(cfg GridConfig) (*Env, error) {
 	if cfg.FenceNs == 0 {
 		cfg.FenceNs = DefaultFenceNs
+	}
+	if cfg.Pools > 1 {
+		switch cfg.Backend {
+		case JPDT, JPDTLF, JPFA, PCJ:
+		default:
+			return nil, fmt.Errorf("bench: backend %q cannot be sharded across %d pools", cfg.Backend, cfg.Pools)
+		}
 	}
 	switch cfg.Backend {
 	case Volatile:
@@ -189,6 +228,9 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 		}
 		return (&Env{Grid: store.NewGrid(b, store.Options{CacheEntries: cfg.CacheEntries}), cleanup: cleanup}).publish(), nil
 	case JPDT, JPDTLF, JPFA, PCJ:
+		if cfg.Pools > 1 {
+			return newShardEnv(cfg)
+		}
 		pool := nvm.New(EstimatePoolBytes(cfg.Records, cfg.FieldCount, cfg.FieldLen),
 			nvm.Options{FenceLatency: cfg.FenceNs})
 		mgr := fa.NewManager()
@@ -247,4 +289,78 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 		return (&Env{Grid: store.NewGrid(backend, store.Options{}), Heap: h, Pool: pool, Mgr: mgr}).publish(), nil
 	}
 	return nil, fmt.Errorf("bench: unknown backend %q", cfg.Backend)
+}
+
+// shardBackendCtor maps a backend kind to the per-pool constructor the
+// shard set invokes once per pool.
+func shardBackendCtor(cfg GridConfig) (func(h *core.Heap, mgr *fa.Manager) (store.Backend, error), error) {
+	switch cfg.Backend {
+	case JPDT:
+		return func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+			b, err := store.NewJPDTBackend(h, "kv")
+			if err != nil {
+				return nil, err
+			}
+			if cfg.ProxyCache != pdt.CacheNone {
+				if err := b.SetProxyCache(cfg.ProxyCache); err != nil {
+					return nil, err
+				}
+			}
+			return b, nil
+		}, nil
+	case JPDTLF:
+		return func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+			return store.NewJPDTLFBackend(h, "kv")
+		}, nil
+	case JPFA:
+		return func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+			return store.NewJPFABackend(h, mgr, "kv")
+		}, nil
+	case PCJ:
+		return func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+			return store.NewPCJBackend(h, "kv")
+		}, nil
+	}
+	return nil, fmt.Errorf("bench: backend %q cannot be sharded", cfg.Backend)
+}
+
+// newShardEnv builds a multi-pool J-NVM environment: the dataset's pool
+// budget split evenly with 50% per-pool headroom (jump hashing balances
+// within a few percent, and the headroom keeps skew off the fallback
+// path), one backend per pool, and the set's routing backend under the
+// grid.
+func newShardEnv(cfg GridConfig) (*Env, error) {
+	ctor, err := shardBackendCtor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	total := EstimatePoolBytes(cfg.Records, cfg.FieldCount, cfg.FieldLen)
+	per := total/cfg.Pools + total/(2*cfg.Pools)
+	if per < 8<<20 {
+		per = 8 << 20
+	}
+	pools := make([]*nvm.Pool, cfg.Pools)
+	for i := range pools {
+		pools[i] = nvm.New(per, nvm.Options{FenceLatency: cfg.FenceNs})
+	}
+	s, err := shard.Open(pools, shard.Config{
+		HeapOptions: heap.Options{LogSlots: 64, LogSlotSize: 1 << 15},
+		Classes:     func() []*core.Class { return append(pdt.Classes(), store.Classes()...) },
+		NewBackend:  ctor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Commit != "" {
+		mode, err := ParseCommitMode(cfg.Commit)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < s.Pools(); i++ {
+			if err := s.Manager(i).SetGroupCommit(fa.GroupOptions{Mode: mode}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return (&Env{Grid: store.NewGrid(s.Backend(), store.Options{}), Set: s}).publish(), nil
 }

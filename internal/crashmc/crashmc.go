@@ -49,12 +49,45 @@ type Run struct {
 	// must not mutate the oracle. It owns img and may write to it (e.g.
 	// probe that the recovered heap accepts new operations).
 	Check func(img *nvm.Pool, parallelism int) error
+
+	// Multi-pool forms, used when Workload.Pools > 1 (DESIGN.md §17):
+	// the plug is pulled on the whole machine at once, so the fault
+	// plane spans every pool, ordering points count globally, and a
+	// crash yields one image per pool. Setup may still run concurrent
+	// goroutines (it is unobserved); Exec must stay deterministic and
+	// single-goroutine across all pools.
+	SetupN func(pools []*nvm.Pool) error
+	ExecN  func(pools []*nvm.Pool) error
+	CheckN func(imgs []*nvm.Pool, parallelism int) error
+}
+
+func (r *Run) setup(pools []*nvm.Pool) error {
+	if r.SetupN != nil {
+		return r.SetupN(pools)
+	}
+	return r.Setup(pools[0])
+}
+
+func (r *Run) exec(pools []*nvm.Pool) error {
+	if r.ExecN != nil {
+		return r.ExecN(pools)
+	}
+	return r.Exec(pools[0])
+}
+
+func (r *Run) check(imgs []*nvm.Pool, parallelism int) error {
+	if r.CheckN != nil {
+		return r.CheckN(imgs, parallelism)
+	}
+	return r.Check(imgs[0], parallelism)
 }
 
 // Workload names a crash-exploration scenario.
 type Workload struct {
 	Name      string
-	PoolBytes int
+	PoolBytes int // per pool
+	// Pools is the NVMM pool count (0 or 1 = the classic single pool).
+	Pools int
 	// New builds a fresh Run; the seed drives the op mix and oracle.
 	New func(seed int64) *Run
 }
@@ -68,11 +101,18 @@ type crashSignal struct{}
 // pool; events observed after firing (from exactly that cleanup) are
 // ignored.
 type plane struct {
-	pool    *nvm.Pool
+	pools   []*nvm.Pool
 	trigger int // 1-based ordering point to crash at; 0 = count only
 	count   int
 	fired   bool
-	state   *nvm.CrashState
+	states  []*nvm.CrashState // one per pool, captured together at the crash
+}
+
+func (pl *plane) capture() {
+	pl.states = make([]*nvm.CrashState, len(pl.pools))
+	for i, p := range pl.pools {
+		pl.states[i] = p.CaptureCrashState()
+	}
 }
 
 func (pl *plane) OrderingPoint(nvm.FaultEvent) {
@@ -82,7 +122,7 @@ func (pl *plane) OrderingPoint(nvm.FaultEvent) {
 	pl.count++
 	if pl.trigger != 0 && pl.count == pl.trigger {
 		pl.fired = true
-		pl.state = pl.pool.CaptureCrashState()
+		pl.capture()
 		panic(crashSignal{})
 	}
 }
@@ -121,8 +161,11 @@ type Failure struct {
 	Seed     int64           `json:"seed"`
 	Par      int             `json:"par"`              // recovery parallelism that failed (1 and/or Par)
 	Subset   []nvm.CrashLine `json:"subset,omitempty"` // minimized failing line-subset
-	Err      string          `json:"err"`
-	Diverged bool            `json:"diverged,omitempty"` // serial and parallel disagreed
+	// PoolSubsets replaces Subset for multi-pool workloads: the
+	// minimized failing line-subset of every pool, in pool order.
+	PoolSubsets [][]nvm.CrashLine `json:"pool_subsets,omitempty"`
+	Err         string            `json:"err"`
+	Diverged    bool              `json:"diverged,omitempty"` // serial and parallel disagreed
 }
 
 // Repro renders the one-command reproduction for this failure.
@@ -138,9 +181,9 @@ func (f *Failure) String() string {
 		b.WriteString(" [serial/parallel diverge]")
 	}
 	fmt.Fprintf(&b, ": %s\n", f.Err)
-	if len(f.Subset) > 0 {
-		fmt.Fprintf(&b, "  minimized subset (%d lines):", len(f.Subset))
-		for _, cl := range f.Subset {
+	renderSubset := func(label string, subset []nvm.CrashLine) {
+		fmt.Fprintf(&b, "  minimized subset%s (%d lines):", label, len(subset))
+		for _, cl := range subset {
 			src := "snapshot"
 			if cl.Source == nvm.CrashFromCurrent {
 				src = "current"
@@ -156,6 +199,14 @@ func (f *Failure) String() string {
 			b.WriteString("}")
 		}
 		b.WriteString("\n")
+	}
+	if len(f.Subset) > 0 {
+		renderSubset("", f.Subset)
+	}
+	for p, sub := range f.PoolSubsets {
+		if len(sub) > 0 {
+			renderSubset(fmt.Sprintf(" pool %d", p), sub)
+		}
 	}
 	fmt.Fprintf(&b, "  reproduce: %s", f.Repro())
 	return b.String()
@@ -176,14 +227,25 @@ type Report struct {
 // the crash), the plane (count + captured state), and Exec's error when
 // it completed without crashing.
 func runTo(w *Workload, seed int64, trigger int) (*Run, *plane, error) {
-	pool := nvm.New(w.PoolBytes, nvm.Options{Tracked: true})
+	np := w.Pools
+	if np < 1 {
+		np = 1
+	}
+	pools := make([]*nvm.Pool, np)
+	for i := range pools {
+		pools[i] = nvm.New(w.PoolBytes, nvm.Options{Tracked: true})
+	}
 	run := w.New(seed)
-	if err := run.Setup(pool); err != nil {
+	if err := run.setup(pools); err != nil {
 		return nil, nil, fmt.Errorf("%s setup: %w", w.Name, err)
 	}
-	pool.PSync() // setup ends durable; exploration covers Exec only
-	pl := &plane{pool: pool, trigger: trigger}
-	pool.SetFaultPlane(pl)
+	for _, p := range pools {
+		p.PSync() // setup ends durable; exploration covers Exec only
+	}
+	pl := &plane{pools: pools, trigger: trigger}
+	for _, p := range pools {
+		p.SetFaultPlane(pl)
+	}
 	var execErr error
 	func() {
 		defer func() {
@@ -194,29 +256,31 @@ func runTo(w *Workload, seed int64, trigger int) (*Run, *plane, error) {
 				panic(r)
 			}
 		}()
-		execErr = run.Exec(pool)
+		execErr = run.exec(pools)
 	}()
-	pool.SetFaultPlane(nil)
+	for _, p := range pools {
+		p.SetFaultPlane(nil)
+	}
 	if trigger == 0 || !pl.fired {
 		if execErr != nil {
 			return nil, nil, fmt.Errorf("%s exec: %w", w.Name, execErr)
 		}
 		// Completed: capture the end-of-run state so the caller can
 		// explore the "crash after the last operation" point too.
-		pl.state = pool.CaptureCrashState()
+		pl.capture()
 	}
 	return run, pl, nil
 }
 
 // safeCheck runs Check, converting panics into errors: recovery must
 // tolerate any crash image, so a panic is itself an invariant violation.
-func safeCheck(run *Run, img *nvm.Pool, parallelism int) (err error) {
+func safeCheck(run *Run, imgs []*nvm.Pool, parallelism int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("recovery panicked: %v", r)
 		}
 	}()
-	return run.Check(img, parallelism)
+	return run.check(imgs, parallelism)
 }
 
 // subsetSeed mixes (seed, point, sample) into the rng seed for one
@@ -229,8 +293,10 @@ func subsetSeed(seed int64, point, sample int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// specFor rebuilds the crash-image spec for a sample index at a point.
-func specFor(state *nvm.CrashState, seed int64, point, sample int) []nvm.CrashLine {
+// specFor rebuilds the crash-image spec for a sample index at a point,
+// for one pool. Pool 0's draw matches the historical single-pool draw,
+// so existing (point, sample, seed) repro triples stay valid.
+func specFor(state *nvm.CrashState, seed int64, point, sample, pool int) []nvm.CrashLine {
 	switch sample {
 	case -1: // strict: durable image only
 		return nil
@@ -241,9 +307,28 @@ func specFor(state *nvm.CrashState, seed int64, point, sample int) []nvm.CrashLi
 		}
 		return spec
 	default:
-		rng := rand.New(rand.NewSource(subsetSeed(seed, point, sample)))
+		rng := rand.New(rand.NewSource(subsetSeed(seed, point, sample) ^ int64(pool)*-0x61c8864680b583eb))
 		return state.SampleSpec(rng, sample%2 == 1)
 	}
+}
+
+// specsFor draws every pool's spec for one (point, sample).
+func specsFor(states []*nvm.CrashState, seed int64, point, sample int) [][]nvm.CrashLine {
+	specs := make([][]nvm.CrashLine, len(states))
+	for i, st := range states {
+		specs[i] = specFor(st, seed, point, sample, i)
+	}
+	return specs
+}
+
+// imagesFor mints one adversarial image per pool. Fresh images are built
+// for every check — Check owns and may mutate them.
+func imagesFor(states []*nvm.CrashState, specs [][]nvm.CrashLine) []*nvm.Pool {
+	imgs := make([]*nvm.Pool, len(states))
+	for i, st := range states {
+		imgs[i] = st.Image(specs[i])
+	}
+	return imgs
 }
 
 // pickPoints selects which crash points to explore: all of them when the
@@ -280,32 +365,47 @@ func pickPoints(total, budget int, seed int64) []int {
 	return pts
 }
 
-// minimizeSpec greedily drops spec entries while the failure persists,
-// then tries to un-tear surviving entries, so reports implicate the
-// fewest lines possible.
-func minimizeSpec(run *Run, state *nvm.CrashState, spec []nvm.CrashLine, parallelism int) []nvm.CrashLine {
-	fails := func(s []nvm.CrashLine) bool {
-		return safeCheck(run, state.Image(s), parallelism) != nil
+// minimizeSpecs greedily drops spec entries — across every pool — while
+// the failure persists, then tries to un-tear surviving entries, so
+// reports implicate the fewest lines possible.
+func minimizeSpecs(run *Run, states []*nvm.CrashState, specs [][]nvm.CrashLine, parallelism int) [][]nvm.CrashLine {
+	fails := func(s [][]nvm.CrashLine) bool {
+		return safeCheck(run, imagesFor(states, s), parallelism) != nil
 	}
-	cur := append([]nvm.CrashLine(nil), spec...)
+	cur := make([][]nvm.CrashLine, len(specs))
+	for p := range specs {
+		cur[p] = append([]nvm.CrashLine(nil), specs[p]...)
+	}
+	clone := func() [][]nvm.CrashLine {
+		c := make([][]nvm.CrashLine, len(cur))
+		for p := range cur {
+			c[p] = append([]nvm.CrashLine(nil), cur[p]...)
+		}
+		return c
+	}
 	for changed := true; changed; {
 		changed = false
-		for i := 0; i < len(cur); i++ {
-			cand := append(append([]nvm.CrashLine(nil), cur[:i]...), cur[i+1:]...)
-			if fails(cand) {
-				cur = cand
-				changed = true
-				i--
+		for p := range cur {
+			for i := 0; i < len(cur[p]); i++ {
+				cand := clone()
+				cand[p] = append(append([]nvm.CrashLine(nil), cur[p][:i]...), cur[p][i+1:]...)
+				if fails(cand) {
+					cur = cand
+					changed = true
+					i--
+				}
 			}
 		}
 	}
-	for i := range cur {
-		if cur[i].Split != 0 {
-			cand := append([]nvm.CrashLine(nil), cur...)
-			cand[i].Split = 0
-			cand[i].Tail = false
-			if fails(cand) {
-				cur = cand
+	for p := range cur {
+		for i := range cur[p] {
+			if cur[p][i].Split != 0 {
+				cand := clone()
+				cand[p][i].Split = 0
+				cand[p][i].Tail = false
+				if fails(cand) {
+					cur = cand
+				}
 			}
 		}
 	}
@@ -346,8 +446,8 @@ func Explore(w *Workload, opt Options) (*Report, error) {
 	// The completed run must also satisfy its own oracle in both crash
 	// worlds (nothing pending lost, everything pending persisted).
 	for _, sample := range []int{-1, -2} {
-		img := pl.state.Image(specFor(pl.state, opt.Seed, rep.Points+1, sample))
-		if err := safeCheck(run, img, 1); err != nil {
+		imgs := imagesFor(pl.states, specsFor(pl.states, opt.Seed, rep.Points+1, sample))
+		if err := safeCheck(run, imgs, 1); err != nil {
 			return nil, fmt.Errorf("%s: completed run fails its own oracle (sample %d): %w", w.Name, sample, err)
 		}
 	}
@@ -368,10 +468,10 @@ func Explore(w *Workload, opt Options) (*Report, error) {
 	}
 
 	for _, point := range points {
-		var state *nvm.CrashState
+		var states []*nvm.CrashState
 		crun := run
 		if point > rep.Points {
-			state = pl.state // end-of-run state from the count pass
+			states = pl.states // end-of-run state from the count pass
 		} else {
 			r, cpl, err := runTo(w, opt.Seed, point)
 			if err != nil {
@@ -380,15 +480,15 @@ func Explore(w *Workload, opt Options) (*Report, error) {
 			if !cpl.fired {
 				return nil, fmt.Errorf("%s: replay finished before point %d (nondeterministic workload)", w.Name, point)
 			}
-			state = cpl.state
+			states = cpl.states
 			crun = r
 		}
 		rep.Explored++
 		for _, sample := range samples {
-			spec := specFor(state, opt.Seed, point, sample)
+			specs := specsFor(states, opt.Seed, point, sample)
 			rep.Images++
-			serialErr := safeCheck(crun, state.Image(spec), 1)
-			parErr := safeCheck(crun, state.Image(spec), opt.Par)
+			serialErr := safeCheck(crun, imagesFor(states, specs), 1)
+			parErr := safeCheck(crun, imagesFor(states, specs), opt.Par)
 			if serialErr == nil && parErr == nil {
 				continue
 			}
@@ -407,7 +507,12 @@ func Explore(w *Workload, opt Options) (*Report, error) {
 			if f.Diverged {
 				f.Err = fmt.Sprintf("serial=%v parallel=%v", serialErr, parErr)
 			}
-			f.Subset = minimizeSpec(crun, state, spec, f.Par)
+			min := minimizeSpecs(crun, states, specs, f.Par)
+			if len(min) == 1 {
+				f.Subset = min[0]
+			} else {
+				f.PoolSubsets = min
+			}
 			rep.Failures = append(rep.Failures, f)
 			logf("%s", f.String())
 			if opt.MaxFailures > 0 && len(rep.Failures) >= opt.MaxFailures {

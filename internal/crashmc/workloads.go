@@ -12,6 +12,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/nvm"
 	"repro/internal/pdt"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/tpcb"
 )
@@ -24,7 +25,7 @@ import (
 // of the J-PDT types (pdt), and the lock-free persist-at-destination
 // map/set (pdtlockfree).
 func Workloads() []*Workload {
-	return []*Workload{bankWorkload(), gridWorkload(), gridGroupWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload(), pdtLockFreeWorkload()}
+	return []*Workload{bankWorkload(), gridWorkload(), gridGroupWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload(), pdtLockFreeWorkload(), poolMigrateWorkload()}
 }
 
 // ByName resolves a workload; "all" is handled by callers.
@@ -1267,4 +1268,274 @@ func int64Keys(m map[int64]bool) []int64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// ---- poolmigrate: online pool addition and record migration (§17) ----
+
+func clonePool(p *nvm.Pool) *nvm.Pool {
+	c := nvm.New(int(p.Size()), nvm.Options{})
+	c.WriteBytes(0, p.ReadBytes(0, p.Size()))
+	return c
+}
+
+// poolMigrateWorkload crashes the multi-pool heap of DESIGN.md §17 at
+// every point of its most delicate windows: sharded operation over two
+// pools, the online addition of a third (new-pool format, topology
+// transaction, record migration, finalize), and steady state after the
+// grow. Recovery does what an operator restart does — reads the epoch
+// table from the pool-0 image to learn which pools are durable members,
+// then opens the set (replaying any interrupted migration synchronously)
+// — and checks: every key readable with its committed or in-flight
+// pre/post value, every record sitting in its home pool of the recovered
+// routing world, no phantom keys, and the set still writable. With
+// parallel recovery the check also proves the §4.1.3 equivalence per
+// pool — each member image recovered serially and concurrently must
+// match bit for bit before any set-level resume touches it — and the
+// fully resumed sets must agree on every observable (epoch, membership,
+// per-pool contents).
+func poolMigrateWorkload() *Workload {
+	const nkeys = 12
+	const preOps, postOps = 12, 6
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("m%02d", i)
+	}
+	shardCfg := func(parallelism int) shard.Config {
+		return shard.Config{
+			HeapOptions: heap.Options{LogSlots: 16, LogSlotSize: 1 << 14},
+			Classes:     gridClasses,
+			Parallelism: parallelism,
+			NewBackend: func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+				return store.NewJPDTBackend(h, "kv")
+			},
+		}
+	}
+	return &Workload{Name: "poolmigrate", PoolBytes: 1 << 21, Pools: 3, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[string][]byte) // committed value per key; missing = absent
+		var inflight *gridOp
+		var set *shard.Set
+		mkval := func(i int) []byte {
+			n := 8 + rng.Intn(48)
+			v := make([]byte, n)
+			for j := range v {
+				v[j] = byte('a' + (i+j)%26)
+			}
+			return v
+		}
+		// op performs one mutation and then fences every pool: the J-PDT
+		// backend's own put/delete durability windows are the pdt and
+		// gridread workloads' business — here the exact-model oracle
+		// needs op-level durability so the migration windows stay the
+		// only source of pre/post ambiguity.
+		op := func(pools []*nvm.Pool, i int) error {
+			b := set.Backend()
+			key := keys[rng.Intn(nkeys)]
+			pre := model[key]
+			var post []byte
+			var err error
+			switch {
+			case pre == nil:
+				post = mkval(i)
+				inflight = &gridOp{key: key, pre: pre, post: post}
+				err = b.Insert(key, &store.Record{Fields: []store.Field{{Name: "v", Value: post}}})
+			case rng.Intn(3) == 0:
+				inflight = &gridOp{key: key, pre: pre, post: nil}
+				_, err = b.Delete(key)
+			default:
+				post = mkval(i)
+				inflight = &gridOp{key: key, pre: pre, post: post}
+				_, err = b.Update(key, []store.Field{{Name: "v", Value: post}})
+			}
+			if err != nil {
+				return fmt.Errorf("op %d on %s: %w", i, key, err)
+			}
+			for _, p := range pools {
+				p.PSync()
+			}
+			if post == nil {
+				delete(model, key)
+			} else {
+				model[key] = post
+			}
+			inflight = nil
+			return nil
+		}
+		// members reads the durable pool roster off the pool-0 image (on
+		// a scratch clone, so the real open starts from a pristine image).
+		members := func(imgs []*nvm.Pool) (int, error) {
+			probe, err := openCheckHeap(clonePool(imgs[0]), gridClasses(), fa.NewManager(), 1)
+			if err != nil {
+				return 0, fmt.Errorf("pool 0 reopen: %w", err)
+			}
+			_, _, targetN, _, _, err := shard.ReadTopology(probe)
+			if err != nil {
+				return 0, err
+			}
+			if targetN < 2 || targetN > len(imgs) {
+				return 0, fmt.Errorf("epoch table names %d pools", targetN)
+			}
+			return targetN, nil
+		}
+		// checkOne recovers the member images as a set and verifies the
+		// oracle, returning the observable state for the serial/parallel
+		// comparison.
+		checkOne := func(imgs []*nvm.Pool, parallelism int) (string, error) {
+			s2, err := shard.Open(imgs, shardCfg(parallelism))
+			if err != nil {
+				return "", fmt.Errorf("shard reopen (%d pools): %w", len(imgs), err)
+			}
+			if s2.Migrating() {
+				return "", fmt.Errorf("still migrating after open")
+			}
+			for i := 0; i < s2.Pools(); i++ {
+				if err := fsckClean(s2.Heap(i)); err != nil {
+					return "", fmt.Errorf("pool %d: %w", i, err)
+				}
+			}
+			b := s2.Backend()
+			read := func(key string) ([]byte, bool, error) {
+				var val []byte
+				has := false
+				found, err := b.Read(key, func(name string, v []byte) {
+					if name == "v" {
+						val = append([]byte(nil), v...)
+						has = true
+					}
+				})
+				if err != nil {
+					return nil, false, err
+				}
+				if found && !has {
+					return nil, false, fmt.Errorf("record %s has no field v", key)
+				}
+				return val, found, nil
+			}
+			for _, key := range keys {
+				got, found, err := read(key)
+				if err != nil {
+					return "", fmt.Errorf("read %s: %w", key, err)
+				}
+				want, wantFound := model[key]
+				ok := found == wantFound && bytes.Equal(got, want)
+				if !ok && inflight != nil && inflight.key == key {
+					ok = (found == (inflight.pre != nil) && bytes.Equal(got, inflight.pre)) ||
+						(found == (inflight.post != nil) && bytes.Equal(got, inflight.post))
+				}
+				if !ok {
+					return "", fmt.Errorf("key %s: got (%q,%v), want %q", key, got, found, want)
+				}
+			}
+			// Placement and phantom sweep: after a clean open every
+			// record sits in its home pool of the recovered world.
+			obs := []string{fmt.Sprintf("pools=%d epoch=%d", s2.Pools(), s2.Epoch())}
+			for i := 0; i < s2.Pools(); i++ {
+				for _, key := range s2.PoolBackend(i).(store.KeyLister).Keys() {
+					if home := heap.JumpHash(heap.KeyHash(key), s2.Pools()); home != i {
+						return "", fmt.Errorf("key %q in pool %d, home %d", key, i, home)
+					}
+					if _, inModel := model[key]; !inModel && (inflight == nil || inflight.key != key) {
+						return "", fmt.Errorf("phantom key %q in pool %d", key, i)
+					}
+					v, _, err := read(key)
+					if err != nil {
+						return "", fmt.Errorf("reread %s: %w", key, err)
+					}
+					obs = append(obs, fmt.Sprintf("%d:%s=%x", i, key, v))
+				}
+			}
+			// Writability probe through the full routing path.
+			if err := b.Insert("z-probe", &store.Record{Fields: []store.Field{{Name: "v", Value: []byte("ok")}}}); err != nil {
+				return "", fmt.Errorf("post-recovery insert: %w", err)
+			}
+			if got, found, err := read("z-probe"); err != nil || !found || string(got) != "ok" {
+				return "", fmt.Errorf("post-recovery readback: %q %v %v", got, found, err)
+			}
+			if _, err := b.Delete("z-probe"); err != nil {
+				return "", fmt.Errorf("post-recovery delete: %w", err)
+			}
+			return strings.Join(obs, ";"), nil
+		}
+		return &Run{
+			SetupN: func(pools []*nvm.Pool) error {
+				var err error
+				set, err = shard.Open(pools[:2], shardCfg(1))
+				if err != nil {
+					return err
+				}
+				b := set.Backend()
+				for i := 0; i < 6; i++ {
+					v := mkval(i)
+					if err := b.Insert(keys[i], &store.Record{Fields: []store.Field{{Name: "v", Value: v}}}); err != nil {
+						return err
+					}
+					model[keys[i]] = v
+				}
+				return nil
+			},
+			ExecN: func(pools []*nvm.Pool) error {
+				for i := 0; i < preOps; i++ {
+					if err := op(pools, i); err != nil {
+						return err
+					}
+				}
+				m, err := set.AddPool(pools[2], shard.AddOptions{})
+				if err != nil {
+					return fmt.Errorf("add pool: %w", err)
+				}
+				if err := m.Wait(); err != nil {
+					return fmt.Errorf("migrate: %w", err)
+				}
+				for i := 0; i < postOps; i++ {
+					if err := op(pools, preOps+i); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			CheckN: func(imgs []*nvm.Pool, parallelism int) error {
+				n, err := members(imgs)
+				if err != nil {
+					return err
+				}
+				var clones []*nvm.Pool
+				if parallelism > 1 {
+					clones = make([]*nvm.Pool, n)
+					for i := range clones {
+						clones[i] = clonePool(imgs[i])
+					}
+					// §4.1.3 equivalence, per pool and bit for bit:
+					// recover each member image serially and concurrently
+					// and compare the raw pool bytes before any set-level
+					// migration resume can write.
+					for i := 0; i < n; i++ {
+						a, c := clonePool(imgs[i]), clonePool(imgs[i])
+						if _, err := openCheckHeap(a, gridClasses(), fa.NewManager(), 1); err != nil {
+							return fmt.Errorf("pool %d serial recovery: %w", i, err)
+						}
+						if _, err := openCheckHeap(c, gridClasses(), fa.NewManager(), parallelism); err != nil {
+							return fmt.Errorf("pool %d parallel recovery: %w", i, err)
+						}
+						if !bytes.Equal(a.ReadBytes(0, a.Size()), c.ReadBytes(0, c.Size())) {
+							return fmt.Errorf("pool %d: serial and parallel recovery images differ", i)
+						}
+					}
+				}
+				obs, err := checkOne(imgs[:n], parallelism)
+				if err != nil {
+					return err
+				}
+				if parallelism > 1 {
+					sobs, err := checkOne(clones, 1)
+					if err != nil {
+						return fmt.Errorf("serial replay of parallel image: %w", err)
+					}
+					if obs != sobs {
+						return fmt.Errorf("serial/parallel divergence:\n  par:    %s\n  serial: %s", obs, sobs)
+					}
+				}
+				return nil
+			},
+		}
+	}}
 }

@@ -66,6 +66,11 @@ const (
 	sbLogOff      = 72
 	sbLogSlots    = 80
 	sbLogSlotSize = 88
+	// Pool-topology fields (multi-pool sharding, DESIGN.md §17). Both are
+	// zero on heaps formatted before sharding existed, which decodes as
+	// "pool 0 of a 1-pool set" — old images stay openable byte-for-byte.
+	sbPoolIndex = 96
+	sbPoolCount = 104
 )
 
 // Header-word packing.
@@ -103,6 +108,11 @@ type Options struct {
 	LogSlots int
 	// LogSlotSize is the byte size of each redo-log slot.
 	LogSlotSize int
+	// PoolIndex/PoolCount record the pool's position in a multi-pool set
+	// (DESIGN.md §17). Leave both zero for a standalone heap; a PoolSet
+	// treats 0/0 as "pool 0 of 1" so pre-sharding images keep opening.
+	PoolIndex int
+	PoolCount int
 }
 
 func (o *Options) withDefaults() Options {
@@ -168,6 +178,8 @@ func Format(pool *nvm.Pool, opts Options) (*Heap, error) {
 	pool.WriteUint64(sbLogOff, logOff)
 	pool.WriteUint64(sbLogSlots, uint64(opts.LogSlots))
 	pool.WriteUint64(sbLogSlotSize, uint64(opts.LogSlotSize))
+	pool.WriteUint64(sbPoolIndex, uint64(opts.PoolIndex))
+	pool.WriteUint64(sbPoolCount, uint64(opts.PoolCount))
 	// The magic goes in last: a torn format attempt stays unopenable.
 	pool.PWBRange(0, superblockSize)
 	pool.PFence()
@@ -210,6 +222,14 @@ func Open(pool *nvm.Pool) (*Heap, error) {
 
 // Pool returns the underlying NVMM pool.
 func (h *Heap) Pool() *nvm.Pool { return h.pool }
+
+// PoolIndex returns the pool's recorded position in its multi-pool set
+// (0 for standalone heaps and for images formatted before sharding).
+func (h *Heap) PoolIndex() int { return int(h.pool.ReadUint64(sbPoolIndex)) }
+
+// PoolCount returns the set size recorded at format time (0 decodes as a
+// standalone single-pool heap).
+func (h *Heap) PoolCount() int { return int(h.pool.ReadUint64(sbPoolCount)) }
 
 // NBlocks returns the arena capacity in blocks.
 func (h *Heap) NBlocks() uint64 { return h.nBlocks }

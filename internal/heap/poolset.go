@@ -1,0 +1,117 @@
+package heap
+
+import "fmt"
+
+// Multi-pool sharding (DESIGN.md §17). A Ref is a pool-local offset, so a
+// sharded heap is a set of fully independent pools: each one carries its
+// own allocator (bump pointer, free queue, small-object pools), its own
+// transient pools and its own EBR domain. Nothing here crosses pools —
+// routing a key to its home pool is pure arithmetic on the key hash, and
+// the object layers above (core, fa, store) stack per pool.
+
+// KeyHash hashes a record key for pool routing (FNV-1a 64, inlined like
+// the grid's stripe hash so routing stays allocation-free). It is
+// deliberately a different function from the grid's 32-bit stripe hash:
+// pool residency and lock striping must not correlate, or one pool's keys
+// would collide onto a subset of the grid's stripes.
+func KeyHash(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// JumpHash is Lamping-Veach jump consistent hashing: it maps hash to a
+// bucket in [0, n) such that growing n to n+1 only moves keys into the
+// new bucket (monotone growth), which is exactly the property the online
+// pool-addition migration relies on — no key ever moves between two
+// pre-existing pools.
+func JumpHash(hash uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		hash = hash*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((hash>>33)+1)))
+	}
+	return int(b)
+}
+
+// PoolSet is an ordered collection of per-shard heaps. It owns no
+// persistent state of its own — the membership epoch table lives above it
+// (package shard keeps it in pool 0, mutated under J-PFA transactions) —
+// but it validates that the pools handed to it were formatted as the set
+// positions they claim, and centralizes the routing arithmetic.
+type PoolSet struct {
+	heaps []*Heap
+}
+
+// NewPoolSet assembles a set from heaps in pool-index order. Each heap's
+// superblock must either record the matching (index, count≥index) or be a
+// legacy 0/0 image in position 0 — the byte-compatibility contract: any
+// pre-sharding heap is a valid 1-pool set.
+func NewPoolSet(heaps []*Heap) (*PoolSet, error) {
+	if len(heaps) == 0 {
+		return nil, fmt.Errorf("heap: empty pool set")
+	}
+	for i, h := range heaps {
+		idx, cnt := h.PoolIndex(), h.PoolCount()
+		if idx == 0 && cnt == 0 {
+			if i != 0 {
+				return nil, fmt.Errorf("heap: standalone (unindexed) pool passed as set position %d", i)
+			}
+			continue
+		}
+		if idx != i {
+			return nil, fmt.Errorf("heap: pool formatted as index %d passed as set position %d", idx, i)
+		}
+		if cnt < idx+1 {
+			return nil, fmt.Errorf("heap: pool %d records impossible set size %d", idx, cnt)
+		}
+	}
+	return &PoolSet{heaps: heaps}, nil
+}
+
+// Len returns the number of pools in the set.
+func (ps *PoolSet) Len() int { return len(ps.heaps) }
+
+// At returns the heap of pool i.
+func (ps *PoolSet) At(i int) *Heap { return ps.heaps[i] }
+
+// Home routes a key hash to its pool under an n-pool epoch (n ≤ Len; the
+// caller picks n from the epoch table, which may lag Len mid-migration).
+func (ps *PoolSet) Home(hash uint64, n int) int {
+	if n > len(ps.heaps) {
+		panic(fmt.Sprintf("heap: routing over %d pools but set holds %d", n, len(ps.heaps)))
+	}
+	return JumpHash(hash, n)
+}
+
+// Append grows the set by one opened heap (online pool addition). The
+// heap must have been formatted as the next index.
+func (ps *PoolSet) Append(h *Heap) error {
+	if idx := h.PoolIndex(); idx != len(ps.heaps) {
+		return fmt.Errorf("heap: pool formatted as index %d appended as position %d", idx, len(ps.heaps))
+	}
+	ps.heaps = append(ps.heaps, h)
+	return nil
+}
+
+// Stats aggregates the per-pool allocator gauges in pool order.
+func (ps *PoolSet) Stats() (bumped, free, total uint64) {
+	for _, h := range ps.heaps {
+		b, f, t := h.Stats()
+		bumped += b
+		free += f
+		total += t
+	}
+	return
+}

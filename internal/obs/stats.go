@@ -54,6 +54,17 @@ func (s NVMSnapshot) Sub(prev NVMSnapshot) NVMSnapshot {
 // "pfence" column (both map to sfence on x86).
 func (s NVMSnapshot) Fences() uint64 { return s.PFences + s.PSyncs }
 
+// Add returns the element-wise sum — used to aggregate per-pool snapshots
+// into the global view of a sharded stack.
+func (s NVMSnapshot) Add(o NVMSnapshot) NVMSnapshot {
+	return NVMSnapshot{
+		Stores:  s.Stores + o.Stores,
+		PWBs:    s.PWBs + o.PWBs,
+		PFences: s.PFences + o.PFences,
+		PSyncs:  s.PSyncs + o.PSyncs,
+	}
+}
+
 // ---- Block heap (internal/heap) ----
 
 // HeapStats counts allocator activity: object allocations and frees,
@@ -121,6 +132,26 @@ func (s HeapSnapshot) Sub(prev HeapSnapshot) HeapSnapshot {
 	out.ReuseAllocs -= prev.ReuseAllocs
 	out.TransientReuse -= prev.TransientReuse
 	return out
+}
+
+// Add returns the element-wise sum; gauges sum too (per-pool bump
+// high-waters and free-list depths add up to set-wide capacity figures).
+func (s HeapSnapshot) Add(o HeapSnapshot) HeapSnapshot {
+	return HeapSnapshot{
+		ObjAllocs:   s.ObjAllocs + o.ObjAllocs,
+		ObjFrees:    s.ObjFrees + o.ObjFrees,
+		SmallAllocs: s.SmallAllocs + o.SmallAllocs,
+		SmallFrees:  s.SmallFrees + o.SmallFrees,
+		Carves:      s.Carves + o.Carves,
+		BumpAllocs:  s.BumpAllocs + o.BumpAllocs,
+		ReuseAllocs: s.ReuseAllocs + o.ReuseAllocs,
+
+		TransientReuse: s.TransientReuse + o.TransientReuse,
+
+		Bump:        s.Bump + o.Bump,
+		FreeBlocks:  s.FreeBlocks + o.FreeBlocks,
+		TotalBlocks: s.TotalBlocks + o.TotalBlocks,
+	}
 }
 
 // ---- Failure-atomic blocks (internal/fa) ----
@@ -207,6 +238,115 @@ func (s FASnapshot) Sub(prev FASnapshot) FASnapshot {
 	out.EpochTxs -= prev.EpochTxs
 	out.AsyncCommits -= prev.AsyncCommits
 	out.CombinedFences -= prev.CombinedFences
+	return out
+}
+
+// Add returns the element-wise sum; gauges sum too (slot capacity and
+// occupancy across the per-pool redo-log managers).
+func (s FASnapshot) Add(o FASnapshot) FASnapshot {
+	return FASnapshot{
+		Begun:      s.Begun + o.Begun,
+		Committed:  s.Committed + o.Committed,
+		Aborted:    s.Aborted + o.Aborted,
+		LogEntries: s.LogEntries + o.LogEntries,
+		Replays:    s.Replays + o.Replays,
+
+		TxReuse:      s.TxReuse + o.TxReuse,
+		FlushedLines: s.FlushedLines + o.FlushedLines,
+		SavedLines:   s.SavedLines + o.SavedLines,
+
+		Epochs:         s.Epochs + o.Epochs,
+		EpochTxs:       s.EpochTxs + o.EpochTxs,
+		AsyncCommits:   s.AsyncCommits + o.AsyncCommits,
+		CombinedFences: s.CombinedFences + o.CombinedFences,
+
+		SlotsTotal:   s.SlotsTotal + o.SlotsTotal,
+		SlotsInUse:   s.SlotsInUse + o.SlotsInUse,
+		WatermarkLag: s.WatermarkLag + o.WatermarkLag,
+	}
+}
+
+// ---- Multi-pool sharding (internal/shard) ----
+
+// ShardStats counts shard-set activity: record migration during online
+// pool addition (DESIGN.md §17) and off-home routing events.
+type ShardStats struct {
+	MigratedRecords  Counter // records moved to their new home pool
+	MigratedBytes    Counter // payload bytes carried by those moves
+	FallbackInserts  Counter // inserts diverted off a full home pool
+	ProbeMisses      Counter // reads that had to probe beyond the home pool
+	PoolAdds         Counter // pools added online
+	MigrationResumes Counter // interrupted migrations resumed at open
+	PacerWaits       Counter // compactor throttle sleeps (obs-driven pacing)
+}
+
+// PoolSnapshot is one pool's slice of the stack: its NVM primitive
+// counters, allocator state, redo-log manager, and derived occupancy.
+type PoolSnapshot struct {
+	Index int          `json:"index"`
+	NVM   NVMSnapshot  `json:"nvm"`
+	Heap  HeapSnapshot `json:"heap"`
+	FA    FASnapshot   `json:"fa"`
+	// OccupancyPct is allocated blocks (bump high-water minus free-list
+	// depth) over total blocks, in percent.
+	OccupancyPct float64 `json:"occupancy_pct"`
+}
+
+// ShardSnapshot combines the counters with topology gauges and the
+// per-pool breakdown.
+type ShardSnapshot struct {
+	MigratedRecords  uint64 `json:"migrated_records"`
+	MigratedBytes    uint64 `json:"migrated_bytes"`
+	FallbackInserts  uint64 `json:"fallback_inserts"`
+	ProbeMisses      uint64 `json:"probe_misses"`
+	PoolAdds         uint64 `json:"pool_adds"`
+	MigrationResumes uint64 `json:"migration_resumes"`
+	PacerWaits       uint64 `json:"pacer_waits"`
+
+	// Gauges.
+	Pools     int    `json:"pools"`
+	Epoch     uint64 `json:"epoch"`
+	Migrating bool   `json:"migrating"`
+
+	PerPool []PoolSnapshot `json:"per_pool,omitempty"`
+}
+
+// Snapshot captures the counters; the caller fills topology gauges and
+// the per-pool breakdown.
+func (s *ShardStats) Snapshot() ShardSnapshot {
+	return ShardSnapshot{
+		MigratedRecords:  s.MigratedRecords.Load(),
+		MigratedBytes:    s.MigratedBytes.Load(),
+		FallbackInserts:  s.FallbackInserts.Load(),
+		ProbeMisses:      s.ProbeMisses.Load(),
+		PoolAdds:         s.PoolAdds.Load(),
+		MigrationResumes: s.MigrationResumes.Load(),
+		PacerWaits:       s.PacerWaits.Load(),
+	}
+}
+
+// Sub returns the delta since prev; topology gauges and the per-pool
+// breakdown keep their current values (per-pool entries delta by index
+// when both sides carry the same pool count).
+func (s ShardSnapshot) Sub(prev ShardSnapshot) ShardSnapshot {
+	out := s
+	out.MigratedRecords -= prev.MigratedRecords
+	out.MigratedBytes -= prev.MigratedBytes
+	out.FallbackInserts -= prev.FallbackInserts
+	out.ProbeMisses -= prev.ProbeMisses
+	out.PoolAdds -= prev.PoolAdds
+	out.MigrationResumes -= prev.MigrationResumes
+	out.PacerWaits -= prev.PacerWaits
+	if len(s.PerPool) == len(prev.PerPool) {
+		out.PerPool = make([]PoolSnapshot, len(s.PerPool))
+		for i := range s.PerPool {
+			p := s.PerPool[i]
+			p.NVM = p.NVM.Sub(prev.PerPool[i].NVM)
+			p.Heap = p.Heap.Sub(prev.PerPool[i].Heap)
+			p.FA = p.FA.Sub(prev.PerPool[i].FA)
+			out.PerPool[i] = p
+		}
+	}
 	return out
 }
 
@@ -449,6 +589,28 @@ func (s RecoverySnapshot) Sub(prev RecoverySnapshot) RecoverySnapshot {
 	return out
 }
 
+// Add returns the element-wise sum — aggregation across the pools of a
+// sharded heap, which recover concurrently. The Workers gauge takes the
+// maximum (it is a per-pool budget, not additive work).
+func (s RecoverySnapshot) Add(o RecoverySnapshot) RecoverySnapshot {
+	out := s
+	out.ReplayNs += o.ReplayNs
+	out.MarkNs += o.MarkNs
+	out.SweepNs += o.SweepNs
+	out.RebuildNs += o.RebuildNs
+	out.ReplayedTx += o.ReplayedTx
+	out.MarkedBlocks += o.MarkedBlocks
+	out.SweptBlocks += o.SweptBlocks
+	out.ScrubbedHeaders += o.ScrubbedHeaders
+	out.LiveObjects += o.LiveObjects
+	out.NullifiedRefs += o.NullifiedRefs
+	out.RebuildEntries += o.RebuildEntries
+	if o.Workers > out.Workers {
+		out.Workers = o.Workers
+	}
+	return out
+}
+
 // ---- The whole stack ----
 
 // StackSnapshot assembles one coherent view across every layer, plus the
@@ -459,6 +621,7 @@ type StackSnapshot struct {
 	FA       *FASnapshot       `json:"fa,omitempty"`
 	Grid     *GridSnapshot     `json:"grid,omitempty"`
 	Recovery *RecoverySnapshot `json:"recovery,omitempty"`
+	Shard    *ShardSnapshot    `json:"shard,omitempty"`
 
 	// Derived: persistence primitives per grid operation — the columns
 	// the paper's Table 3 reports per data-structure operation.
@@ -522,6 +685,13 @@ func (s StackSnapshot) Sub(prev StackSnapshot) StackSnapshot {
 		}
 		out.Recovery = &d
 	}
+	if s.Shard != nil {
+		d := *s.Shard
+		if prev.Shard != nil {
+			d = d.Sub(*prev.Shard)
+		}
+		out.Shard = &d
+	}
 	out.Finalize()
 	return out
 }
@@ -583,6 +753,21 @@ func (s StackSnapshot) Report(w io.Writer) {
 			}
 			fmt.Fprintf(w, "fa group commit: %d epochs (avg %.1f tx), %d async commits, %d combined fences, watermark lag %d\n",
 				s.FA.Epochs, avg, s.FA.AsyncCommits, s.FA.CombinedFences, s.FA.WatermarkLag)
+		}
+	}
+	if sh := s.Shard; sh != nil {
+		fmt.Fprintf(w, "shard: %d pools (epoch %d", sh.Pools, sh.Epoch)
+		if sh.Migrating {
+			fmt.Fprint(w, ", migrating")
+		}
+		fmt.Fprintf(w, "); %d records / %d bytes migrated, %d fallback inserts, %d probe misses, %d pool adds, %d resumes, %d pacer waits\n",
+			sh.MigratedRecords, sh.MigratedBytes, sh.FallbackInserts,
+			sh.ProbeMisses, sh.PoolAdds, sh.MigrationResumes, sh.PacerWaits)
+		for _, p := range sh.PerPool {
+			fmt.Fprintf(w, "  pool %d: %5.1f%% full; bump %d, free %d of %d blocks; %d/%d obj alloc/free, %d transient reuse; %d pwb, %d fence\n",
+				p.Index, p.OccupancyPct, p.Heap.Bump, p.Heap.FreeBlocks, p.Heap.TotalBlocks,
+				p.Heap.ObjAllocs, p.Heap.ObjFrees, p.Heap.TransientReuse,
+				p.NVM.PWBs, p.NVM.Fences())
 		}
 	}
 	if r := s.Recovery; r != nil && r.TotalNs() > 0 {

@@ -1,0 +1,272 @@
+package shard
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Backend returns the set's grid backend. The wrapper type mirrors the
+// children's capabilities, because the grid picks its read path by type
+// assertion: if every pool's backend is lock-free the sharded backend
+// is too; if every one serves zero-copy views so does the shard; else
+// the plain locked wrapper.
+func (s *Set) Backend() store.Backend {
+	t := s.topo.Load()
+	lf, vr := true, true
+	for _, b := range t.backends {
+		if _, ok := b.(store.LockFreeBackend); !ok {
+			lf = false
+		}
+		if _, ok := b.(store.ViewReader); !ok {
+			vr = false
+		}
+	}
+	base := shardBackend{s: s}
+	switch {
+	case lf:
+		return &lfShardBackend{base}
+	case vr:
+		return &viewShardBackend{base}
+	default:
+		return &base
+	}
+}
+
+// shardBackend routes grid operations to per-pool backends. Reads are
+// lock-free; writes pass the migration gate (one counter bump and one
+// flag load when no migration is running).
+type shardBackend struct{ s *Set }
+
+// Name implements store.Backend.
+func (b *shardBackend) Name() string { return b.s.topo.Load().backends[0].Name() + "×shard" }
+
+// home returns the insert-world pool for hash: targetN during a
+// migration (record placement never has to be redone), nPools otherwise.
+func home(hash uint64, target int) int { return heap.JumpHash(hash, target) }
+
+// Insert implements store.Backend: route to the home pool of the
+// insert world; on arena exhaustion, persist the sticky fallback flag
+// and ring-probe the remaining pools so a full pool degrades instead of
+// failing the workload.
+func (b *shardBackend) Insert(key string, rec *store.Record) error {
+	s := b.s
+	hash := heap.KeyHash(key)
+	gate := s.beginWrite(hash)
+	defer s.endWrite(gate)
+	t := s.topo.Load()
+	_, _, target, _, _ := s.loadWorld()
+	h := home(hash, target)
+	err := t.backends[h].Insert(key, rec)
+	if err == nil || !errIsOOM(err) {
+		return err
+	}
+	for i := 1; i < len(t.backends); i++ {
+		p := (h + i) % len(t.backends)
+		// The flag must be durable before the off-home record exists,
+		// or a crash could strand it where no probe ever looks.
+		if ferr := s.noteFallback(); ferr != nil {
+			return err
+		}
+		if ierr := t.backends[p].Insert(key, rec); ierr == nil {
+			s.stats.FallbackInserts.Inc()
+			return nil
+		} else if !errIsOOM(ierr) {
+			return ierr
+		}
+	}
+	return err
+}
+
+// probe calls fn over the candidate pools in probe order — home in the
+// insert world, then home in the committed world while they differ,
+// then everywhere if off-home records may exist — until fn reports a
+// hit. It reports whether fn ever hit.
+func (b *shardBackend) probe(hash uint64, fn func(p int) (bool, error)) (bool, error) {
+	s := b.s
+	t := s.topo.Load()
+	_, n, target, migrating, fallback := s.loadWorld()
+	h := home(hash, target)
+	found, err := fn(h)
+	if found || err != nil {
+		return found, err
+	}
+	if n != target {
+		s.stats.ProbeMisses.Inc()
+		if found, err = fn(heap.JumpHash(hash, n)); found || err != nil {
+			return found, err
+		}
+	}
+	if fallback || migrating {
+		old := heap.JumpHash(hash, n)
+		for p := range t.backends {
+			if p == h || (n != target && p == old) {
+				continue
+			}
+			s.stats.ProbeMisses.Inc()
+			if found, err = fn(p); found || err != nil {
+				return found, err
+			}
+		}
+	}
+	return false, nil
+}
+
+// Read implements store.Backend. During a migration a record can be
+// mid-flight between its copy landing in the new pool and the old copy
+// dying, so a full miss while migrating is retried once — the second
+// pass must see one of the two copies.
+func (b *shardBackend) Read(key string, consume func(name string, value []byte)) (bool, error) {
+	s := b.s
+	hash := heap.KeyHash(key)
+	t := s.topo.Load()
+	if len(t.backends) == 1 {
+		return t.backends[0].Read(key, consume)
+	}
+	found, err := b.probe(hash, func(p int) (bool, error) {
+		return s.topo.Load().backends[p].Read(key, consume)
+	})
+	if !found && err == nil && s.Migrating() {
+		found, err = b.probe(hash, func(p int) (bool, error) {
+			return s.topo.Load().backends[p].Read(key, consume)
+		})
+	}
+	return found, err
+}
+
+// Update implements store.Backend: first probed pool holding the key
+// wins. Writers hold the stripe lock while a migration runs, so the
+// record cannot move between the probe and the update.
+func (b *shardBackend) Update(key string, fields []store.Field) (bool, error) {
+	s := b.s
+	hash := heap.KeyHash(key)
+	gate := s.beginWrite(hash)
+	defer s.endWrite(gate)
+	t := s.topo.Load()
+	if len(t.backends) == 1 {
+		return t.backends[0].Update(key, fields)
+	}
+	return b.probe(hash, func(p int) (bool, error) {
+		return t.backends[p].Update(key, fields)
+	})
+}
+
+// Delete implements store.Backend.
+func (b *shardBackend) Delete(key string) (bool, error) {
+	s := b.s
+	hash := heap.KeyHash(key)
+	gate := s.beginWrite(hash)
+	defer s.endWrite(gate)
+	t := s.topo.Load()
+	if len(t.backends) == 1 {
+		return t.backends[0].Delete(key)
+	}
+	return b.probe(hash, func(p int) (bool, error) {
+		return t.backends[p].Delete(key)
+	})
+}
+
+// Count implements store.Backend.
+func (b *shardBackend) Count() int {
+	n := 0
+	for _, c := range b.s.topo.Load().backends {
+		n += c.Count()
+	}
+	return n
+}
+
+// Close implements store.Backend.
+func (b *shardBackend) Close() error { return b.s.Close() }
+
+// Keys implements store.KeyLister: the merged, sorted key set.
+func (b *shardBackend) Keys() []string {
+	var all []string
+	for _, c := range b.s.topo.Load().backends {
+		all = append(all, c.(store.KeyLister).Keys()...)
+	}
+	sort.Strings(all)
+	return all
+}
+
+// viewShardBackend adds zero-copy view reads when every pool serves
+// them (J-PDT): the grid's seqlock protocol is unchanged — each child
+// revalidates the caller's generation itself, so the first child that
+// reports found-and-valid delivered a write-free snapshot.
+type viewShardBackend struct{ shardBackend }
+
+// EnableViewReads implements store.ViewReader.
+func (b *viewShardBackend) EnableViewReads(rs *obs.ReadStats) {
+	b.s.viewRS.Store(rs)
+	for _, c := range b.s.topo.Load().backends {
+		c.(store.ViewReader).EnableViewReads(rs)
+	}
+}
+
+// ReadView implements store.ViewReader by probing pools in home order.
+func (b *viewShardBackend) ReadView(key string, hint uint32, gen *atomic.Uint64, g1 uint64,
+	consume func(name string, value []byte)) (found, valid, ok bool) {
+	s := b.s
+	t := s.topo.Load()
+	if len(t.backends) == 1 {
+		return t.backends[0].(store.ViewReader).ReadView(key, hint, gen, g1, consume)
+	}
+	hash := heap.KeyHash(key)
+	valid, ok = true, true
+	f, err := b.probe(hash, func(p int) (bool, error) {
+		pf, pv, pok := t.backends[p].(store.ViewReader).ReadView(key, hint, gen, g1, consume)
+		if !pv || !pok {
+			// Generation race or a shape the unlocked reader cannot
+			// handle: stop probing and let the grid retry or fall back.
+			valid, ok = pv, pok
+			return true, nil
+		}
+		return pf, nil
+	})
+	_ = err // probe closures above never return one
+	return f && valid && ok, valid, ok
+}
+
+// lfShardBackend marks the set lock-free when every pool is: the grid
+// then skips its stripe locks entirely, and per-key exclusion during
+// migration comes from the set's own write gate.
+type lfShardBackend struct{ shardBackend }
+
+// EnableLockFree implements store.LockFreeBackend.
+func (b *lfShardBackend) EnableLockFree(rs *obs.ReadStats) {
+	b.s.lfRS.Store(rs)
+	for _, c := range b.s.topo.Load().backends {
+		c.(store.LockFreeBackend).EnableLockFree(rs)
+	}
+}
+
+// Pacer is the obs-driven throttle for the background migrator: it
+// watches the live MigratedBytes counter and sleeps whenever the
+// observed migration rate runs ahead of BytesPerSec, so rebalancing
+// yields bandwidth to foreground traffic.
+type Pacer struct {
+	BytesPerSec int
+
+	start time.Time
+	base  uint64
+}
+
+func (p *Pacer) pace(stats *obs.ShardStats) {
+	if p.BytesPerSec <= 0 {
+		return
+	}
+	if p.start.IsZero() {
+		p.start = time.Now()
+		p.base = stats.MigratedBytes.Load()
+		return
+	}
+	moved := stats.MigratedBytes.Load() - p.base
+	ahead := time.Duration(moved)*time.Second/time.Duration(p.BytesPerSec) - time.Since(p.start)
+	if ahead > time.Millisecond {
+		stats.PacerWaits.Inc()
+		time.Sleep(ahead)
+	}
+}

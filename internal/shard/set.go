@@ -1,0 +1,718 @@
+// Package shard implements the multi-pool NVMM heap of DESIGN.md §17: a
+// set of fully independent per-pool stacks (nvm pool, block heap,
+// object heap, redo-log manager, grid backend) with record routing by
+// jump consistent hashing, shard-parallel recovery with an ordered
+// merge, online pool addition through a persisted epoch table mutated
+// under J-PFA transactions, and a crash-safe record migrator.
+//
+// Refs are pool-local offsets, so nothing persistent ever crosses a
+// pool boundary; the only shared persistent state is the epoch table,
+// a pdt.PLongArray bound to the root name "shard.epoch" in pool 0.
+// Single-pool sets never create the table — a pre-sharding image is a
+// valid 1-pool set byte for byte, and a 1-pool set writes nothing a
+// pre-sharding build could not read.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+	"repro/internal/obs"
+	"repro/internal/pdt"
+	"repro/internal/store"
+)
+
+// EpochRoot is the root-map name of the epoch table in pool 0.
+const EpochRoot = "shard.epoch"
+
+// Epoch table slots. The table is a pdt.PLongArray of epochSlots longs;
+// topology transitions write it inside one failure-atomic block so the
+// routing world flips atomically across a crash.
+const (
+	epEpoch     = 0 // topology generation, bumped by every finalized change
+	epNPools    = 1 // committed routing world (reads may still probe here)
+	epTargetN   = 2 // routing world for inserts; != epNPools while migrating
+	epMigrating = 3 // 1 while a migration is underway
+	epFallback  = 4 // sticky: some record may live off its home pool
+	epochSlots  = 8 // headroom for future topology state
+)
+
+const gateStripes = 64
+
+// Config parameterizes Open.
+type Config struct {
+	// HeapOptions formats each pool that is not already a heap. Pool
+	// index/count are filled in per pool by the set.
+	HeapOptions heap.Options
+	// Classes builds the class descriptors for one pool's object heap —
+	// a factory, not a shared slice, because descriptors carry a
+	// per-heap id. The result must include pdt.Classes() (the epoch
+	// table is a PLongArray) and the classes of whatever NewBackend
+	// stores.
+	Classes func() []*core.Class
+	// Parallelism is the total recovery worker budget, split evenly
+	// across pools (each pool gets at least 1; 0 means GOMAXPROCS).
+	// Parallelism 1 with a single pool is the serial §4.1.3 oracle.
+	Parallelism int
+	// NewBackend builds one pool's grid backend over its freshly
+	// recovered stack (the same constructor bench uses per backend kind).
+	NewBackend func(h *core.Heap, mgr *fa.Manager) (store.Backend, error)
+}
+
+// topo is the immutable pool roster; AddPool swaps in a copy so the
+// lock-free read path can load it with a single atomic pointer read.
+type topo struct {
+	pools    []*nvm.Pool
+	heaps    []*core.Heap
+	mgrs     []*fa.Manager
+	backends []store.Backend
+}
+
+// Set is an open multi-pool heap.
+type Set struct {
+	mu   sync.Mutex // serializes topology changes
+	fbMu sync.Mutex // serializes the sticky fallback-flag transaction
+	cfg  Config
+
+	topo atomic.Pointer[topo]
+
+	// world packs the routing state for one-atomic-load decoding on the
+	// hot path: epoch<<40 | nPools<<24 | targetN<<8 | migrating<<1 | fb.
+	world atomic.Uint64
+
+	epochArr *pdt.PLongArray // nil while the set is a table-less single pool
+
+	// Write gate (only engaged while migrating): writers count themselves
+	// in inflight; once locking is set they divert to per-key stripe
+	// locks instead, and the migrator quiesces by waiting for inflight to
+	// drain once. Reads stay lock-free throughout.
+	locking  atomic.Bool
+	inflight atomic.Int64
+	stripes  [gateStripes]sync.Mutex
+
+	// capability wiring replayed onto pools added later
+	viewRS atomic.Pointer[obs.ReadStats]
+	lfRS   atomic.Pointer[obs.ReadStats]
+
+	stats obs.ShardStats
+
+	// Recovery is the ordered merge of every pool's recovery stats.
+	Recovery core.RecoveryStats
+}
+
+func packWorld(epoch uint64, n, target int, migrating, fallback bool) uint64 {
+	w := epoch<<40 | uint64(n)<<24 | uint64(target)<<8
+	if migrating {
+		w |= 2
+	}
+	if fallback {
+		w |= 1
+	}
+	return w
+}
+
+func (s *Set) loadWorld() (epoch uint64, n, target int, migrating, fallback bool) {
+	w := s.world.Load()
+	return w >> 40, int(w >> 24 & 0xffff), int(w >> 8 & 0xffff), w&2 != 0, w&1 != 0
+}
+
+// storeWorld publishes a new routing world, preserving the fallback bit
+// against a concurrent noteFallback (the only other world writer; all
+// topology transitions hold s.mu).
+func (s *Set) storeWorld(epoch uint64, n, target int, migrating bool) {
+	for {
+		w := s.world.Load()
+		nw := packWorld(epoch, n, target, migrating, w&1 != 0)
+		if s.world.CompareAndSwap(w, nw) {
+			return
+		}
+	}
+}
+
+// Open attaches to (or formats) every pool concurrently, recovers each
+// with an even share of the worker budget, merges the recovery stats in
+// pool-index order, and replays any migration a crash interrupted —
+// synchronously, before any traffic can observe the set.
+func Open(pools []*nvm.Pool, cfg Config) (*Set, error) {
+	n := len(pools)
+	if n == 0 {
+		return nil, fmt.Errorf("shard: no pools")
+	}
+	if cfg.NewBackend == nil {
+		return nil, fmt.Errorf("shard: Config.NewBackend is required")
+	}
+	per := core.RecoverOptions{Parallelism: cfg.Parallelism}.Workers() / n
+	if per < 1 {
+		per = 1
+	}
+
+	heaps := make([]*core.Heap, n)
+	mgrs := make([]*fa.Manager, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range pools {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mgr := fa.NewManager()
+			ho := cfg.HeapOptions
+			ho.PoolIndex, ho.PoolCount = i, n
+			h, err := core.Open(pools[i], core.Config{
+				HeapOptions: ho,
+				Classes:     cfg.Classes(),
+				LogHandler:  mgr,
+				Recover:     core.RecoverOptions{Parallelism: per},
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("shard: pool %d: %w", i, err)
+				return
+			}
+			heaps[i], mgrs[i] = h, mgr
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Validate the roster against each pool's superblock position.
+	mems := make([]*heap.Heap, n)
+	for i, h := range heaps {
+		mems[i] = h.Mem()
+	}
+	if _, err := heap.NewPoolSet(mems); err != nil {
+		return nil, err
+	}
+
+	s := &Set{cfg: cfg}
+	t := &topo{pools: pools, heaps: heaps, mgrs: mgrs}
+	s.topo.Store(t)
+
+	// Ordered merge of per-pool recovery stats.
+	s.Recovery = heaps[0].RecoveryStats
+	for _, h := range heaps[1:] {
+		s.Recovery.Merge(h.RecoveryStats)
+	}
+
+	// Read (or create) the epoch table in pool 0.
+	epoch, routeN, targetN := uint64(1), n, n
+	migrating, fallback := false, false
+	po, err := heaps[0].Root().Get(EpochRoot)
+	if err != nil {
+		return nil, fmt.Errorf("shard: epoch table: %w", err)
+	}
+	switch {
+	case po != nil:
+		arr, ok := po.(*pdt.PLongArray)
+		if !ok {
+			return nil, fmt.Errorf("shard: root %q is not a long array", EpochRoot)
+		}
+		s.epochArr = arr
+		epoch = uint64(arr.Get(epEpoch))
+		routeN = int(arr.Get(epNPools))
+		targetN = int(arr.Get(epTargetN))
+		migrating = arr.Get(epMigrating) != 0
+		fallback = arr.Get(epFallback) != 0
+		if targetN > n || routeN > n {
+			return nil, fmt.Errorf("shard: epoch table expects %d pools (target %d) but %d were opened",
+				routeN, targetN, n)
+		}
+		if !migrating && targetN < n {
+			// A pool was formatted but its addition never became durable
+			// (crash between format and the topology transaction). The
+			// extra pools hold no routed data; keep routing by the table.
+			n = targetN
+		}
+	case n > 1:
+		// First multi-pool open of freshly formatted pools.
+		arr, err := pdt.NewLongArray(heaps[0], epochSlots)
+		if err != nil {
+			return nil, fmt.Errorf("shard: epoch table: %w", err)
+		}
+		arr.Set(epEpoch, 1)
+		arr.Set(epNPools, int64(n))
+		arr.Set(epTargetN, int64(n))
+		arr.Flush()
+		if err := heaps[0].Root().Put(EpochRoot, arr); err != nil {
+			return nil, fmt.Errorf("shard: epoch table: %w", err)
+		}
+		s.epochArr = arr
+	default:
+		// Single pool: no table — byte-compatible with pre-sharding images.
+	}
+	s.world.Store(packWorld(epoch, routeN, targetN, migrating, fallback))
+
+	// Build the per-pool backends (serially: constructors may rebuild
+	// volatile mirrors but are cheap relative to recovery).
+	t.backends = make([]store.Backend, n)
+	for i := 0; i < n; i++ {
+		b, err := cfg.NewBackend(heaps[i], mgrs[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard: pool %d backend: %w", i, err)
+		}
+		t.backends[i] = b
+	}
+	t.pools, t.heaps, t.mgrs = pools[:n], heaps[:n], mgrs[:n]
+
+	if migrating {
+		// Finish what the crash interrupted before anyone sees the set.
+		// moveKey is idempotent: a key found in both pools loses its old
+		// copy, a key only in its old pool is re-moved.
+		s.stats.MigrationResumes.Inc()
+		if err := s.migrateAll(routeN, targetN, nil); err != nil {
+			return nil, fmt.Errorf("shard: resume migration: %w", err)
+		}
+		if err := s.finalizeMigration(targetN); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ReadTopology reads the persisted epoch table of an (already
+// recovered) pool-0 heap without opening a set around it — the fsck /
+// crash-check entry point. A table-less heap reports the standalone
+// topology (epoch 0, one pool, clean).
+func ReadTopology(h *core.Heap) (epoch uint64, nPools, targetN int, migrating, fallback bool, err error) {
+	po, err := h.Root().Get(EpochRoot)
+	if err != nil {
+		return 0, 0, 0, false, false, fmt.Errorf("shard: epoch table: %w", err)
+	}
+	if po == nil {
+		return 0, 1, 1, false, false, nil
+	}
+	arr, ok := po.(*pdt.PLongArray)
+	if !ok {
+		return 0, 0, 0, false, false, fmt.Errorf("shard: root %q is not a long array", EpochRoot)
+	}
+	return uint64(arr.Get(epEpoch)), int(arr.Get(epNPools)), int(arr.Get(epTargetN)),
+		arr.Get(epMigrating) != 0, arr.Get(epFallback) != 0, nil
+}
+
+// Pools returns the number of pools currently in the set.
+func (s *Set) Pools() int { return len(s.topo.Load().pools) }
+
+// Heap returns pool i's object heap.
+func (s *Set) Heap(i int) *core.Heap { return s.topo.Load().heaps[i] }
+
+// Manager returns pool i's redo-log manager.
+func (s *Set) Manager(i int) *fa.Manager { return s.topo.Load().mgrs[i] }
+
+// PoolBackend returns pool i's grid backend.
+func (s *Set) PoolBackend(i int) store.Backend { return s.topo.Load().backends[i] }
+
+// Epoch returns the current topology generation.
+func (s *Set) Epoch() uint64 { e, _, _, _, _ := s.loadWorld(); return e }
+
+// Migrating reports whether a migration is underway.
+func (s *Set) Migrating() bool { _, _, _, m, _ := s.loadWorld(); return m }
+
+// Obs returns the live shard counters.
+func (s *Set) Obs() *obs.ShardStats { return &s.stats }
+
+// DrainDurable drains every pool's async commit queue.
+func (s *Set) DrainDurable() {
+	for _, m := range s.topo.Load().mgrs {
+		m.DrainDurable()
+	}
+}
+
+// Close closes every pool's backend.
+func (s *Set) Close() error {
+	var first error
+	for _, b := range s.topo.Load().backends {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Snapshot captures the shard counters, topology gauges, and the
+// per-pool layer breakdown.
+func (s *Set) Snapshot() obs.ShardSnapshot {
+	t := s.topo.Load()
+	epoch, _, _, migrating, _ := s.loadWorld()
+	sn := s.stats.Snapshot()
+	sn.Pools = len(t.pools)
+	sn.Epoch = epoch
+	sn.Migrating = migrating
+	sn.PerPool = make([]obs.PoolSnapshot, len(t.pools))
+	for i := range t.pools {
+		p := obs.PoolSnapshot{
+			Index: i,
+			NVM:   t.pools[i].Obs().Snapshot(),
+			Heap:  t.heaps[i].Mem().ObsSnapshot(),
+			FA:    t.mgrs[i].ObsSnapshot(),
+		}
+		bump, free, total := t.heaps[i].Mem().Stats()
+		if total > 0 {
+			p.OccupancyPct = 100 * float64(bump-free) / float64(total)
+		}
+		sn.PerPool[i] = p
+	}
+	return sn
+}
+
+// ---- Write gate ----
+
+// beginWrite announces a mutation of the record keyed by hash h and
+// returns the stripe index to release, or -1 when the gate is open. The
+// fast path is one counter increment and one flag load; only while a
+// migration is running do writers divert to per-key stripe locks.
+func (s *Set) beginWrite(h uint64) int {
+	s.inflight.Add(1)
+	if !s.locking.Load() {
+		return -1
+	}
+	// Gate engaged: leave the fast-path population, then serialize
+	// against the migrator on the key's stripe.
+	s.inflight.Add(-1)
+	idx := int(h>>32) & (gateStripes - 1)
+	s.stripes[idx].Lock()
+	return idx
+}
+
+func (s *Set) endWrite(idx int) {
+	if idx < 0 {
+		s.inflight.Add(-1)
+		return
+	}
+	s.stripes[idx].Unlock()
+}
+
+// quiesce flips the gate on and waits out every writer that entered
+// before the flip; afterwards all writers hold stripe locks and moveKey
+// can rely on per-key mutual exclusion.
+func (s *Set) quiesce() {
+	s.locking.Store(true)
+	for s.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+func (s *Set) lockStripe(h uint64) func() {
+	idx := int(h>>32) & (gateStripes - 1)
+	s.stripes[idx].Lock()
+	return s.stripes[idx].Unlock
+}
+
+// ---- Online pool addition and migration ----
+
+// Migration is a handle on an in-flight (or completed) migration.
+type Migration struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the migration finishes and returns its error.
+func (m *Migration) Wait() error {
+	<-m.done
+	return m.err
+}
+
+// AddOptions tunes AddPool.
+type AddOptions struct {
+	// Async runs the record migration in a background goroutine (the
+	// compactor); AddPool returns as soon as the new pool is a durable
+	// member and inserts route to it. Wait() joins the migration.
+	Async bool
+	// Pacer throttles the migrator (nil = unthrottled).
+	Pacer *Pacer
+}
+
+// AddPool grows the set by one pool online:
+//
+//  1. format + recover the pool as index n, and make the formatting
+//     durable (PSync) before the table can name it;
+//  2. one failure-atomic transaction in pool 0 sets targetN=n+1 and
+//     migrating=1 — from here the addition survives any crash, inserts
+//     route over n+1 pools, and reads probe both worlds;
+//  3. the migrator walks pools 0..n-1 and moves every record whose home
+//     changed (insert at destination, PSync destination, delete at
+//     source — so the new copy is durable strictly before the old one
+//     dies);
+//  4. a final transaction sets nPools=n+1, migrating=0, epoch+1.
+//
+// A crash anywhere after step 2 resumes at the next Open; a crash
+// before it leaves a formatted-but-unnamed pool, which is simply empty.
+func (s *Set) AddPool(pool *nvm.Pool, opts AddOptions) (*Migration, error) {
+	s.mu.Lock()
+	t := s.topo.Load()
+	_, routeN, _, migrating, _ := s.loadWorld()
+	if migrating {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("shard: a migration is already underway")
+	}
+	n := len(t.pools)
+
+	// Step 1: bring the new pool up, durable, before it is named.
+	mgr := fa.NewManager()
+	ho := s.cfg.HeapOptions
+	ho.PoolIndex, ho.PoolCount = n, n+1
+	h, err := core.Open(pool, core.Config{
+		HeapOptions: ho,
+		Classes:     s.cfg.Classes(),
+		LogHandler:  mgr,
+		Recover:     core.RecoverOptions{Parallelism: 1},
+	})
+	if err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("shard: add pool %d: %w", n, err)
+	}
+	pool.PSync()
+	backend, err := s.cfg.NewBackend(h, mgr)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("shard: add pool %d backend: %w", n, err)
+	}
+	// Replay grid capability wiring onto the late joiner.
+	if rs := s.viewRS.Load(); rs != nil {
+		backend.(store.ViewReader).EnableViewReads(rs)
+	}
+	if rs := s.lfRS.Load(); rs != nil {
+		backend.(store.LockFreeBackend).EnableLockFree(rs)
+	}
+
+	// A single-pool set grows a table on first addition.
+	if s.epochArr == nil {
+		arr, err := pdt.NewLongArray(t.heaps[0], epochSlots)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("shard: epoch table: %w", err)
+		}
+		arr.Set(epEpoch, 1)
+		arr.Set(epNPools, int64(n))
+		arr.Set(epTargetN, int64(n))
+		arr.Flush()
+		if err := t.heaps[0].Root().Put(EpochRoot, arr); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("shard: epoch table: %w", err)
+		}
+		s.epochArr = arr
+	}
+
+	// Step 2: the topology transaction. After this commits, the
+	// addition is crash-durable and cannot roll back. fbMu keeps the
+	// commit's line write-back from clobbering a concurrent direct
+	// fallback-flag store (same cache line); the flag's current value is
+	// re-asserted inside the transaction.
+	arr := s.epochArr
+	s.fbMu.Lock()
+	_, _, _, _, fbNow := s.loadWorld()
+	err = t.mgrs[0].Run(func(tx *fa.Tx) error {
+		if err := arr.SetTx(tx, epTargetN, int64(n+1)); err != nil {
+			return err
+		}
+		if err := arr.SetTx(tx, epMigrating, 1); err != nil {
+			return err
+		}
+		fb := int64(0)
+		if fbNow {
+			fb = 1
+		}
+		return arr.SetTx(tx, epFallback, fb)
+	})
+	if err == nil {
+		t.mgrs[0].DrainDurable() // async commit mode: force the epoch out
+	}
+	s.fbMu.Unlock()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("shard: topology tx: %w", err)
+	}
+
+	// Publish the grown roster and the migrating world.
+	nt := &topo{
+		pools:    append(append([]*nvm.Pool{}, t.pools...), pool),
+		heaps:    append(append([]*core.Heap{}, t.heaps...), h),
+		mgrs:     append(append([]*fa.Manager{}, t.mgrs...), mgr),
+		backends: append(append([]store.Backend{}, t.backends...), backend),
+	}
+	s.topo.Store(nt)
+	s.storeWorld(uint64(arr.Get(epEpoch)), routeN, n+1, true)
+
+	// Steps 3-4, with writers diverted to stripe locks first.
+	s.quiesce()
+	m := &Migration{done: make(chan struct{})}
+	run := func() {
+		defer s.mu.Unlock()
+		defer close(m.done)
+		if err := s.migrateAll(routeN, n+1, opts.Pacer); err != nil {
+			m.err = err
+			return
+		}
+		m.err = s.finalizeMigration(n + 1)
+		if m.err == nil {
+			s.stats.PoolAdds.Inc()
+		}
+	}
+	if opts.Async {
+		go run()
+	} else {
+		run()
+	}
+	return m, nil
+}
+
+// migrateAll walks every pre-existing pool and moves the records whose
+// home pool changed under the new world. Keys are walked in sorted
+// order per pool, so a resumed migration retraces the original's steps.
+func (s *Set) migrateAll(oldN, newN int, pacer *Pacer) error {
+	t := s.topo.Load()
+	for p := 0; p < oldN; p++ {
+		kl, ok := t.backends[p].(store.KeyLister)
+		if !ok {
+			return fmt.Errorf("shard: backend %s cannot enumerate keys", t.backends[p].Name())
+		}
+		for _, key := range kl.Keys() {
+			hash := heap.KeyHash(key)
+			dst := heap.JumpHash(hash, newN)
+			if dst == p {
+				continue
+			}
+			// dst != p also catches records parked off-home by a
+			// pool-full fallback: migration re-homes them.
+			if err := s.moveKey(t, key, hash, p, dst, pacer); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// moveKey relocates one record, idempotently and crash-safely: the new
+// copy is made durable (backend discipline + PSync) strictly before the
+// old copy is deleted, so a crash can duplicate a record across pools
+// but never lose it — and resume deletes the stale copy.
+func (s *Set) moveKey(t *topo, key string, hash uint64, src, dst int, pacer *Pacer) error {
+	unlock := s.lockStripe(hash)
+	defer unlock()
+
+	var rec store.Record
+	found, err := t.backends[src].Read(key, func(name string, value []byte) {
+		v := make([]byte, len(value))
+		copy(v, value)
+		rec.Fields = append(rec.Fields, store.Field{Name: name, Value: v})
+	})
+	if err != nil {
+		return fmt.Errorf("shard: migrate %q read: %w", key, err)
+	}
+	if !found {
+		return nil // deleted, or already moved by the run a crash cut short
+	}
+	already, err := t.backends[dst].Read(key, func(string, []byte) {})
+	if err != nil {
+		return fmt.Errorf("shard: migrate %q probe: %w", key, err)
+	}
+	if !already {
+		if err := t.backends[dst].Insert(key, &rec); err != nil {
+			return fmt.Errorf("shard: migrate %q insert: %w", key, err)
+		}
+		t.mgrs[dst].DrainDurable()
+		t.pools[dst].PSync()
+	}
+	if _, err := t.backends[src].Delete(key); err != nil {
+		return fmt.Errorf("shard: migrate %q delete: %w", key, err)
+	}
+	s.stats.MigratedRecords.Inc()
+	s.stats.MigratedBytes.Add(uint64(rec.Size()))
+	if pacer != nil {
+		pacer.pace(&s.stats)
+	}
+	return nil
+}
+
+// finalizeMigration commits the new world — one failure-atomic
+// transaction, idempotent under resume — and reopens the write gate.
+func (s *Set) finalizeMigration(newN int) error {
+	t := s.topo.Load()
+	arr := s.epochArr
+	// Every source-pool delete must be durable before the topology
+	// transaction declares the world clean: a crash after the commit but
+	// before a straggling delete line fenced would resurrect the old
+	// copy of a migrated record in a world that no longer probes for
+	// duplicates.
+	for _, p := range t.pools {
+		p.PSync()
+	}
+	s.fbMu.Lock()
+	_, _, _, _, fbNow := s.loadWorld()
+	err := t.mgrs[0].Run(func(tx *fa.Tx) error {
+		cur, err := arr.GetTx(tx, epEpoch)
+		if err != nil {
+			return err
+		}
+		if err := arr.SetTx(tx, epEpoch, cur+1); err != nil {
+			return err
+		}
+		if err := arr.SetTx(tx, epNPools, int64(newN)); err != nil {
+			return err
+		}
+		if err := arr.SetTx(tx, epMigrating, 0); err != nil {
+			return err
+		}
+		fb := int64(0)
+		if fbNow {
+			fb = 1
+		}
+		return arr.SetTx(tx, epFallback, fb)
+	})
+	if err == nil {
+		t.mgrs[0].DrainDurable()
+	}
+	s.fbMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("shard: finalize tx: %w", err)
+	}
+	s.storeWorld(uint64(arr.Get(epEpoch)), newN, newN, false)
+	s.locking.Store(false)
+	return nil
+}
+
+// noteFallback makes off-home probing sticky before a fallback insert
+// lands, so the record is reachable whatever the crash point. The flag
+// only ever goes 0→1; a full migration could clear it, but staying
+// conservative costs only extra probes on missing keys.
+//
+// The flag is persisted with a direct single-word write, not a
+// failure-atomic block: an 8-byte aligned store is crash-atomic by
+// itself, and — decisively — the redo log would have to allocate an
+// in-flight block in pool 0, which may be the very pool that just ran
+// out of memory. fbMu (held innermost, also around the topology
+// transactions) keeps the direct write from racing a transaction's
+// line-granular commit write-back of the same cache line.
+func (s *Set) noteFallback() error {
+	// Deliberately NOT s.mu: a gated writer calls this while holding a
+	// stripe lock, and the migrator holds s.mu while waiting on stripes.
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	if _, _, _, _, fallback := s.loadWorld(); fallback {
+		return nil
+	}
+	if s.epochArr == nil {
+		return fmt.Errorf("shard: single pool cannot fall back")
+	}
+	t := s.topo.Load()
+	s.epochArr.Set(epFallback, 1)
+	s.epochArr.FlushElem(epFallback)
+	t.pools[0].PSync()
+	for {
+		w := s.world.Load()
+		if s.world.CompareAndSwap(w, w|1) {
+			return nil
+		}
+	}
+}
+
+// errIsOOM reports an arena-exhaustion failure worth rerouting.
+func errIsOOM(err error) bool { return errors.Is(err, heap.ErrOutOfMemory) }

@@ -1,0 +1,588 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/heap"
+	"repro/internal/nvm"
+	"repro/internal/pdt"
+	"repro/internal/store"
+)
+
+func testConfig(par int) Config {
+	return Config{
+		HeapOptions: heap.Options{LogSlots: 16, LogSlotSize: 1 << 14},
+		Classes:     func() []*core.Class { return append(pdt.Classes(), store.Classes()...) },
+		Parallelism: par,
+		NewBackend: func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+			return store.NewJPDTBackend(h, "kv")
+		},
+	}
+}
+
+func jpfaConfig(par int) Config {
+	cfg := testConfig(par)
+	cfg.NewBackend = func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+		return store.NewJPFABackend(h, mgr, "kv")
+	}
+	return cfg
+}
+
+func newPools(n int, bytes int) []*nvm.Pool {
+	ps := make([]*nvm.Pool, n)
+	for i := range ps {
+		ps[i] = nvm.New(bytes, nvm.Options{})
+	}
+	return ps
+}
+
+func rec(v string) *store.Record {
+	return &store.Record{Fields: []store.Field{{Name: "field0", Value: []byte(v)}}}
+}
+
+func readVal(t *testing.T, b store.Backend, key string) (string, bool) {
+	t.Helper()
+	var got string
+	found, err := b.Read(key, func(name string, value []byte) { got = string(value) })
+	if err != nil {
+		t.Fatalf("read %q: %v", key, err)
+	}
+	return got, found
+}
+
+func TestShardBasicOps(t *testing.T) {
+	pools := newPools(4, 4<<20)
+	s, err := Open(pools, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend()
+	const n = 500
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("user%d", i)
+		if err := b.Insert(key, rec("v"+key)); err != nil {
+			t.Fatalf("insert %s: %v", key, err)
+		}
+	}
+	if got := b.Count(); got != n {
+		t.Fatalf("count %d, want %d", got, n)
+	}
+	// Records actually spread across pools.
+	for i := 0; i < 4; i++ {
+		if c := s.PoolBackend(i).Count(); c == 0 || c == n {
+			t.Fatalf("pool %d holds %d of %d records — not sharded", i, c, n)
+		}
+	}
+	// Every record routed to its jump-hash home.
+	for i := 0; i < 4; i++ {
+		for _, key := range s.PoolBackend(i).(store.KeyLister).Keys() {
+			if home := heap.JumpHash(heap.KeyHash(key), 4); home != i {
+				t.Fatalf("key %q in pool %d, home %d", key, i, home)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("user%d", i)
+		if got, found := readVal(t, b, key); !found || got != "v"+key {
+			t.Fatalf("read %s: found=%v got=%q", key, found, got)
+		}
+	}
+	if _, err := b.Update("user7", []store.Field{{Name: "field0", Value: []byte("upd")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := readVal(t, b, "user7"); got != "upd" {
+		t.Fatalf("update not visible: %q", got)
+	}
+	if found, err := b.Delete("user8"); err != nil || !found {
+		t.Fatalf("delete: %v found=%v", err, found)
+	}
+	if _, found := readVal(t, b, "user8"); found {
+		t.Fatal("deleted key still readable")
+	}
+	if b.Count() != n-1 {
+		t.Fatalf("count after delete %d", b.Count())
+	}
+}
+
+func TestShardReopen(t *testing.T) {
+	pools := newPools(3, 4<<20)
+	s, err := Open(pools, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend()
+	for i := 0; i < 200; i++ {
+		if err := b.Insert(fmt.Sprintf("k%d", i), rec(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.DrainDurable()
+
+	re, err := Open(pools, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := re.Backend()
+	if rb.Count() != 200 {
+		t.Fatalf("reopened count %d", rb.Count())
+	}
+	for i := 0; i < 200; i++ {
+		if got, found := readVal(t, rb, fmt.Sprintf("k%d", i)); !found || got != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d: found=%v got=%q", i, found, got)
+		}
+	}
+	if re.Epoch() != 1 || re.Migrating() {
+		t.Fatalf("epoch %d migrating %v after clean reopen", re.Epoch(), re.Migrating())
+	}
+	if re.Recovery.LiveObjects == 0 {
+		t.Fatal("merged recovery stats report no live objects")
+	}
+}
+
+// TestShardRecoveryOracle cross-checks shard-parallel recovery against
+// the serial §4.1.3 oracle: the same images opened with parallelism 1
+// and 8 must expose identical data.
+func TestShardRecoveryOracle(t *testing.T) {
+	pools := newPools(4, 4<<20)
+	s, err := Open(pools, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend()
+	for i := 0; i < 300; i++ {
+		if err := b.Insert(fmt.Sprintf("u%d", i), rec(fmt.Sprintf("x%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i += 3 {
+		if _, err := b.Delete(fmt.Sprintf("u%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.DrainDurable()
+
+	clone := func() []*nvm.Pool {
+		cs := make([]*nvm.Pool, len(pools))
+		for i, p := range pools {
+			c := nvm.New(int(p.Size()), nvm.Options{})
+			c.WriteBytes(0, p.ReadBytes(0, p.Size()))
+			cs[i] = c
+		}
+		return cs
+	}
+
+	serial, err := Open(clone(), testConfig(1))
+	if err != nil {
+		t.Fatalf("serial open: %v", err)
+	}
+	parallel, err := Open(clone(), testConfig(8))
+	if err != nil {
+		t.Fatalf("parallel open: %v", err)
+	}
+	sb, pb := serial.Backend(), parallel.Backend()
+	if sb.Count() != pb.Count() {
+		t.Fatalf("serial count %d != parallel %d", sb.Count(), pb.Count())
+	}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("u%d", i)
+		sv, sf := readVal(t, sb, key)
+		pv, pf := readVal(t, pb, key)
+		if sf != pf || sv != pv {
+			t.Fatalf("%s: serial (%v,%q) != parallel (%v,%q)", key, sf, sv, pf, pv)
+		}
+		if wantFound := i%3 != 0; sf != wantFound {
+			t.Fatalf("%s: found=%v want %v", key, sf, wantFound)
+		}
+	}
+	if serial.Recovery != parallel.Recovery {
+		t.Fatalf("recovery stats diverge: serial %+v parallel %+v", serial.Recovery, parallel.Recovery)
+	}
+}
+
+func TestAddPoolMigratesRecords(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			pools := newPools(2, 4<<20)
+			s, err := Open(pools, testConfig(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := s.Backend()
+			const n = 400
+			for i := 0; i < n; i++ {
+				if err := b.Insert(fmt.Sprintf("user%d", i), rec(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			epoch0 := s.Epoch()
+
+			m, err := s.AddPool(nvm.New(4<<20, nvm.Options{}), AddOptions{Async: async})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			if s.Pools() != 3 {
+				t.Fatalf("pools %d", s.Pools())
+			}
+			if s.Migrating() {
+				t.Fatal("still migrating after Wait")
+			}
+			if s.Epoch() <= epoch0 {
+				t.Fatalf("epoch did not advance: %d -> %d", epoch0, s.Epoch())
+			}
+			if b.Count() != n {
+				t.Fatalf("count %d after migration, want %d", b.Count(), n)
+			}
+			// Every record must now sit in its 3-pool home.
+			for i := 0; i < 3; i++ {
+				for _, key := range s.PoolBackend(i).(store.KeyLister).Keys() {
+					if home := heap.JumpHash(heap.KeyHash(key), 3); home != i {
+						t.Fatalf("key %q left in pool %d, home %d", key, i, home)
+					}
+				}
+			}
+			if c := s.PoolBackend(2).Count(); c == 0 {
+				t.Fatal("new pool received no records")
+			}
+			if s.Obs().MigratedRecords.Load() == 0 {
+				t.Fatal("no migrations counted")
+			}
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("user%d", i)
+				if got, found := readVal(t, b, key); !found || got != fmt.Sprintf("v%d", i) {
+					t.Fatalf("%s after migration: found=%v got=%q", key, found, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAddPoolSingleToMulti grows a table-less single-pool set (the
+// byte-compatible default) into a 2-pool set online.
+func TestAddPoolSingleToMulti(t *testing.T) {
+	pools := newPools(1, 4<<20)
+	s, err := Open(pools, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend()
+	for i := 0; i < 100; i++ {
+		if err := b.Insert(fmt.Sprintf("k%d", i), rec("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := s.AddPool(nvm.New(4<<20, nvm.Options{}), AddOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != 100 {
+		t.Fatalf("count %d", b.Count())
+	}
+	if s.PoolBackend(1).Count() == 0 {
+		t.Fatal("no records moved to the new pool")
+	}
+	// Reopen as a 2-pool set.
+	s.DrainDurable()
+	re, err := Open(append(pools, nvmOf(s, 1)), testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Backend().Count() != 100 {
+		t.Fatalf("reopened count %d", re.Backend().Count())
+	}
+}
+
+func nvmOf(s *Set, i int) *nvm.Pool { return s.topo.Load().pools[i] }
+
+// TestPoolFullFallback fills a record's home pool and verifies the
+// insert degrades to a ring-probe fallback instead of failing, that the
+// record stays readable, and that the sticky flag survives reopen.
+func TestPoolFullFallback(t *testing.T) {
+	// Tiny pool 0, roomy pool 1: fill pool 0's arena.
+	pools := []*nvm.Pool{
+		nvm.New(192<<10, nvm.Options{}),
+		nvm.New(4<<20, nvm.Options{}),
+	}
+	cfg := testConfig(1)
+	cfg.HeapOptions = heap.Options{LogSlots: 4, LogSlotSize: 1 << 12}
+	s, err := Open(pools, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend()
+
+	// Find keys homed on pool 0 and insert until one falls back.
+	var homed []string
+	for i := 0; len(homed) < 400; i++ {
+		key := fmt.Sprintf("fill%d", i)
+		if heap.JumpHash(heap.KeyHash(key), 2) == 0 {
+			homed = append(homed, key)
+		}
+	}
+	inserted := []string{}
+	for _, key := range homed {
+		if err := b.Insert(key, rec("payload-"+key)); err != nil {
+			t.Fatalf("insert %s: %v", key, err)
+		}
+		inserted = append(inserted, key)
+		if s.Obs().FallbackInserts.Load() > 2 {
+			break
+		}
+	}
+	fb := s.Obs().FallbackInserts.Load()
+	if fb == 0 {
+		t.Fatal("pool 0 never filled — grow the key set or shrink the pool")
+	}
+	for _, key := range inserted {
+		if got, found := readVal(t, b, key); !found || got != "payload-"+key {
+			t.Fatalf("%s unreadable after fallback era: found=%v got=%q", key, found, got)
+		}
+	}
+	// Updates and deletes must find off-home records too.
+	last := inserted[len(inserted)-1]
+	if found, err := b.Update(last, []store.Field{{Name: "field0", Value: []byte("u2")}}); err != nil || !found {
+		t.Fatalf("update fallback record: %v found=%v", err, found)
+	}
+	if got, _ := readVal(t, b, last); got != "u2" {
+		t.Fatalf("fallback update lost: %q", got)
+	}
+
+	// The sticky flag must survive a crashless reopen: every record still
+	// reachable with no migration having run.
+	s.DrainDurable()
+	re, err := Open(pools, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := re.Backend()
+	for _, key := range inserted {
+		if _, found := readVal(t, rb, key); !found {
+			t.Fatalf("%s lost across reopen", key)
+		}
+	}
+	// And a migration re-homes the strays.
+	m, err := re.AddPool(nvm.New(4<<20, nvm.Options{}), AddOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for _, key := range re.PoolBackend(i).(store.KeyLister).Keys() {
+			if home := heap.JumpHash(heap.KeyHash(key), 3); home != i {
+				t.Fatalf("key %q still off-home after migration (pool %d, home %d)", key, i, home)
+			}
+		}
+	}
+}
+
+// TestFreelistExhaustionRacesAddPool churns inserts and deletes hard
+// enough to cycle the freelist while a pool addition migrates records
+// underneath — the -race build checks the gate, and the final state
+// must match each goroutine's model exactly.
+func TestFreelistExhaustionRacesAddPool(t *testing.T) {
+	pools := newPools(2, 2<<20)
+	s, err := Open(pools, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend()
+
+	const workers, perWorker = 4, 120
+	var wg sync.WaitGroup
+	alive := make([]map[string]string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := map[string]string{}
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				val := fmt.Sprintf("w%d-v%d", w, i)
+				if err := b.Insert(key, rec(val)); err != nil {
+					if errors.Is(err, heap.ErrOutOfMemory) {
+						continue
+					}
+					t.Errorf("insert %s: %v", key, err)
+					return
+				}
+				mine[key] = val
+				if i%3 == 0 && i > 0 {
+					victim := fmt.Sprintf("w%d-k%d", w, i-1)
+					if _, err := b.Delete(victim); err != nil {
+						t.Errorf("delete %s: %v", victim, err)
+						return
+					}
+					delete(mine, victim)
+				}
+			}
+			alive[w] = mine
+		}(w)
+	}
+
+	m, err := s.AddPool(nvm.New(2<<20, nvm.Options{}), AddOptions{Async: true, Pacer: &Pacer{BytesPerSec: 64 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := m.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for w := 0; w < workers; w++ {
+		for key, want := range alive[w] {
+			got, found := readVal(t, b, key)
+			if !found || got != want {
+				t.Fatalf("%s: found=%v got=%q want %q", key, found, got, want)
+			}
+			total++
+		}
+	}
+	if c := b.Count(); c != total {
+		t.Fatalf("count %d, model %d", c, total)
+	}
+}
+
+// TestTransientReuseAcrossPools drives delete/insert churn over every
+// pool concurrently (JPFA allocates raw log blocks through the
+// transient pools) and checks each pool recycles only its own blocks.
+func TestTransientReuseAcrossPools(t *testing.T) {
+	pools := newPools(3, 4<<20)
+	s, err := Open(pools, jpfaConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				key := fmt.Sprintf("c%d-%d", w, i)
+				if err := b.Insert(key, rec("v")); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, err := b.Delete(key); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Count() != 0 {
+		t.Fatalf("count %d after churn", b.Count())
+	}
+	// Churn reached every pool and block recycling happened somewhere;
+	// per-pool bump high-waters stay bounded because freed blocks are
+	// reused, not bumped fresh.
+	snap := s.Snapshot()
+	reuse := uint64(0)
+	for _, p := range snap.PerPool {
+		if p.Heap.ObjAllocs == 0 {
+			t.Fatalf("pool %d saw no allocations", p.Index)
+		}
+		reuse += p.Heap.ReuseAllocs + p.Heap.TransientReuse
+	}
+	if reuse == 0 {
+		t.Fatal("churn recycled no blocks in any pool")
+	}
+}
+
+// TestSnapshotPerPoolSums verifies Set.Snapshot's per-pool entries sum
+// to the direct per-layer totals.
+func TestSnapshotPerPoolSums(t *testing.T) {
+	pools := newPools(4, 4<<20)
+	s, err := Open(pools, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend()
+	for i := 0; i < 300; i++ {
+		if err := b.Insert(fmt.Sprintf("k%d", i), rec("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap.PerPool) != 4 {
+		t.Fatalf("per-pool entries %d", len(snap.PerPool))
+	}
+	var sumAllocs, sumPWBs, sumBump uint64
+	for _, p := range snap.PerPool {
+		sumAllocs += p.Heap.ObjAllocs
+		sumPWBs += p.NVM.PWBs
+		sumBump += p.Heap.Bump
+	}
+	var wantAllocs, wantPWBs, wantBump uint64
+	for i := 0; i < 4; i++ {
+		wantAllocs += s.Heap(i).Mem().Obs().ObjAllocs.Load()
+		wantPWBs += s.topo.Load().pools[i].Obs().PWBs.Load()
+		bump, _, _ := s.Heap(i).Mem().Stats()
+		wantBump += bump
+	}
+	if sumAllocs != wantAllocs || sumPWBs != wantPWBs || sumBump != wantBump {
+		t.Fatalf("per-pool sums (%d,%d,%d) != layer totals (%d,%d,%d)",
+			sumAllocs, sumPWBs, sumBump, wantAllocs, wantPWBs, wantBump)
+	}
+}
+
+// TestLockFreeShardCapability checks the capability-mirroring wrapper
+// selection: lock-free children produce a lock-free sharded backend,
+// and the grid drives it end to end.
+func TestLockFreeShardCapability(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.NewBackend = func(h *core.Heap, mgr *fa.Manager) (store.Backend, error) {
+		return store.NewJPDTLFBackend(h, "kv")
+	}
+	s, err := Open(newPools(2, 4<<20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := s.Backend()
+	if _, ok := be.(store.LockFreeBackend); !ok {
+		t.Fatalf("lock-free children produced %T", be)
+	}
+	g := store.NewGrid(be, store.Options{})
+	if err := g.Insert("a", rec("1")); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := g.Read("a", func(name string, v []byte) { got = string(v) }); err != nil || got != "1" {
+		t.Fatalf("grid read: %v %q", err, got)
+	}
+
+	// J-PDT children produce a view-reading wrapper instead.
+	s2, err := Open(newPools(2, 4<<20), testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	be2 := s2.Backend()
+	if _, ok := be2.(store.ViewReader); !ok {
+		t.Fatalf("view-reader children produced %T", be2)
+	}
+	if _, ok := be2.(store.LockFreeBackend); ok {
+		t.Fatal("J-PDT shard claims lock freedom")
+	}
+	g2 := store.NewGrid(be2, store.Options{})
+	if err := g2.Insert("b", rec("2")); err != nil {
+		t.Fatal(err)
+	}
+	var got2 string
+	if err := g2.Read("b", func(name string, v []byte) { got2 = string(v) }); err != nil || got2 != "2" {
+		t.Fatalf("grid zero-copy read: %v %q", err, got2)
+	}
+}

@@ -32,6 +32,14 @@ type Backend interface {
 	Close() error
 }
 
+// KeyLister is an optional backend capability: enumerate every stored key
+// in a deterministic (sorted) order. The shard migrator uses it to walk a
+// pool's records when the epoch table grows; all four J-NVM backends
+// implement it.
+type KeyLister interface {
+	Keys() []string
+}
+
 // Grid is the embedded data grid standing in for Infinispan: per-key lock
 // striping for concurrency control (§5.3.2: "accesses to the persistent
 // state are protected by the locks of Infinispan") and an optional

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -56,6 +57,13 @@ func (b *JPDTBackend) Name() string { return "J-PDT" }
 
 // Count implements Backend.
 func (b *JPDTBackend) Count() int { return b.m.Len() }
+
+// Keys implements KeyLister (sorted for deterministic migration order).
+func (b *JPDTBackend) Keys() []string {
+	ks := b.m.Keys()
+	sort.Strings(ks)
+	return ks
+}
 
 // Close implements Backend.
 func (b *JPDTBackend) Close() error { return nil }
@@ -153,6 +161,15 @@ func (b *JPFABackend) Name() string { return "J-PFA" }
 
 // Count implements Backend.
 func (b *JPFABackend) Count() int { return b.m.Len() }
+
+// Keys implements KeyLister (sorted for deterministic migration order).
+func (b *JPFABackend) Keys() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ks := b.m.Keys()
+	sort.Strings(ks)
+	return ks
+}
 
 // Close implements Backend.
 func (b *JPFABackend) Close() error { return nil }
@@ -304,6 +321,13 @@ func (b *PCJBackend) Name() string { return "PCJ" }
 
 // Count implements Backend.
 func (b *PCJBackend) Count() int { return b.inner.Count() }
+
+// Keys implements KeyLister.
+func (b *PCJBackend) Keys() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inner.Keys()
+}
 
 // Close implements Backend.
 func (b *PCJBackend) Close() error { return nil }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/heap"
@@ -61,6 +62,17 @@ func (b *JPDTLFBackend) Name() string { return "J-PDT-LF" }
 
 // Count implements Backend.
 func (b *JPDTLFBackend) Count() int { return b.m.Len() }
+
+// Keys implements KeyLister (sorted: LFMap iteration is bucket-order).
+func (b *JPDTLFBackend) Keys() []string {
+	var ks []string
+	b.m.ForEach(func(key string, _ core.Ref) bool {
+		ks = append(ks, key)
+		return true
+	})
+	sort.Strings(ks)
+	return ks
+}
 
 // Close implements Backend.
 func (b *JPDTLFBackend) Close() error { return nil }

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Gate the full benchmark columns (DESIGN.md §15, §17): re-run the
+# baseline at the committed scale and fail if any row's pwb/op or
+# pfence/op regressed beyond tolerance against BENCH_baseline.json —
+# and, beyond what check_pwb.sh gates, also compare throughput (Kops/s)
+# for rows whose committed counterpart ran on a host with the same CPU
+# count (num_cpu is recorded per row, so cross-host runs skip the
+# throughput half instead of failing spuriously). The in-run sharding
+# head-to-head (4 pools vs 1 at 8 clients) is enforced on either path.
+#
+# Usage: scripts/check_bench.sh [baseline JSON] [tolerance]
+set -eu
+
+baseline=${1:-BENCH_baseline.json}
+tol=${2:-0.15}
+
+if [ ! -f "$baseline" ]; then
+    echo "check_bench: baseline $baseline not found" >&2
+    exit 1
+fi
+
+go run ./cmd/baseline -check "$baseline" -check-kops -tol "$tol"
