@@ -7,11 +7,12 @@ STATICCHECK_VERSION ?= 2024.1.1
 # a race-detector pass in addition to the plain suite. core and pdt joined
 # when recovery went parallel (work-stealing traversal, segment sweep,
 # concurrent mirror rebuild).
-RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/... ./internal/shard/...
+RACE_PKGS = ./internal/store/... ./internal/fa/... ./internal/heap/... ./internal/obs/... ./internal/core/... ./internal/pdt/... ./internal/shard/... ./internal/wire/...
 
 .PHONY: check vet build test race bench bench-read bench-pwb bench-check \
-	bench-recovery bench-lockfree bench-shard microbench lint fmt-check \
-	staticcheck crashmc-smoke coverage
+	bench-recovery bench-recovery-ci bench-lockfree bench-shard microbench \
+	lint fmt-check staticcheck crashmc-smoke coverage binaries scenarios \
+	scenario-smoke
 
 check: vet build test race
 
@@ -40,9 +41,9 @@ race:
 
 # Record the performance baseline: short YCSB-A/B and TPC-B passes with
 # throughput and pwb/pfence-per-op columns. Perf PRs re-run this and diff
-# BENCH_baseline.json against the committed copy.
+# results/BENCH_baseline.json against the committed copy.
 bench:
-	$(GO) run ./cmd/baseline -out BENCH_baseline.json
+	$(GO) run ./cmd/baseline -out results/BENCH_baseline.json
 
 # Read-path allocation gate (DESIGN.md §14): runs the MapGet/GridRead
 # benchmarks with -benchmem and fails if the zero-copy and proxy-cached
@@ -70,6 +71,14 @@ bench-check:
 # speedups are relative to it (and bounded by the host's core count).
 bench-recovery:
 	$(GO) run ./cmd/recoverbench -out results/BENCH_recovery.json
+
+# Regenerate the committed CI-sized recovery reference. check_bench.sh
+# replays recoverbench with -check against this file: the deterministic
+# work counters must reproduce exactly, so the parameters here and in the
+# script must stay in lockstep.
+bench-recovery-ci:
+	$(GO) run ./cmd/recoverbench -entries 20000 -pool-mb 96 -workers 1,2 \
+		-repeat 2 -out results/BENCH_recovery_ci.json
 
 # Pool-count sweep (DESIGN.md §17): YCSB-A over the sharded heap at
 # 1/4/8 pools. The gate requires the 4+-pool rows to beat single-pool on
@@ -100,3 +109,26 @@ crashmc-smoke:
 coverage:
 	$(GO) test -coverprofile=coverage.out ./internal/...
 	./scripts/check_coverage.sh coverage.out
+
+# The networked-grid binaries (DESIGN.md §18): the TCP server, the
+# load generator and the scenario runner.
+binaries:
+	mkdir -p bin
+	$(GO) build -o bin/gridserver ./cmd/gridserver
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	$(GO) build -o bin/scenario ./cmd/scenario
+
+# The full end-to-end scenario fleet: baseline, high-load, hot-key,
+# degraded-latency and crash-recover, each against a real gridserver
+# process over TCP, emitting results/scenarios/scenario-<name>.json.
+# The crash scenario SIGKILLs the server mid-load, restarts it, and
+# fails if any acknowledged write is missing after recovery.
+scenarios: binaries
+	./bin/scenario -all -out results/scenarios
+
+# The CI-sized smoke: a 15-second baseline plus crash-recover pair.
+# Nightly CI runs the full fleet; this keeps every push honest about the
+# server lifecycle (serve, drain, crash, recover) without the full cost.
+scenario-smoke: binaries
+	./bin/scenario -run baseline -duration 15s -out results/ci
+	./bin/scenario -run crash-recover -duration 15s -out results/ci

@@ -26,6 +26,7 @@ import (
 	"repro/internal/fa"
 	"repro/internal/nvm"
 	"repro/internal/obs"
+	"repro/internal/results"
 	"repro/internal/tpcb"
 	"repro/internal/ycsb"
 )
@@ -62,14 +63,12 @@ type Row struct {
 
 // Baseline is the serialized result file.
 type Baseline struct {
-	GeneratedAt string `json:"generated_at"`
-	GoVersion   string `json:"go_version"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	Records     int    `json:"ycsb_records"`
-	Operations  int    `json:"ycsb_operations"`
-	Accounts    int    `json:"tpcb_accounts"`
-	Transfers   int    `json:"tpcb_transfers"`
-	Rows        []Row  `json:"rows"`
+	results.Header
+	Records    int   `json:"ycsb_records"`
+	Operations int   `json:"ycsb_operations"`
+	Accounts   int   `json:"tpcb_accounts"`
+	Transfers  int   `json:"tpcb_transfers"`
+	Rows       []Row `json:"rows"`
 }
 
 func main() {
@@ -83,11 +82,12 @@ func main() {
 	pools := flag.Int("pools", 1, "shard the main YCSB rows across this many NVMM pools (1 = classic single-pool stack)")
 	check := flag.String("check", "", "compare against this committed baseline JSON and fail on pwb/pfence-per-op regressions instead of recording")
 	checkKops := flag.Bool("check-kops", false, "with -check, also gate throughput: rows whose committed counterpart ran on the same CPU count must keep their Kops/s within tolerance")
+	checkAllocs := flag.Bool("check-allocs", false, "with -check, also gate the Go allocation rate: single-threaded rows must keep allocs/op within tolerance (the read-path column of DESIGN.md §14)")
 	tol := flag.Float64("tol", 0.15, "relative per-op regression tolerance for -check (doubled for multi-threaded rows)")
-	out := flag.String("out", "", "output JSON path (default BENCH_baseline.json; none in -check mode)")
+	out := flag.String("out", "", "output JSON path (default results/BENCH_baseline.json; none in -check mode)")
 	flag.Parse()
 	if *out == "" && *check == "" {
-		*out = "BENCH_baseline.json"
+		*out = "results/BENCH_baseline.json"
 	}
 	commit, err := bench.CommitModeName(*groupCommit, *durability)
 	if err != nil {
@@ -95,13 +95,11 @@ func main() {
 	}
 
 	b := Baseline{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Records:     *records,
-		Operations:  *ops,
-		Accounts:    *accounts,
-		Transfers:   *transfers,
+		Header:     results.NewHeader(),
+		Records:    *records,
+		Operations: *ops,
+		Accounts:   *accounts,
+		Transfers:  *transfers,
 	}
 
 	for _, wl := range []string{"A", "B", "C", "F"} {
@@ -189,17 +187,13 @@ func main() {
 
 	printRows(b.Rows)
 	if *check != "" {
-		if err := checkRows(*check, b.Rows, *tol, *checkKops); err != nil {
+		if err := checkRows(*check, b.Rows, *tol, *checkKops, *checkAllocs); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("check: per-op flush columns within tolerance of %s\n", *check)
 	}
 	if *out != "" {
-		buf, err := json.MarshalIndent(b, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*out, buf, 0o644)
-		}
-		if err != nil {
+		if err := results.WriteJSON(*out, &b); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
@@ -222,7 +216,7 @@ func rowKey(r Row) string {
 // tolerance — epoch and cohort sizes depend on goroutine interleaving.
 // It also asserts the point of the group modes: at 8+ concurrent
 // committers the shared-barrier YCSB-A row must beat per-Tx on fences.
-func checkRows(path string, rows []Row, tol float64, checkKops bool) error {
+func checkRows(path string, rows []Row, tol float64, checkKops, checkAllocs bool) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -256,11 +250,22 @@ func checkRows(path string, rows []Row, tol float64, checkKops bool) error {
 		}
 		exceeds(rowKey(r)+" pwb/op", r.PWBPerOp, o.PWBPerOp, t)
 		exceeds(rowKey(r)+" pfence/op", r.PFencePerOp, o.PFencePerOp, t)
+		// The allocation rate is the read-path gate (the YCSB-C rows are
+		// where zero-copy view reads show): single-threaded rows are
+		// deterministic enough to compare absolutely; multi-threaded rows
+		// inherit the doubled tolerance like the flush columns.
+		if checkAllocs && o.AllocsPerOp > 0 {
+			exceeds(rowKey(r)+" allocs/op", r.AllocsPerOp, o.AllocsPerOp, t)
+		}
 		// Throughput is only comparable between hosts of the same width;
 		// -check-kops gates it where num_cpu matches the committed row.
-		if checkKops && r.NumCPU == o.NumCPU && o.KopsSec > 0 && r.KopsSec < o.KopsSec*(1-t) {
+		// Even then wall-clock is far noisier than the counter columns
+		// (scheduler jitter moves single-threaded rows ~20% run to run on
+		// a narrow host), so the throughput gate gets double the counter
+		// tolerance: it exists to catch wholesale collapses, not drift.
+		if kt := 2 * t; checkKops && r.NumCPU == o.NumCPU && o.KopsSec > 0 && r.KopsSec < o.KopsSec*(1-kt) {
 			failures = append(failures, fmt.Sprintf("%s Kops/s: %.1f -> %.1f (tol %.0f%%)",
-				rowKey(r), o.KopsSec, r.KopsSec, 100*t))
+				rowKey(r), o.KopsSec, r.KopsSec, 100*kt))
 		}
 	}
 	if matched == 0 {

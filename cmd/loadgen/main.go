@@ -1,0 +1,642 @@
+// Command loadgen drives a gridserver over the wire protocol: N
+// connections, explicit pipelining, zipfian or uniform key choice,
+// closed-loop (saturation) or open-loop (fixed arrival rate, latencies
+// measured from the schedule so coordinated omission does not hide
+// queueing) modes. Results land as schema-versioned JSON that the
+// scenario runner merges across processes — run several loadgen
+// processes against one server with distinct -proc ids and the
+// histograms add up.
+//
+// Two special modes serve the crash-and-recover scenario:
+//
+//	-insert-seq   every connection inserts a deterministic key sequence
+//	              ("<prefix><conn>-<seq>") and records how many inserts
+//	              were acknowledged before the connection broke. Because
+//	              responses are in-order, the acked count is a contiguous
+//	              prefix of the key sequence.
+//	-verify FILE  reads the acks JSON of a previous -insert-seq run and
+//	              checks every acknowledged key is present; exits nonzero
+//	              if any acknowledged write was lost.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/results"
+	"repro/internal/store"
+	"repro/internal/wire"
+	"repro/internal/ycsb"
+)
+
+// ProcResult is one loadgen process's output document.
+type ProcResult struct {
+	results.Header
+	Label     string  `json:"label,omitempty"`
+	Addr      string  `json:"addr"`
+	Proc      int     `json:"proc"`
+	Conns     int     `json:"conns"`
+	Pipeline  int     `json:"pipeline"`
+	Mode      string  `json:"mode"` // closed | open
+	Dist      string  `json:"dist"`
+	RateOps   float64 `json:"rate_ops,omitempty"` // open-loop target
+	DurationS float64 `json:"duration_s"`
+
+	Ops      uint64 `json:"ops"`
+	Errors   uint64 `json:"errors"`
+	NotFound uint64 `json:"not_found"`
+
+	// Acked, in -insert-seq mode, is the per-connection count of
+	// acknowledged inserts; connection i's acknowledged keys are exactly
+	// "<key_prefix><conn_base+i>-<j>" for j in [0, acked[i]).
+	Acked     []uint64 `json:"acked,omitempty"`
+	KeyPrefix string   `json:"key_prefix,omitempty"`
+	ConnBase  int      `json:"conn_base,omitempty"`
+
+	PerOp map[string]*ycsb.Histogram `json:"per_op"`
+}
+
+// Throughput returns measured operations per second.
+func (r *ProcResult) Throughput() float64 {
+	if r.DurationS == 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.DurationS
+}
+
+type mix struct {
+	insert, read, update, delete, rmw int // cumulative thresholds out of 100
+}
+
+func (m mix) pick(rng *rand.Rand) wire.Op {
+	v := rng.Intn(100)
+	switch {
+	case v < m.insert:
+		return wire.OpInsert
+	case v < m.read:
+		return wire.OpRead
+	case v < m.update:
+		return wire.OpUpdate
+	case v < m.delete:
+		return wire.OpDelete
+	default:
+		return wire.OpRMW
+	}
+}
+
+var opNames = map[wire.Op]string{
+	wire.OpInsert: "INSERT",
+	wire.OpRead:   "READ",
+	wire.OpUpdate: "UPDATE",
+	wire.OpDelete: "DELETE",
+	wire.OpRMW:    "RMW",
+}
+
+type connStats struct {
+	ops, errors, notFound uint64
+	acked                 uint64
+	perOp                 map[wire.Op]*ycsb.Histogram
+}
+
+func newConnStats() *connStats {
+	return &connStats{perOp: make(map[wire.Op]*ycsb.Histogram)}
+}
+
+func (c *connStats) record(op wire.Op, d time.Duration) {
+	h := c.perOp[op]
+	if h == nil {
+		h = &ycsb.Histogram{}
+		c.perOp[op] = h
+	}
+	h.Record(d)
+	c.ops++
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7420", "gridserver address")
+	conns := flag.Int("conns", 4, "concurrent connections")
+	pipeline := flag.Int("pipeline", 16, "pipelined requests per window")
+	duration := flag.Duration("duration", 15*time.Second, "measured run length")
+	maxOps := flag.Uint64("max-ops", 0, "per-connection operation cap (0: unlimited); bounds pool growth in insert modes")
+	rate := flag.Float64("rate", 0, "open-loop target ops/s across all connections (0: closed loop)")
+	dist := flag.String("dist", "zipfian", "key distribution: zipfian (scrambled, theta=0.99), hot (unscrambled zipfian) or uniform")
+	records := flag.Int("records", 5_000, "key-space size (keys user%012d over [0,records))")
+	fields := flag.Int("fields", 10, "fields per inserted/updated record")
+	fieldLen := flag.Int("fieldlen", 100, "bytes per field value")
+	readPct := flag.Int("read-pct", 50, "read percentage of the mix")
+	updatePct := flag.Int("update-pct", 50, "update percentage of the mix")
+	insertPct := flag.Int("insert-pct", 0, "insert percentage of the mix (fresh keys)")
+	deletePct := flag.Int("delete-pct", 0, "delete percentage of the mix")
+	rmwPct := flag.Int("rmw-pct", 0, "read-modify-write percentage of the mix")
+	preload := flag.Bool("preload", false, "insert the whole key space before the measured run")
+	insertSeq := flag.Bool("insert-seq", false, "crash-scenario mode: per-connection deterministic insert sequences, record acked counts")
+	keyPrefix := flag.String("key-prefix", "c", "key prefix for -insert-seq / -verify")
+	verifyPath := flag.String("verify", "", "verify mode: path to a previous -insert-seq result JSON; check every acked key")
+	proc := flag.Int("proc", 0, "process id for multi-process runs (seeds rngs, offsets -insert-seq connections)")
+	label := flag.String("label", "", "free-form label copied into the result JSON")
+	out := flag.String("out", "", "write the result JSON here (default stdout only)")
+	flag.Parse()
+
+	if *verifyPath != "" {
+		os.Exit(runVerify(*addr, *verifyPath, *pipeline, *out))
+	}
+
+	m := mix{insert: *insertPct}
+	m.read = m.insert + *readPct
+	m.update = m.read + *updatePct
+	m.delete = m.update + *deletePct
+	if m.delete+*rmwPct != 100 {
+		fatal(fmt.Errorf("mix percentages sum to %d, want 100", m.delete+*rmwPct))
+	}
+
+	fieldNames := make([]string, *fields)
+	for i := range fieldNames {
+		fieldNames[i] = fmt.Sprintf("field%d", i)
+	}
+
+	if *preload {
+		if err := runPreload(*addr, *conns, *pipeline, *records, fieldNames, *fieldLen, *proc); err != nil {
+			fatal(err)
+		}
+	}
+
+	stats := make([]*connStats, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for i := 0; i < *conns; i++ {
+		stats[i] = newConnStats()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := wire.DialTimeout(*addr, 5*time.Second)
+			if err != nil {
+				stats[i].errors++
+				return
+			}
+			defer cl.Close()
+			w := worker{
+				cl:         cl,
+				st:         stats[i],
+				rng:        rand.New(rand.NewSource(int64(*proc)<<16 | int64(i) + 1)),
+				pipeline:   *pipeline,
+				deadline:   deadline,
+				maxOps:     *maxOps,
+				mix:        m,
+				records:    *records,
+				fieldNames: fieldNames,
+				fieldLen:   *fieldLen,
+				insertBase: fmt.Sprintf("n%d-%d-", *proc, i),
+			}
+			switch *dist {
+			case "uniform":
+				var n atomic.Int64
+				n.Store(int64(*records))
+				w.chooser = ycsb.NewUniform(&n)
+			case "hot":
+				// Unscrambled zipfian: indices 0,1,2... are the hottest,
+				// concentrating traffic on a handful of keys (and their
+				// stripe locks) — the hot-key contention scenario.
+				w.chooser = ycsb.NewZipfian(*records)
+			default:
+				w.chooser = ycsb.NewScrambledZipfian(*records)
+			}
+			switch {
+			case *insertSeq:
+				w.runInsertSeq(fmt.Sprintf("%s%d-", *keyPrefix, *proc**conns+i))
+			case *rate > 0:
+				w.runOpen(*rate / float64(*conns))
+			default:
+				w.runClosed()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := ProcResult{
+		Header:    results.NewHeader(),
+		Label:     *label,
+		Addr:      *addr,
+		Proc:      *proc,
+		Conns:     *conns,
+		Pipeline:  *pipeline,
+		Mode:      "closed",
+		Dist:      *dist,
+		RateOps:   *rate,
+		DurationS: elapsed.Seconds(),
+		PerOp:     make(map[string]*ycsb.Histogram),
+	}
+	if *rate > 0 {
+		res.Mode = "open"
+	}
+	if *insertSeq {
+		res.Mode = "insert-seq"
+		res.KeyPrefix = *keyPrefix
+		res.ConnBase = *proc * *conns
+		res.Acked = make([]uint64, *conns)
+	}
+	for i, st := range stats {
+		res.Ops += st.ops
+		res.Errors += st.errors
+		res.NotFound += st.notFound
+		if *insertSeq {
+			res.Acked[i] = st.acked
+		}
+		for op, h := range st.perOp {
+			dst := res.PerOp[opNames[op]]
+			if dst == nil {
+				dst = &ycsb.Histogram{}
+				res.PerOp[opNames[op]] = dst
+			}
+			dst.Merge(h)
+		}
+	}
+
+	all := &ycsb.Histogram{}
+	for _, h := range res.PerOp {
+		all.Merge(h)
+	}
+	fmt.Printf("loadgen: %s %.0f ops/s (%d ops, %d errors, %d not-found) %s\n",
+		res.Mode, res.Throughput(), res.Ops, res.Errors, res.NotFound, all)
+
+	if *out != "" {
+		if err := results.WriteJSON(*out, &res); err != nil {
+			fatal(err)
+		}
+	} else {
+		buf, _ := json.MarshalIndent(&res, "", "  ")
+		os.Stdout.Write(append(buf, '\n'))
+	}
+}
+
+// worker is one connection's run state.
+type worker struct {
+	cl         *wire.Client
+	st         *connStats
+	rng        *rand.Rand
+	chooser    ycsb.KeyChooser
+	pipeline   int
+	deadline   time.Time
+	maxOps     uint64 // 0: unlimited
+	mix        mix
+	records    int
+	fieldNames []string
+	fieldLen   int
+	insertBase string // fresh-key prefix for mixed-mode inserts
+	insertSeq  uint64
+}
+
+func (w *worker) makeFields() []store.Field {
+	out := make([]store.Field, len(w.fieldNames))
+	for i := range out {
+		v := make([]byte, w.fieldLen)
+		for j := range v {
+			v[j] = byte('a' + w.rng.Intn(26))
+		}
+		out[i] = store.Field{Name: w.fieldNames[i], Value: v}
+	}
+	return out
+}
+
+func (w *worker) makeReq(req *wire.Request) {
+	op := w.mix.pick(w.rng)
+	req.Op = op
+	switch op {
+	case wire.OpInsert:
+		// Fresh keys: inserting over the loaded key space would collide.
+		req.Key = fmt.Sprintf("%s%d", w.insertBase, w.insertSeq)
+		w.insertSeq++
+		req.Fields = w.makeFields()
+	case wire.OpRead, wire.OpDelete:
+		req.Key = ycsb.Key(w.chooser.Next(w.rng))
+		req.Fields = nil
+	default: // update, rmw
+		req.Key = ycsb.Key(w.chooser.Next(w.rng))
+		req.Fields = w.makeFields()
+	}
+}
+
+// runClosed is the saturation loop: send a full pipeline window, wait
+// for every response, repeat until the deadline.
+func (w *worker) runClosed() {
+	reqs := make([]wire.Request, w.pipeline)
+	times := make([]time.Time, w.pipeline)
+	var resp wire.Response
+	var sent uint64
+	for time.Now().Before(w.deadline) {
+		if w.maxOps > 0 {
+			if sent >= w.maxOps {
+				return
+			}
+			if rem := w.maxOps - sent; rem < uint64(len(reqs)) {
+				reqs = reqs[:rem]
+				times = times[:rem]
+			}
+		}
+		sent += uint64(len(reqs))
+		for i := range reqs {
+			w.makeReq(&reqs[i])
+			times[i] = time.Now()
+			if err := w.cl.Send(&reqs[i]); err != nil {
+				w.st.errors++
+				return
+			}
+		}
+		if err := w.cl.Flush(); err != nil {
+			w.st.errors++
+			return
+		}
+		for i := range reqs {
+			if err := w.cl.Recv(&resp); err != nil {
+				w.st.errors++
+				return
+			}
+			w.observe(reqs[i].Op, &resp, time.Since(times[i]))
+		}
+	}
+}
+
+// runOpen paces requests on a fixed schedule (perConnRate ops/s) and
+// measures latency from the scheduled send time, so server-side queueing
+// during overload shows up in the tail instead of being absorbed by a
+// slowed-down sender.
+func (w *worker) runOpen(perConnRate float64) {
+	interval := time.Duration(float64(time.Second) / perConnRate)
+	type inflight struct {
+		op    wire.Op
+		sched time.Time
+	}
+	// The queue bounds how far the sender may run ahead of the reader —
+	// past that, the run is declared saturated and sends block.
+	queue := make(chan inflight, 4*w.pipeline)
+	done := make(chan struct{})
+	var sendErr atomic.Bool
+
+	go func() {
+		defer close(queue)
+		var req wire.Request
+		sched := time.Now()
+		var sent uint64
+		for sched.Before(w.deadline) {
+			if w.maxOps > 0 && sent >= w.maxOps {
+				return
+			}
+			sent++
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
+			}
+			w.makeReq(&req)
+			if err := w.cl.Send(&req); err != nil {
+				sendErr.Store(true)
+				return
+			}
+			if err := w.cl.Flush(); err != nil {
+				sendErr.Store(true)
+				return
+			}
+			select {
+			case queue <- inflight{req.Op, sched}:
+			case <-done:
+				return
+			}
+			sched = sched.Add(interval)
+		}
+	}()
+
+	var resp wire.Response
+	for f := range queue {
+		if err := w.cl.Recv(&resp); err != nil {
+			w.st.errors++
+			close(done)
+			return
+		}
+		w.observe(f.op, &resp, time.Since(f.sched))
+	}
+	if sendErr.Load() {
+		w.st.errors++
+	}
+}
+
+// runInsertSeq inserts the deterministic key sequence "<base><j>" and
+// counts acknowledged inserts. Responses are in-order, so st.acked is a
+// contiguous prefix no matter where the server dies.
+func (w *worker) runInsertSeq(base string) {
+	reqs := make([]wire.Request, w.pipeline)
+	times := make([]time.Time, w.pipeline)
+	var resp wire.Response
+	var seq uint64
+	for time.Now().Before(w.deadline) {
+		if w.maxOps > 0 {
+			if seq >= w.maxOps {
+				return
+			}
+			if rem := w.maxOps - seq; rem < uint64(len(reqs)) {
+				reqs = reqs[:rem]
+				times = times[:rem]
+			}
+		}
+		for i := range reqs {
+			reqs[i] = wire.Request{
+				Op:     wire.OpInsert,
+				Key:    fmt.Sprintf("%s%d", base, seq),
+				Fields: w.makeFields(),
+			}
+			seq++
+			times[i] = time.Now()
+			if err := w.cl.Send(&reqs[i]); err != nil {
+				w.st.errors++
+				return
+			}
+		}
+		if err := w.cl.Flush(); err != nil {
+			w.st.errors++
+			return
+		}
+		for i := range reqs {
+			if err := w.cl.Recv(&resp); err != nil {
+				w.st.errors++
+				return
+			}
+			if resp.Status != wire.StatusOK {
+				w.st.errors++
+				return
+			}
+			w.st.record(wire.OpInsert, time.Since(times[i]))
+			w.st.acked++
+		}
+	}
+}
+
+func (w *worker) observe(op wire.Op, resp *wire.Response, d time.Duration) {
+	switch resp.Status {
+	case wire.StatusOK:
+		w.st.record(op, d)
+	case wire.StatusNotFound:
+		w.st.notFound++
+		w.st.record(op, d)
+	default:
+		w.st.errors++
+	}
+}
+
+// runPreload inserts keys [0, records) split across conns connections,
+// pipelined, before the measured phase.
+func runPreload(addr string, conns, pipeline, records int, fieldNames []string, fieldLen, proc int) error {
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	per := (records + conns - 1) / conns
+	for c := 0; c < conns; c++ {
+		lo, hi := c*per, (c+1)*per
+		if hi > records {
+			hi = records
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			cl, err := wire.DialTimeout(addr, 5*time.Second)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(proc)<<20 | int64(c)))
+			var resp wire.Response
+			for lo < hi {
+				n := pipeline
+				if hi-lo < n {
+					n = hi - lo
+				}
+				for i := 0; i < n; i++ {
+					fields := make([]store.Field, len(fieldNames))
+					for f := range fields {
+						v := make([]byte, fieldLen)
+						for j := range v {
+							v[j] = byte('a' + rng.Intn(26))
+						}
+						fields[f] = store.Field{Name: fieldNames[f], Value: v}
+					}
+					req := wire.Request{Op: wire.OpInsert, Key: ycsb.Key(lo + i), Fields: fields}
+					if err := cl.Send(&req); err != nil {
+						errs[c] = err
+						return
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					errs[c] = err
+					return
+				}
+				for i := 0; i < n; i++ {
+					if err := cl.Recv(&resp); err != nil {
+						errs[c] = err
+						return
+					}
+					if resp.Status == wire.StatusErr {
+						errs[c] = fmt.Errorf("preload insert: %s", resp.Msg)
+						return
+					}
+				}
+				lo += n
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("preload: %w", err)
+		}
+	}
+	fmt.Printf("loadgen: preloaded %d records in %v\n", records, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// verifyResult is the -verify output document.
+type verifyResult struct {
+	results.Header
+	Source  string `json:"source"`
+	Checked uint64 `json:"checked"`
+	Missing uint64 `json:"missing"`
+}
+
+// runVerify reads a previous -insert-seq result and checks every
+// acknowledged key is present on the (restarted) server.
+func runVerify(addr, path string, pipeline int, out string) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var prev ProcResult
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		fatal(err)
+	}
+	if prev.Mode != "insert-seq" {
+		fatal(fmt.Errorf("verify: %s is a %q result, want insert-seq", path, prev.Mode))
+	}
+	cl, err := wire.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	var checked, missing uint64
+	keys := make([]string, 0, pipeline)
+	var resp wire.Response
+	flush := func() bool {
+		if err := cl.Flush(); err != nil {
+			fatal(err)
+		}
+		for _, k := range keys {
+			if err := cl.Recv(&resp); err != nil {
+				fatal(err)
+			}
+			checked++
+			if resp.Status != wire.StatusOK {
+				missing++
+				fmt.Fprintf(os.Stderr, "loadgen: verify: acked key %q missing (status %d)\n", k, resp.Status)
+			}
+		}
+		keys = keys[:0]
+		return true
+	}
+	for i, n := range prev.Acked {
+		base := fmt.Sprintf("%s%d-", prev.KeyPrefix, prev.ConnBase+i)
+		for j := uint64(0); j < n; j++ {
+			k := fmt.Sprintf("%s%d", base, j)
+			if err := cl.Send(&wire.Request{Op: wire.OpRead, Key: k}); err != nil {
+				fatal(err)
+			}
+			keys = append(keys, k)
+			if len(keys) == pipeline {
+				flush()
+			}
+		}
+	}
+	flush()
+
+	res := verifyResult{Header: results.NewHeader(), Source: path, Checked: checked, Missing: missing}
+	fmt.Printf("loadgen: verify: %d acked keys checked, %d missing\n", checked, missing)
+	if out != "" {
+		if err := results.WriteJSON(out, &res); err != nil {
+			fatal(err)
+		}
+	}
+	if missing > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

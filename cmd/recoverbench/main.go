@@ -22,8 +22,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +33,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/pdt"
+	"repro/internal/results"
 	"repro/internal/shard"
 	"repro/internal/store"
 )
@@ -59,17 +58,14 @@ type Row struct {
 
 // Result is the serialized benchmark file.
 type Result struct {
-	GeneratedAt time.Time `json:"generated_at"`
-	GoVersion   string    `json:"go_version"`
-	GOMAXPROCS  int       `json:"gomaxprocs"`
-	NumCPU      int       `json:"num_cpu"`
-	Structure   string    `json:"structure"`
-	Entries     int       `json:"entries"`
-	LiveEntries int       `json:"live_entries"`
-	ValueBytes  int       `json:"value_bytes"`
-	PoolMB      int       `json:"pool_mb"`
-	Pools       int       `json:"pools"`
-	Rows        []Row     `json:"rows"`
+	results.Header
+	Structure   string `json:"structure"`
+	Entries     int    `json:"entries"`
+	LiveEntries int    `json:"live_entries"`
+	ValueBytes  int    `json:"value_bytes"`
+	PoolMB      int    `json:"pool_mb"`
+	Pools       int    `json:"pools"`
+	Rows        []Row  `json:"rows"`
 }
 
 func fatal(err error) {
@@ -87,6 +83,8 @@ func main() {
 	repeat := flag.Int("repeat", 3, "recoveries per worker count; the fastest is reported")
 	poolsN := flag.Int("pools", 1, "shard the heap across this many NVMM pools (DESIGN.md §17); pools recover concurrently, workers split across them")
 	out := flag.String("out", "results/BENCH_recovery.json", "output JSON path")
+	check := flag.String("check", "", "compare against this committed recovery JSON and fail on drift: deterministic counters (live_objects, rebuild_entries, replayed_tx) always, total_ms only when num_cpu matches")
+	tol := flag.Float64("tol", 0.5, "relative recovery-time tolerance for -check (the deterministic counters must match exactly)")
 	flag.Parse()
 
 	var workerCounts []int
@@ -127,10 +125,7 @@ func main() {
 	}
 
 	res := Result{
-		GeneratedAt: time.Now().UTC(),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
+		Header:      results.NewHeader(),
 		Structure:   *structure,
 		Entries:     *entries,
 		LiveEntries: liveEntries,
@@ -172,19 +167,79 @@ func main() {
 			row.Recovery.LiveObjects)
 	}
 
-	if dir := filepath.Dir(*out); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	if *check != "" {
+		if err := checkResult(*check, &res, *tol); err != nil {
 			fatal(err)
 		}
+		fmt.Printf("check: recovery counters match %s\n", *check)
+		return
 	}
-	data, err := json.MarshalIndent(&res, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := results.WriteJSON(*out, &res); err != nil {
 		fatal(err)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// checkResult is the recovery gate of `make bench-check` (run at a small,
+// CI-sized -entries). The work counters of a recovery are a function of
+// the crash image alone, so at fixed build parameters they must reproduce
+// exactly: live_objects, rebuild_entries and replayed_tx drifting means
+// the recovery pipeline changed what it recovers, not just how fast.
+// Wall-clock totals are only comparable on a host as wide as the one that
+// produced the committed file, and even then stay noisy, so total_ms is
+// gated loosely and only when num_cpu matches.
+func checkResult(path string, now *Result, tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old Result
+	if err := json.Unmarshal(buf, &old); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if old.Entries != now.Entries || old.Structure != now.Structure || old.Pools != now.Pools {
+		return fmt.Errorf("check: committed file built with -entries %d -structure %s -pools %d, this run with %d/%s/%d",
+			old.Entries, old.Structure, old.Pools, now.Entries, now.Structure, now.Pools)
+	}
+	var failures []string
+	if old.LiveEntries != now.LiveEntries {
+		failures = append(failures, fmt.Sprintf("live_entries: %d -> %d", old.LiveEntries, now.LiveEntries))
+	}
+	oldRows := map[int]Row{}
+	for _, r := range old.Rows {
+		oldRows[r.Workers] = r
+	}
+	matched := 0
+	for _, r := range now.Rows {
+		o, ok := oldRows[r.Workers]
+		if !ok {
+			continue
+		}
+		matched++
+		for _, c := range []struct {
+			name     string
+			was, now uint64
+		}{
+			{"live_objects", o.Recovery.LiveObjects, r.Recovery.LiveObjects},
+			{"rebuild_entries", o.Recovery.RebuildEntries, r.Recovery.RebuildEntries},
+			{"replayed_tx", o.Recovery.ReplayedTx, r.Recovery.ReplayedTx},
+		} {
+			if c.was != c.now {
+				failures = append(failures, fmt.Sprintf("workers=%d %s: %d -> %d", r.Workers, c.name, c.was, c.now))
+			}
+		}
+		if old.NumCPU == now.NumCPU && o.TotalMs > 0 && r.TotalMs > o.TotalMs*(1+tol) {
+			failures = append(failures, fmt.Sprintf("workers=%d total_ms: %.1f -> %.1f (tol %.0f%%)",
+				r.Workers, o.TotalMs, r.TotalMs, 100*tol))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("check: no worker counts of %s match this run", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("check: %d recovery regression(s) vs %s:\n  %s", len(failures), path, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // buildCrashImage loads the pool and returns its byte image as a crash

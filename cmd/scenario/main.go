@@ -1,0 +1,100 @@
+// Command scenario runs the end-to-end scenario fleet (DESIGN.md §18)
+// against real gridserver and loadgen processes, writing one
+// schema-versioned JSON report per scenario into -out.
+//
+//	go build -o bin/gridserver ./cmd/gridserver
+//	go build -o bin/loadgen ./cmd/loadgen
+//	go run ./cmd/scenario -all -duration 15s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	names := flag.String("run", "", "comma-separated scenario names (see -list)")
+	all := flag.Bool("all", false, "run every scenario")
+	list := flag.Bool("list", false, "print scenario names and exit")
+	serverBin := flag.String("server-bin", "bin/gridserver", "gridserver binary")
+	loadgenBin := flag.String("loadgen-bin", "bin/loadgen", "loadgen binary")
+	addr := flag.String("addr", "127.0.0.1:7421", "server address for the run")
+	out := flag.String("out", "results/scenarios", "report output directory")
+	duration := flag.Duration("duration", 15*time.Second, "measured load length per scenario")
+	records := flag.Int("records", 5_000, "preloaded key-space size")
+	quiet := flag.Bool("quiet", false, "suppress subprocess output")
+	flag.Parse()
+
+	if *list {
+		for _, n := range scenario.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+	var run []string
+	switch {
+	case *all:
+		run = scenario.Names
+	case *names != "":
+		run = strings.Split(*names, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "scenario: need -all or -run NAME[,NAME...]; -list shows names")
+		os.Exit(2)
+	}
+
+	scratch, err := os.MkdirTemp("", "scenario-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+
+	o := scenario.Options{
+		ServerBin:  *serverBin,
+		LoadgenBin: *loadgenBin,
+		Addr:       *addr,
+		OutDir:     *out,
+		ScratchDir: scratch,
+		Duration:   *duration,
+		Records:    *records,
+	}
+	if !*quiet {
+		o.Log = os.Stdout
+	}
+
+	failed := 0
+	for _, name := range run {
+		fmt.Printf("=== scenario %s (%v load)\n", name, *duration)
+		start := time.Now()
+		rep, err := scenario.Run(name, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario %s: FAIL: %v\n", name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("=== scenario %s: OK in %v: %.0f ops/s, p50 %.0fus p95 %.0fus p99 %.0fus, %d errors",
+			name, time.Since(start).Round(time.Second),
+			rep.ThroughputOps, rep.Latency.P50Us, rep.Latency.P95Us, rep.Latency.P99Us, rep.Errors)
+		if rep.PWBPerOp > 0 {
+			fmt.Printf(", %.1f pwb/op %.2f pfence/op", rep.PWBPerOp, rep.PFencePerOp)
+		}
+		if rep.Crash != nil {
+			fmt.Printf(", %d acked / %d missing, ready in %.0fms",
+				rep.Crash.AckedTotal, rep.Crash.Missing, rep.Crash.RestartToReadyMS)
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "scenario: %d of %d scenarios failed\n", failed, len(run))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenario:", err)
+	os.Exit(1)
+}

@@ -13,29 +13,24 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
-	"time"
 
 	"repro/internal/bench"
+	"repro/internal/results"
 )
 
 // Result is the serialized sweep file.
 type Result struct {
-	GeneratedAt time.Time        `json:"generated_at"`
-	GoVersion   string           `json:"go_version"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	NumCPU      int              `json:"num_cpu"`
-	Records     int              `json:"records"`
-	Operations  int              `json:"operations"`
-	Threads     int              `json:"threads"`
-	Rows        []bench.ShardRow `json:"rows"`
+	results.Header
+	Records    int              `json:"records"`
+	Operations int              `json:"operations"`
+	Threads    int              `json:"threads"`
+	Rows       []bench.ShardRow `json:"rows"`
 }
 
 func fatal(err error) {
@@ -65,13 +60,10 @@ func main() {
 	}
 
 	res := Result{
-		GeneratedAt: time.Now().UTC(),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		Records:     *records,
-		Operations:  *ops,
-		Threads:     *threads,
+		Header:     results.NewHeader(),
+		Records:    *records,
+		Operations: *ops,
+		Threads:    *threads,
 	}
 	sc := bench.Scale{Records: *records, Operations: *ops, Threads: *threads, Commit: *commit}
 	for _, tok := range strings.Split(*backendsFlag, ",") {
@@ -91,16 +83,7 @@ func main() {
 		}
 	}
 
-	if dir := filepath.Dir(*out); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fatal(err)
-		}
-	}
-	data, err := json.MarshalIndent(&res, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := results.WriteJSON(*out, &res); err != nil {
 		fatal(err)
 	}
 	fmt.Println("wrote", *out)

@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/fa"
@@ -61,6 +62,13 @@ type GridConfig struct {
 	// one routing grid backend. 0 or 1 keeps the classic single-pool
 	// stack; non-J-NVM backends ignore it.
 	Pools int
+	// DataDir, when set, backs the J-NVM pools with files
+	// (DataDir/pool-<i>.nvm via nvm.OpenFile) instead of anonymous
+	// memory, so the heap survives process death: a restarted process
+	// pointed at the same directory recovers the records — the wire
+	// server's crash-and-recover substrate. Non-J-NVM backends ignore
+	// it.
+	DataDir string
 }
 
 // CommitModeName folds the -group-commit/-durability flag pair of the cmd
@@ -130,6 +138,24 @@ func (e *Env) DrainDurable() {
 	}
 	if e.Mgr != nil {
 		e.Mgr.DrainDurable()
+	}
+}
+
+// AwaitDurable blocks until everything committed so far is durable,
+// without forcing an early epoch drain the way DrainDurable does: each
+// manager waits for its watermark to cover the tickets already issued,
+// so concurrent callers' windows combine into shared epochs. No-op in
+// the synchronous commit modes. This is the wire server's per-window
+// durability wait (DESIGN.md §18).
+func (e *Env) AwaitDurable() {
+	if e.Set != nil {
+		for i := 0; i < e.Set.Pools(); i++ {
+			m := e.Set.Manager(i)
+			m.AwaitDurable(m.IssuedTickets())
+		}
+	}
+	if e.Mgr != nil {
+		e.Mgr.AwaitDurable(e.Mgr.IssuedTickets())
 	}
 }
 
@@ -231,8 +257,10 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 		if cfg.Pools > 1 {
 			return newShardEnv(cfg)
 		}
-		pool := nvm.New(EstimatePoolBytes(cfg.Records, cfg.FieldCount, cfg.FieldLen),
-			nvm.Options{FenceLatency: cfg.FenceNs})
+		pool, err := newPool(cfg, 0, EstimatePoolBytes(cfg.Records, cfg.FieldCount, cfg.FieldLen))
+		if err != nil {
+			return nil, err
+		}
 		mgr := fa.NewManager()
 		classes := append(pdt.Classes(), store.Classes()...)
 		h, err := core.Open(pool, core.Config{
@@ -286,9 +314,26 @@ func NewEnv(cfg GridConfig) (*Env, error) {
 		}
 		// The paper disables record caching for the J-NVM backends
 		// (§5.3.1: "caching brings almost no performance benefits").
-		return (&Env{Grid: store.NewGrid(backend, store.Options{}), Heap: h, Pool: pool, Mgr: mgr}).publish(), nil
+		env := &Env{Grid: store.NewGrid(backend, store.Options{}), Heap: h, Pool: pool, Mgr: mgr}
+		if cfg.DataDir != "" {
+			env.cleanup = func() { pool.Close() }
+		}
+		return env.publish(), nil
 	}
 	return nil, fmt.Errorf("bench: unknown backend %q", cfg.Backend)
+}
+
+// newPool builds pool i of an environment: anonymous memory by default,
+// a file-backed (DAX-style) pool under cfg.DataDir when set.
+func newPool(cfg GridConfig, i, size int) (*nvm.Pool, error) {
+	opts := nvm.Options{FenceLatency: cfg.FenceNs}
+	if cfg.DataDir == "" {
+		return nvm.New(size, opts), nil
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	return nvm.OpenFile(filepath.Join(cfg.DataDir, fmt.Sprintf("pool-%d.nvm", i)), size, opts)
 }
 
 // shardBackendCtor maps a backend kind to the per-pool constructor the
@@ -341,7 +386,11 @@ func newShardEnv(cfg GridConfig) (*Env, error) {
 	}
 	pools := make([]*nvm.Pool, cfg.Pools)
 	for i := range pools {
-		pools[i] = nvm.New(per, nvm.Options{FenceLatency: cfg.FenceNs})
+		p, err := newPool(cfg, i, per)
+		if err != nil {
+			return nil, err
+		}
+		pools[i] = p
 	}
 	s, err := shard.Open(pools, shard.Config{
 		HeapOptions: heap.Options{LogSlots: 64, LogSlotSize: 1 << 15},
@@ -362,5 +411,13 @@ func newShardEnv(cfg GridConfig) (*Env, error) {
 			}
 		}
 	}
-	return (&Env{Grid: store.NewGrid(s.Backend(), store.Options{}), Set: s}).publish(), nil
+	env := &Env{Grid: store.NewGrid(s.Backend(), store.Options{}), Set: s}
+	if cfg.DataDir != "" {
+		env.cleanup = func() {
+			for _, p := range pools {
+				p.Close()
+			}
+		}
+	}
+	return env.publish(), nil
 }

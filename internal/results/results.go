@@ -1,0 +1,61 @@
+// Package results is the shared schema for every benchmark and scenario
+// result file the repository emits into results/. Each file embeds one
+// Header so downstream tooling (the check_*.sh gates, the scenario
+// runner, ad-hoc jq) can rely on a schema version and enough host
+// context — CPU count above all — to decide which columns are
+// comparable across runs. Throughput is only gated between hosts of the
+// same width; the header is where that width is recorded.
+package results
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion is the current results-file schema generation. Version 1
+// is the implicit pre-header era (BENCH_baseline.json at the repository
+// root, ad-hoc generated_at/num_cpu fields per tool); version 2 moved
+// every file under results/ behind this shared header.
+const SchemaVersion = 2
+
+// Header is embedded at the top of every emitted results file.
+type Header struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"`
+	GoVersion     string `json:"go_version"`
+	Host          string `json:"host"`
+	NumCPU        int    `json:"num_cpu"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+}
+
+// NewHeader captures the current host context.
+func NewHeader() Header {
+	host, _ := os.Hostname()
+	return Header{
+		SchemaVersion: SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		Host:          host,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+}
+
+// WriteJSON marshals v (indented, trailing newline) and writes it to
+// path, creating parent directories as needed.
+func WriteJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -1,0 +1,650 @@
+// Package scenario runs the end-to-end scenario fleet of DESIGN.md §18:
+// a real gridserver process driven by real loadgen processes over TCP,
+// each scenario emitting one schema-versioned JSON report into results/.
+// The five scenarios cover the regimes a networked persistent store must
+// survive: steady state (baseline), saturation (high-load), skew
+// (hot-key), a slow medium (degraded-latency), and a SIGKILL with
+// recovery and resumed traffic (crash-and-recover).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/results"
+	"repro/internal/wire"
+	"repro/internal/ycsb"
+)
+
+// Names lists the scenarios in canonical order.
+var Names = []string{"baseline", "high-load", "hot-key", "degraded-latency", "crash-recover"}
+
+// Options configures a scenario run.
+type Options struct {
+	ServerBin  string        // gridserver binary
+	LoadgenBin string        // loadgen binary
+	Addr       string        // server listen address
+	OutDir     string        // where reports and per-process JSONs land
+	ScratchDir string        // data dirs and intermediate files
+	Duration   time.Duration // measured load length
+	Records    int           // preloaded key-space size
+	Log        io.Writer     // progress lines; nil for quiet
+}
+
+func (o *Options) defaults() {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:7421"
+	}
+	if o.Duration == 0 {
+		o.Duration = 15 * time.Second
+	}
+	if o.Records == 0 {
+		o.Records = 5_000
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	if o.ScratchDir == "" {
+		o.ScratchDir = os.TempDir()
+	}
+}
+
+// OpLatency is one op type's latency summary in microseconds.
+type OpLatency struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// CrashReport is the crash-recover scenario's extra evidence: how many
+// writes the clients saw acknowledged, whether every one survived the
+// SIGKILL, how long the restart took to readiness, and that the
+// recovered server kept serving.
+type CrashReport struct {
+	AckedTotal       uint64  `json:"acked_total"`
+	Checked          uint64  `json:"checked"`
+	Missing          uint64  `json:"missing"`
+	RestartToReadyMS float64 `json:"restart_to_ready_ms"`
+	RecoveredRecords int     `json:"recovered_records"`
+	ResumedOps       uint64  `json:"resumed_ops"`
+	ResumedOpsPerSec float64 `json:"resumed_ops_per_sec"`
+}
+
+// Report is one scenario's result document.
+type Report struct {
+	results.Header
+	Scenario  string            `json:"scenario"`
+	Params    map[string]string `json:"params"`
+	DurationS float64           `json:"duration_s"`
+
+	Ops           uint64  `json:"ops"`
+	Errors        uint64  `json:"errors"`
+	NotFound      uint64  `json:"not_found"`
+	ThroughputOps float64 `json:"throughput_ops"`
+
+	Latency OpLatency            `json:"latency"` // all ops merged
+	PerOp   map[string]OpLatency `json:"per_op"`
+
+	// Persistence-primitive rates over the measured interval, from the
+	// server's cross-layer counters: the end-to-end Table-3 columns.
+	PWBPerOp    float64 `json:"pwb_per_op"`
+	PFencePerOp float64 `json:"pfence_per_op"`
+	// BatchMean is the mean pipeline-window size — the requests each
+	// durability fence amortized over (DESIGN.md §18).
+	BatchMean   float64 `json:"batch_mean"`
+	WriteFences uint64  `json:"write_fences"`
+
+	Crash *CrashReport `json:"crash,omitempty"`
+}
+
+// Run executes one named scenario and writes its report to
+// OutDir/scenario-<name>.json.
+func Run(name string, o Options) (*Report, error) {
+	o.defaults()
+	var (
+		rep *Report
+		err error
+	)
+	switch name {
+	case "baseline":
+		rep, err = runLoad(o, name, nil, []lgSpec{{conns: 4, pipeline: 16, dist: "zipfian"}})
+	case "high-load":
+		rep, err = runLoad(o, name, nil, []lgSpec{
+			{conns: 8, pipeline: 32, dist: "zipfian"},
+			{conns: 8, pipeline: 32, dist: "zipfian"},
+		})
+	case "hot-key":
+		rep, err = runLoad(o, name, nil, []lgSpec{
+			{conns: 8, pipeline: 16, dist: "hot", readPct: 50, updatePct: 30, rmwPct: 20},
+		})
+	case "degraded-latency":
+		rep, err = runLoad(o, name, []string{"-inject-delay", "200us"},
+			[]lgSpec{{conns: 4, pipeline: 16, dist: "zipfian"}})
+	case "crash-recover":
+		rep, err = runCrash(o)
+	default:
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if o.OutDir != "" {
+		path := filepath.Join(o.OutDir, "scenario-"+name+".json")
+		if err := results.WriteJSON(path, rep); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(o.Log, "scenario %s: report -> %s\n", name, path)
+	}
+	return rep, nil
+}
+
+// lgSpec shapes one loadgen process.
+type lgSpec struct {
+	conns, pipeline                       int
+	dist                                  string
+	readPct, updatePct, insertPct, rmwPct int
+	rate                                  float64
+}
+
+func (s lgSpec) args(o Options, proc int, out string) []string {
+	read, update := s.readPct, s.updatePct
+	if read == 0 && update == 0 && s.insertPct == 0 && s.rmwPct == 0 {
+		read, update = 50, 50
+	}
+	a := []string{
+		"-addr", o.Addr,
+		"-conns", strconv.Itoa(s.conns),
+		"-pipeline", strconv.Itoa(s.pipeline),
+		"-duration", o.Duration.String(),
+		"-dist", s.dist,
+		"-records", strconv.Itoa(o.Records),
+		"-read-pct", strconv.Itoa(read),
+		"-update-pct", strconv.Itoa(update),
+		"-insert-pct", strconv.Itoa(s.insertPct),
+		"-rmw-pct", strconv.Itoa(s.rmwPct),
+		"-proc", strconv.Itoa(proc),
+		"-out", out,
+	}
+	if s.rate > 0 {
+		a = append(a, "-rate", fmt.Sprintf("%g", s.rate))
+	}
+	return a
+}
+
+// runLoad is the shared shape of the four non-crash scenarios: start a
+// server (with extra flags), preload the key space, run the loadgen
+// fleet, diff the server's stats around the measured interval, merge.
+func runLoad(o Options, name string, serverArgs []string, specs []lgSpec) (*Report, error) {
+	srv, err := startServer(o, serverArgs...)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.ensureDead()
+
+	if err := runCmd(o, o.LoadgenBin,
+		"-addr", o.Addr, "-conns", "4", "-pipeline", "32",
+		"-records", strconv.Itoa(o.Records), "-preload", "-duration", "0s",
+		"-read-pct", "100", "-update-pct", "0"); err != nil {
+		return nil, fmt.Errorf("preload: %w", err)
+	}
+
+	before, err := fetchStats(o.Addr)
+	if err != nil {
+		return nil, err
+	}
+
+	outs := make([]string, len(specs))
+	procs := make([]*exec.Cmd, len(specs))
+	for i, s := range specs {
+		outs[i] = filepath.Join(o.ScratchDir, fmt.Sprintf("%s-proc%d.json", name, i))
+		cmd := exec.Command(o.LoadgenBin, s.args(o, i, outs[i])...)
+		cmd.Stdout, cmd.Stderr = o.Log, o.Log
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		procs[i] = cmd
+	}
+	var lgErr error
+	for _, cmd := range procs {
+		if err := cmd.Wait(); err != nil && lgErr == nil {
+			lgErr = err
+		}
+	}
+	if lgErr != nil {
+		return nil, fmt.Errorf("loadgen: %w", lgErr)
+	}
+
+	after, err := fetchStats(o.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.stop(); err != nil {
+		return nil, err
+	}
+
+	rep := newReport(name, o)
+	rep.Params["server_args"] = fmt.Sprint(serverArgs)
+	rep.Params["loadgens"] = strconv.Itoa(len(specs))
+	rep.Params["conns"] = strconv.Itoa(totalConns(specs))
+	rep.Params["dist"] = specs[0].dist
+	if err := rep.merge(outs); err != nil {
+		return nil, err
+	}
+	rep.addStats(before, after)
+	return rep, nil
+}
+
+// runCrash is the crash-and-recover scenario: deterministic insert
+// streams, SIGKILL mid-load, restart on the same pools, verify every
+// acknowledged key, then resume traffic on the recovered server.
+func runCrash(o Options) (*Report, error) {
+	dataDir, err := os.MkdirTemp(o.ScratchDir, "crash-data-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dataDir)
+
+	// Pool sizing is a recovery-time tradeoff: the restart sweeps every
+	// block header, so the pool must hold the whole bounded insert stream
+	// (2 conns x maxOps plus resumed traffic) without being so large the
+	// sweep dominates the scenario.
+	const serverRecords, maxOpsPerConn = 40_000, 50_000
+	srv, err := startServer(o, "-data", dataDir, "-records", strconv.Itoa(serverRecords))
+	if err != nil {
+		return nil, err
+	}
+	defer srv.ensureDead()
+
+	acksPath := filepath.Join(o.ScratchDir, "crash-acks.json")
+	lg := exec.Command(o.LoadgenBin,
+		"-addr", o.Addr, "-conns", "2", "-pipeline", "16",
+		"-duration", o.Duration.String(),
+		"-max-ops", strconv.Itoa(maxOpsPerConn),
+		"-insert-seq", "-key-prefix", "c", "-out", acksPath)
+	lg.Stdout, lg.Stderr = o.Log, o.Log
+	if err := lg.Start(); err != nil {
+		return nil, err
+	}
+
+	// SIGKILL the server mid-load: no drain, no flush, no goodbye — the
+	// strongest failure the durability contract must survive. The trigger
+	// is observed traffic (a few thousand requests executed), so the kill
+	// lands while pipeline windows are in flight on any host speed; the
+	// half-duration timer is the fallback.
+	killDeadline := time.Now().Add(o.Duration / 2)
+	for {
+		if v, err := fetchStats(o.Addr); err == nil && v.Server.Requests >= 5_000 {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Fprintf(o.Log, "scenario crash-recover: SIGKILL server pid %d\n", srv.cmd.Process.Pid)
+	if err := srv.kill(); err != nil {
+		return nil, err
+	}
+	// The loadgen's connections break; its acked counts are final.
+	lg.Wait()
+
+	var acks lgResult
+	if err := readJSON(acksPath, &acks); err != nil {
+		return nil, fmt.Errorf("acks: %w", err)
+	}
+	var ackedTotal uint64
+	for _, n := range acks.Acked {
+		ackedTotal += n
+	}
+	if ackedTotal == 0 {
+		return nil, fmt.Errorf("no inserts were acknowledged before the kill")
+	}
+
+	// Restart on the same pools; readiness includes the mirror rebuild.
+	restartStart := time.Now()
+	srv2, err := startServer(o, "-data", dataDir, "-records", strconv.Itoa(serverRecords))
+	if err != nil {
+		return nil, fmt.Errorf("restart: %w", err)
+	}
+	defer srv2.ensureDead()
+	readyMS := float64(time.Since(restartStart).Microseconds()) / 1e3
+
+	verifyPath := filepath.Join(o.ScratchDir, "crash-verify.json")
+	verifyErr := runCmd(o, o.LoadgenBin, "-addr", o.Addr, "-verify", acksPath, "-pipeline", "64", "-out", verifyPath)
+	var ver struct {
+		Checked uint64 `json:"checked"`
+		Missing uint64 `json:"missing"`
+	}
+	if err := readJSON(verifyPath, &ver); err != nil {
+		return nil, fmt.Errorf("verify: %w (loadgen: %v)", err, verifyErr)
+	}
+
+	// Resumed traffic: fresh insert streams prove the recovered heap
+	// still accepts and persists writes.
+	resumedPath := filepath.Join(o.ScratchDir, "crash-resumed.json")
+	resumedDur := o.Duration / 3
+	if resumedDur < 2*time.Second {
+		resumedDur = 2 * time.Second
+	}
+	if err := runCmd(o, o.LoadgenBin,
+		"-addr", o.Addr, "-conns", "2", "-pipeline", "16",
+		"-duration", resumedDur.String(), "-max-ops", "20000",
+		"-insert-seq", "-key-prefix", "r", "-out", resumedPath); err != nil {
+		return nil, fmt.Errorf("resumed load: %w", err)
+	}
+	var resumed lgResult
+	if err := readJSON(resumedPath, &resumed); err != nil {
+		return nil, err
+	}
+	if err := srv2.stop(); err != nil {
+		return nil, err
+	}
+
+	rep := newReport("crash-recover", o)
+	rep.Params["conns"] = "2"
+	rep.Params["kill_after"] = (o.Duration / 2).String()
+	if err := rep.merge([]string{acksPath}); err != nil {
+		return nil, err
+	}
+	rep.Crash = &CrashReport{
+		AckedTotal:       ackedTotal,
+		Checked:          ver.Checked,
+		Missing:          ver.Missing,
+		RestartToReadyMS: readyMS,
+		RecoveredRecords: srv2.recovered,
+		ResumedOps:       resumed.Ops,
+	}
+	if resumed.DurationS > 0 {
+		rep.Crash.ResumedOpsPerSec = float64(resumed.Ops) / resumed.DurationS
+	}
+	if ver.Missing > 0 {
+		return rep, fmt.Errorf("%d acknowledged writes lost after SIGKILL", ver.Missing)
+	}
+	if verifyErr != nil {
+		return rep, fmt.Errorf("verify: %w", verifyErr)
+	}
+	if resumed.Errors > 0 {
+		return rep, fmt.Errorf("resumed traffic saw %d errors", resumed.Errors)
+	}
+	return rep, nil
+}
+
+// ---- server process management ----
+
+type proc struct {
+	cmd       *exec.Cmd
+	recovered int // records reported recovered at startup, if any
+}
+
+// startServer launches the gridserver and waits for it to answer a ping
+// — which on a recovered heap includes the mirror rebuild.
+func startServer(o Options, extra ...string) (*proc, error) {
+	args := append([]string{"-addr", o.Addr, "-records", strconv.Itoa(o.Records * 2), "-drain-timeout", "10s"}, extra...)
+	cmd := exec.Command(o.ServerBin, args...)
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stdout, cmd.Stderr = pw, pw
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		return nil, err
+	}
+	pw.Close()
+	p := &proc{cmd: cmd}
+	lineCh := make(chan string, 16)
+	go func() {
+		defer pr.Close()
+		buf := make([]byte, 4096)
+		line := ""
+		for {
+			n, err := pr.Read(buf)
+			if n > 0 {
+				fmt.Fprint(o.Log, string(buf[:n]))
+				line += string(buf[:n])
+				for {
+					i := strings.IndexByte(line, '\n')
+					if i < 0 {
+						break
+					}
+					select {
+					case lineCh <- line[:i]:
+					default:
+					}
+					line = line[i+1:]
+				}
+			}
+			if err != nil {
+				close(lineCh)
+				return
+			}
+		}
+	}()
+
+	// Recovery sweeps every pool block before the listener comes up, so
+	// readiness on a big recovered pool takes real time on slow hosts.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cl, err := wire.DialTimeout(o.Addr, time.Second)
+		if err == nil {
+			err = cl.Ping()
+			cl.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			p.ensureDead()
+			return nil, fmt.Errorf("server not ready on %s after 60s", o.Addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Harvest the recovery line if the server printed one before ready.
+	for {
+		select {
+		case l, ok := <-lineCh:
+			if !ok {
+				return p, nil
+			}
+			var n int
+			var d string
+			if _, err := fmt.Sscanf(l, "gridserver: recovered %d records in %s", &n, &d); err == nil {
+				p.recovered = n
+			}
+			continue
+		default:
+		}
+		break
+	}
+	return p, nil
+}
+
+func totalConns(specs []lgSpec) int {
+	n := 0
+	for _, s := range specs {
+		n += s.conns
+	}
+	return n
+}
+
+// stop drains the server with SIGTERM and waits.
+func (p *proc) stop() error {
+	if p.cmd.Process == nil {
+		return nil
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(20 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("server did not drain within 20s")
+	}
+}
+
+// kill SIGKILLs the server — the crash scenario's hammer.
+func (p *proc) kill() error {
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	p.cmd.Wait()
+	return nil
+}
+
+// ensureDead is the cleanup backstop for error paths.
+func (p *proc) ensureDead() {
+	if p.cmd.ProcessState == nil && p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+// ---- loadgen results and server stats ----
+
+// lgResult mirrors the loadgen output document (the JSON tags are the
+// cross-process contract).
+type lgResult struct {
+	Ops       uint64                     `json:"ops"`
+	Errors    uint64                     `json:"errors"`
+	NotFound  uint64                     `json:"not_found"`
+	DurationS float64                    `json:"duration_s"`
+	Acked     []uint64                   `json:"acked"`
+	PerOp     map[string]*ycsb.Histogram `json:"per_op"`
+}
+
+// statsView mirrors the slices of the server's OpStats payload the
+// runner consumes.
+type statsView struct {
+	Server obs.ServerSnapshot `json:"server"`
+	Stack  *obs.StackSnapshot `json:"stack"`
+}
+
+func fetchStats(addr string) (*statsView, error) {
+	cl, err := wire.DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	blob, err := cl.Stats()
+	if err != nil {
+		return nil, err
+	}
+	var v statsView
+	if err := json.Unmarshal(blob, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+func newReport(name string, o Options) *Report {
+	return &Report{
+		Header:   results.NewHeader(),
+		Scenario: name,
+		Params: map[string]string{
+			"duration": o.Duration.String(),
+			"records":  strconv.Itoa(o.Records),
+		},
+		PerOp: make(map[string]OpLatency),
+	}
+}
+
+// merge folds per-process loadgen JSONs into the report; multi-process
+// histograms add up because ycsb.Histogram round-trips losslessly.
+func (r *Report) merge(paths []string) error {
+	all := &ycsb.Histogram{}
+	perOp := make(map[string]*ycsb.Histogram)
+	var maxDur float64
+	for _, path := range paths {
+		var lr lgResult
+		if err := readJSON(path, &lr); err != nil {
+			return err
+		}
+		r.Ops += lr.Ops
+		r.Errors += lr.Errors
+		r.NotFound += lr.NotFound
+		if lr.DurationS > maxDur {
+			maxDur = lr.DurationS
+		}
+		for op, h := range lr.PerOp {
+			if perOp[op] == nil {
+				perOp[op] = &ycsb.Histogram{}
+			}
+			perOp[op].Merge(h)
+			all.Merge(h)
+		}
+	}
+	r.DurationS = maxDur
+	if maxDur > 0 {
+		r.ThroughputOps = float64(r.Ops) / maxDur
+	}
+	r.Latency = summarize(all)
+	for op, h := range perOp {
+		r.PerOp[op] = summarize(h)
+	}
+	return nil
+}
+
+// addStats derives the persistence and batching columns from the
+// server's before/after counter snapshots.
+func (r *Report) addStats(before, after *statsView) {
+	sd := after.Server.Sub(before.Server)
+	r.WriteFences = sd.WriteFences
+	if sd.Batches > 0 {
+		r.BatchMean = float64(sd.BatchSize.Sum) / float64(sd.Batches)
+	}
+	if after.Stack != nil && r.Ops > 0 {
+		var d obs.StackSnapshot
+		if before.Stack != nil {
+			d = after.Stack.Sub(*before.Stack)
+		} else {
+			d = *after.Stack
+		}
+		if d.NVM != nil {
+			r.PWBPerOp = float64(d.NVM.PWBs) / float64(r.Ops)
+			r.PFencePerOp = float64(d.NVM.Fences()) / float64(r.Ops)
+		}
+	}
+}
+
+func summarize(h *ycsb.Histogram) OpLatency {
+	return OpLatency{
+		Count:  h.Count(),
+		MeanUs: us(h.Mean()),
+		P50Us:  us(h.Percentile(0.50)),
+		P95Us:  us(h.Percentile(0.95)),
+		P99Us:  us(h.Percentile(0.99)),
+		MaxUs:  us(h.Max()),
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func runCmd(o Options, bin string, args ...string) error {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = o.Log, o.Log
+	return cmd.Run()
+}
+
+func readJSON(path string, v any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}

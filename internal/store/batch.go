@@ -1,0 +1,83 @@
+package store
+
+import "strings"
+
+// BatchOpKind enumerates the grid operations a batch can carry.
+type BatchOpKind uint8
+
+// Batch operation kinds.
+const (
+	BatchInsert BatchOpKind = iota
+	BatchRead
+	BatchUpdate
+	BatchDelete
+	BatchRMW
+)
+
+// BatchOp is one operation of a batch. Fields carries the payload of
+// Insert/Update/RMW (RMW overwrites exactly the given fields under the
+// key's lock, the YCSB read-modify-write shape).
+type BatchOp struct {
+	Kind   BatchOpKind
+	Key    string
+	Fields []Field
+}
+
+// BatchResult is the outcome of one batch operation. Read results are
+// deep copies: unlike the streaming Read, a batch result outlives the
+// backend call (the wire server encodes it after the whole batch ran),
+// so it must not alias NVMM views.
+type BatchResult struct {
+	Err    error
+	Fields []Field
+}
+
+// ApplyBatch executes ops in order, one result per op, and is the
+// network server's entry point (DESIGN.md §18): a pipeline window
+// arrives as one batch, and under the async commit pipeline the caller
+// fences the whole window once instead of per op.
+//
+// Concurrency: per-key reads, updates and RMWs ride the grid's stripe
+// locks exactly like the direct methods. Inserts and deletes additionally
+// serialize on a grid-wide mutex when the backend is not internally
+// linearizable — structural map operations touch shared slot blocks that
+// the stripe locks do not cover, which is why the embedded benchmarks
+// load single-threaded; a server fed by concurrent connections cannot.
+func (g *Grid) ApplyBatch(ops []BatchOp, res []BatchResult) {
+	for i := range ops {
+		op := &ops[i]
+		r := &res[i]
+		r.Err, r.Fields = nil, nil
+		switch op.Kind {
+		case BatchInsert:
+			rec := &Record{Fields: op.Fields}
+			if g.lockFree {
+				r.Err = g.Insert(op.Key, rec)
+				break
+			}
+			g.structMu.Lock()
+			r.Err = g.Insert(op.Key, rec)
+			g.structMu.Unlock()
+		case BatchRead:
+			r.Err = g.Read(op.Key, func(name string, value []byte) {
+				r.Fields = append(r.Fields,
+					Field{Name: strings.Clone(name), Value: append([]byte(nil), value...)})
+			})
+		case BatchUpdate:
+			r.Err = g.Update(op.Key, op.Fields)
+		case BatchDelete:
+			if g.lockFree {
+				r.Err = g.Delete(op.Key)
+				break
+			}
+			g.structMu.Lock()
+			r.Err = g.Delete(op.Key)
+			g.structMu.Unlock()
+		case BatchRMW:
+			fields := op.Fields
+			r.Err = g.ReadModifyWrite(op.Key, func(*Record) []Field { return fields })
+		default:
+			r.Err = ErrNotFound
+		}
+	}
+}

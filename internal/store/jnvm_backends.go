@@ -273,7 +273,16 @@ func (b *JPFABackend) Delete(key string) (bool, error) {
 		n := r.fieldCount()
 		for i := 0; i < n; i++ {
 			for _, off := range []uint64{fieldNameOff(i), fieldValOff(i)} {
-				child, err := b.h.Resurrect(r.ReadRef(off))
+				// Read the child refs through the redo view: a raw read
+				// could observe a value ref a queued update epoch is about
+				// to replace and free, and freeing it here again would
+				// corrupt the heap. The tx read drains queued applies
+				// touching the block first (fa.locate's waitClear).
+				cref, err := tx.ReadRef(r.Object, off)
+				if err != nil {
+					return err
+				}
+				child, err := b.h.Resurrect(cref)
 				if err != nil {
 					return err
 				}

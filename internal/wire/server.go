@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// ServerConfig wires a Server to a grid and its durability pipeline.
+type ServerConfig struct {
+	Grid *store.Grid
+
+	// AwaitDurable, when non-nil, is called once per pipeline window that
+	// contained at least one write, after the whole window executed and
+	// before any of its responses are flushed. Under the async commit
+	// pipeline this is the batching→epoch fold of DESIGN.md §18: the
+	// window's commits ride one epoch drain, so an acknowledged write is
+	// always durable. Nil means writes are durable when the grid returns
+	// (per-Tx and group modes, and the structurally-persistent backends).
+	AwaitDurable func()
+
+	// StatsJSON provides the OpStats payload (a JSON document; the server
+	// never looks inside it).
+	StatsJSON func() []byte
+
+	// MaxConns caps concurrent connections; the accept loop stops pulling
+	// from the listen backlog when the cap is reached (kernel-side
+	// backpressure). 0 means 256.
+	MaxConns int
+
+	// MaxBatch caps the requests folded into one pipeline window. 0
+	// means 128. The cap is the server-side backpressure bound: a client
+	// that pipelines deeper than this still gets every response, but in
+	// multiple windows.
+	MaxBatch int
+
+	// InjectDelay adds a per-request processing delay — the
+	// degraded-latency scenario's knob, simulating a slow medium under
+	// the same wire path.
+	InjectDelay time.Duration
+}
+
+// Server serves the grid over the wire protocol. Create with NewServer,
+// run with Serve, stop with Shutdown.
+type Server struct {
+	cfg   ServerConfig
+	stats obs.ServerStats
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	drainCh chan struct{}
+	sem     chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewServer builds a server around the config.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 256
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 128
+	}
+	if cfg.StatsJSON == nil {
+		cfg.StatsJSON = func() []byte { return []byte("{}") }
+	}
+	return &Server{
+		cfg:     cfg,
+		conns:   make(map[net.Conn]struct{}),
+		drainCh: make(chan struct{}),
+		sem:     make(chan struct{}, cfg.MaxConns),
+	}
+}
+
+// Stats exposes the live server counters.
+func (s *Server) Stats() *obs.ServerStats { return &s.stats }
+
+// Serve accepts connections on l until Shutdown (returns nil) or a
+// non-drain accept error (returned).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		// Connection-limit backpressure: hold an accept slot before
+		// pulling the next connection off the backlog.
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.drainCh:
+			return nil
+		}
+		conn, err := l.Accept()
+		if err != nil {
+			<-s.sem
+			select {
+			case <-s.drainCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.stats.ConnsAccepted.Inc()
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			<-s.sem
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Shutdown drains the server: stop accepting, let every in-flight
+// pipeline window finish and flush, then close the connections. Blocks
+// until all handlers exit or the timeout passes; returns true on a clean
+// drain.
+func (s *Server) Shutdown(timeout time.Duration) bool {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+		if s.listener != nil {
+			s.listener.Close()
+		}
+		// Unpark handlers blocked between windows; handlers mid-window
+		// are unaffected (deadlines only gate reads) and flush first.
+		now := time.Now()
+		for c := range s.conns {
+			c.SetReadDeadline(now)
+		}
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// handle runs one connection: read a pipeline window, execute it as one
+// grid batch, fence once, respond in order, repeat.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.stats.ConnsClosed.Inc()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+		<-s.sem
+	}()
+
+	maxBatch := s.cfg.MaxBatch
+	br := bufio.NewReaderSize(conn, 64<<10)
+	frameBuf := make([]byte, 0, 4<<10)
+	reqs := make([]Request, 0, maxBatch)
+	ops := make([]store.BatchOp, 0, maxBatch)
+	opIdx := make([]int, 0, maxBatch) // request index -> ops index, -1 for ping/stats
+	results := make([]store.BatchResult, maxBatch)
+	out := make([]byte, 0, 32<<10)
+
+	for {
+		reqs, ops, opIdx = reqs[:0], ops[:0], opIdx[:0]
+
+		// Block for the window's first frame, then extend the window with
+		// whatever complete frames are already buffered — never waiting on
+		// the network for a deeper batch.
+		for len(reqs) < maxBatch {
+			if len(reqs) > 0 && !BufferedFrame(br) {
+				break
+			}
+			frame, err := ReadFrame(br, frameBuf[:0])
+			if err != nil {
+				if len(reqs) > 0 {
+					break // execute what we have; the error resurfaces next read
+				}
+				if !errors.Is(err, io.EOF) && !s.isDraining() {
+					s.stats.ConnErrors.Inc()
+				} else if s.isDraining() {
+					s.stats.Drains.Inc()
+				}
+				return
+			}
+			frameBuf = frame[:0]
+			s.stats.BytesIn.Add(uint64(headerLen + len(frame)))
+			reqs = reqs[:len(reqs)+1]
+			if err := DecodeRequest(frame, &reqs[len(reqs)-1]); err != nil {
+				// Framing state past a malformed frame is unknowable;
+				// drop the connection.
+				s.stats.ConnErrors.Inc()
+				return
+			}
+		}
+
+		s.stats.Batches.Inc()
+		s.stats.Requests.Add(uint64(len(reqs)))
+		s.stats.BatchSize.ObserveNs(uint64(len(reqs)))
+		if s.cfg.InjectDelay > 0 {
+			time.Sleep(s.cfg.InjectDelay * time.Duration(len(reqs)))
+		}
+
+		// Map the window onto one grid batch, preserving request order.
+		wrote := false
+		for i := range reqs {
+			req := &reqs[i]
+			var kind store.BatchOpKind
+			switch req.Op {
+			case OpPing, OpStats:
+				opIdx = append(opIdx, -1)
+				continue
+			case OpInsert:
+				kind, wrote = store.BatchInsert, true
+			case OpRead:
+				kind = store.BatchRead
+			case OpUpdate:
+				kind, wrote = store.BatchUpdate, true
+			case OpDelete:
+				kind, wrote = store.BatchDelete, true
+			case OpRMW:
+				kind, wrote = store.BatchRMW, true
+			}
+			opIdx = append(opIdx, len(ops))
+			ops = append(ops, store.BatchOp{Kind: kind, Key: req.Key, Fields: req.Fields})
+		}
+		if len(ops) > 0 {
+			s.cfg.Grid.ApplyBatch(ops, results[:len(ops)])
+		}
+		if wrote && s.cfg.AwaitDurable != nil {
+			// One durability wait for the whole window: every write above
+			// is acknowledged below only once the epoch covering it
+			// drained.
+			s.cfg.AwaitDurable()
+			s.stats.WriteFences.Inc()
+		}
+
+		out = out[:0]
+		for i := range reqs {
+			resp := Response{Op: reqs[i].Op, Status: StatusOK}
+			if j := opIdx[i]; j >= 0 {
+				r := &results[j]
+				switch {
+				case r.Err == nil:
+					resp.Fields = r.Fields
+				case errors.Is(r.Err, store.ErrNotFound):
+					resp.Status = StatusNotFound
+				default:
+					resp.Status = StatusErr
+					resp.Msg = r.Err.Error()
+				}
+			} else if reqs[i].Op == OpStats {
+				resp.Blob = s.cfg.StatsJSON()
+			}
+			out = AppendResponse(out, &resp)
+		}
+		if _, err := conn.Write(out); err != nil {
+			s.stats.ConnErrors.Inc()
+			return
+		}
+		s.stats.BytesOut.Add(uint64(len(out)))
+
+		if s.isDraining() {
+			// Graceful drain: the in-flight window is answered, durable,
+			// and flushed; now close.
+			s.stats.Drains.Inc()
+			return
+		}
+	}
+}

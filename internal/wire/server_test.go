@@ -1,0 +1,275 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/store"
+)
+
+// startTestServer spins up a wire server over a real grid on a loopback
+// listener and returns its address plus a shutdown func.
+func startTestServer(t *testing.T, cfg ServerConfig) (string, *Server, func()) {
+	t.Helper()
+	if cfg.Grid == nil {
+		env, err := bench.NewEnv(bench.GridConfig{
+			Backend: bench.JPFA,
+			Records: 4096,
+			Commit:  "async",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { env.Close() })
+		cfg.Grid = env.Grid
+		cfg.AwaitDurable = env.AwaitDurable
+	}
+	srv := NewServer(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	stop := func() {
+		if !srv.Shutdown(10 * time.Second) {
+			t.Error("server did not drain in 10s")
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+	return l.Addr().String(), srv, stop
+}
+
+// TestServerPipelinedConcurrentConnections is the tentpole race test:
+// several connections pipeline mixed batches at once (inserts and
+// deletes hit the structural lock, reads and updates the stripe locks),
+// each connection checking its responses arrive in request order. Run
+// under -race this pins down the ApplyBatch locking story.
+func TestServerPipelinedConcurrentConnections(t *testing.T) {
+	addr, srv, stop := startTestServer(t, ServerConfig{MaxBatch: 8})
+	defer stop()
+
+	const conns = 6
+	const rounds = 40
+	const window = 12 // deeper than MaxBatch: forces multi-window folds
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			var resp Response
+			for r := 0; r < rounds; r++ {
+				reqs := make([]Request, window)
+				for i := range reqs {
+					key := fmt.Sprintf("c%d-r%d-%d", c, r, i)
+					switch i % 4 {
+					case 0:
+						reqs[i] = Request{Op: OpInsert, Key: key, Fields: []store.Field{
+							{Name: "f", Value: []byte(key)},
+						}}
+					case 1:
+						reqs[i] = Request{Op: OpRead, Key: fmt.Sprintf("c%d-r%d-%d", c, r, i-1)}
+					case 2:
+						reqs[i] = Request{Op: OpUpdate, Key: fmt.Sprintf("c%d-r%d-%d", c, r, i-2), Fields: []store.Field{
+							{Name: "f", Value: []byte("updated")},
+						}}
+					default:
+						reqs[i] = Request{Op: OpDelete, Key: fmt.Sprintf("c%d-r%d-%d", c, r, i-3)}
+					}
+					if err := cl.Send(&reqs[i]); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for i := range reqs {
+					if err := cl.Recv(&resp); err != nil {
+						errs <- fmt.Errorf("conn %d round %d recv %d: %w", c, r, i, err)
+						return
+					}
+					if resp.Op != reqs[i].Op {
+						errs <- fmt.Errorf("conn %d round %d: response %d is %v, want %v (out of order?)",
+							c, r, i, resp.Op, reqs[i].Op)
+						return
+					}
+					if resp.Status == StatusErr {
+						errs <- fmt.Errorf("conn %d round %d op %v: %s", c, r, resp.Op, resp.Msg)
+						return
+					}
+					// The read of the just-inserted key must see it: the
+					// window executes in request order.
+					if i%4 == 1 && resp.Status != StatusOK {
+						errs <- fmt.Errorf("conn %d round %d: read-after-insert miss", c, r)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	snap := srv.Stats().Snapshot()
+	if snap.Requests != conns*rounds*window {
+		t.Fatalf("requests counted %d, want %d", snap.Requests, conns*rounds*window)
+	}
+	if snap.Batches < uint64(conns*rounds) {
+		t.Fatalf("batches %d below one per round per conn", snap.Batches)
+	}
+}
+
+// A malformed frame drops exactly that connection; the listener and
+// other connections keep serving.
+func TestServerDropsMalformedConn(t *testing.T) {
+	addr, _, stop := startTestServer(t, ServerConfig{})
+	defer stop()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Valid header, unknown op byte.
+	if _, err := raw.Write([]byte{0, 0, 0, 1, 0xee}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("connection survived a malformed frame")
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("healthy connection broken by another conn's bad frame: %v", err)
+	}
+}
+
+// Shutdown drains: a window in flight when SIGTERM-equivalent hits is
+// answered and flushed before the connection closes.
+func TestServerDrainAnswersInFlightWindow(t *testing.T) {
+	addr, srv, _ := startTestServer(t, ServerConfig{
+		// Slow the batch down so Shutdown lands mid-window.
+		InjectDelay: 20 * time.Millisecond,
+	})
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := cl.Send(&Request{Op: OpInsert, Key: fmt.Sprintf("drain-%d", i), Fields: []store.Field{
+			{Name: "f", Value: []byte("v")},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var drained atomic.Bool
+	go func() {
+		time.Sleep(50 * time.Millisecond) // let the window start executing
+		drained.Store(srv.Shutdown(10 * time.Second))
+	}()
+
+	var resp Response
+	for i := 0; i < n; i++ {
+		if err := cl.Recv(&resp); err != nil {
+			t.Fatalf("response %d lost to drain: %v", i, err)
+		}
+		if resp.Status != StatusOK {
+			t.Fatalf("response %d: status %d", i, resp.Status)
+		}
+	}
+	// After the window flushed, the connection must close (drain), not
+	// accept more work.
+	deadline := time.Now().Add(5 * time.Second)
+	for !drained.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("shutdown did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The connection cap holds: with MaxConns=2, a third connection is not
+// served until a slot frees.
+func TestServerConnBackpressure(t *testing.T) {
+	addr, _, stop := startTestServer(t, ServerConfig{MaxConns: 2})
+	defer stop()
+
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third conn connects (kernel backlog) but gets no service while both
+	// slots are held.
+	c3, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if err := c3.Send(&Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c3.conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	var resp Response
+	if err := c3.Recv(&resp); err == nil {
+		t.Fatal("third connection served beyond MaxConns=2")
+	} else if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("want read timeout, got %v", err)
+	}
+
+	// Free a slot; the queued connection must now be served.
+	c2.Close()
+	c3.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if err := c3.Recv(&resp); err != nil {
+		t.Fatalf("queued connection not served after slot freed: %v", err)
+	}
+	if resp.Op != OpPing || resp.Status != StatusOK {
+		t.Fatalf("unexpected response %+v", resp)
+	}
+}

@@ -1,0 +1,361 @@
+// Package wire is the grid's network protocol: a length-prefixed binary
+// framing with RESP-style pipelining (DESIGN.md §18). Clients write any
+// number of request frames without waiting; the server folds each
+// pipeline window it finds buffered into one grid batch — and, under the
+// async commit pipeline, into one group-commit epoch — then answers with
+// one response frame per request, in order.
+//
+// Frame layout (all integers big-endian, strings uvarint-length-prefixed):
+//
+//	| u32 length | u8 op | payload (length-1 bytes) |
+//
+// The length covers the op byte and payload. Requests and responses share
+// the framing; a response echoes the request op and prefixes its payload
+// with a status byte. Field lists are a uvarint count followed by
+// (name, value) string pairs.
+//
+// The codec enforces hard limits (frame, key, value and field-count
+// caps) so a malformed or hostile frame fails fast with ErrMalformed
+// instead of ballooning allocations — the fuzz suite pins that down.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+)
+
+// Protocol limits. A frame that exceeds them is malformed by definition;
+// the server drops the connection rather than trust the length prefix.
+const (
+	MaxFrame     = 16 << 20 // whole frame payload cap (op byte included)
+	MaxKeyLen    = 64 << 10
+	MaxFieldName = 64 << 10
+	MaxValueLen  = 4 << 20
+	MaxFields    = 1024
+
+	headerLen = 4 // u32 length prefix
+)
+
+// Op enumerates the request kinds.
+type Op uint8
+
+// The wire operations. OpPing and OpStats bypass the grid; the rest map
+// one-to-one onto store.Grid operations.
+const (
+	OpPing Op = iota + 1
+	OpInsert
+	OpRead
+	OpUpdate
+	OpDelete
+	OpRMW
+	OpStats
+	opMax
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpInsert:
+		return "insert"
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpRMW:
+		return "rmw"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Status is the leading byte of every response payload.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK       Status = 0
+	StatusNotFound Status = 1
+	StatusErr      Status = 2
+)
+
+// ErrMalformed reports a frame that violates the protocol (bad lengths,
+// truncated payload, unknown op, limit overflow). The server closes the
+// connection on it: framing state past a malformed frame is unknowable.
+var ErrMalformed = errors.New("wire: malformed frame")
+
+// Request is one decoded client request.
+type Request struct {
+	Op     Op
+	Key    string
+	Fields []store.Field
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Op     Op
+	Status Status
+	// Fields carries a read result (StatusOK reads only).
+	Fields []store.Field
+	// Blob carries the OpStats JSON payload.
+	Blob []byte
+	// Msg carries the StatusErr message.
+	Msg string
+}
+
+// ---- primitive encoding ----
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// decoder walks a frame payload with bounds checks; every read error
+// collapses into ErrMalformed.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) bytes(limit int) ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(limit) || n > uint64(len(d.buf)-d.off) {
+		return nil, ErrMalformed
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}
+
+func (d *decoder) str(limit int) (string, error) {
+	b, err := d.bytes(limit)
+	return string(b), err
+}
+
+func (d *decoder) fields() ([]store.Field, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFields {
+		return nil, ErrMalformed
+	}
+	fs := make([]store.Field, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := d.str(MaxFieldName)
+		if err != nil {
+			return nil, err
+		}
+		val, err := d.bytes(MaxValueLen)
+		if err != nil {
+			return nil, err
+		}
+		// Copy the value out of the frame buffer: the buffer is reused
+		// for the next frame while batch results may still be alive.
+		fs = append(fs, store.Field{Name: name, Value: append([]byte(nil), val...)})
+	}
+	return fs, nil
+}
+
+func (d *decoder) done() error {
+	if d.off != len(d.buf) {
+		return ErrMalformed // trailing garbage
+	}
+	return nil
+}
+
+func appendFields(dst []byte, fs []store.Field) []byte {
+	dst = appendUvarint(dst, uint64(len(fs)))
+	for _, f := range fs {
+		dst = appendString(dst, f.Name)
+		dst = appendBytes(dst, f.Value)
+	}
+	return dst
+}
+
+// ---- request codec ----
+
+// AppendRequest appends the full frame (length prefix included) for req.
+func AppendRequest(dst []byte, req *Request) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+	dst = append(dst, byte(req.Op))
+	switch req.Op {
+	case OpPing, OpStats:
+	default:
+		dst = appendString(dst, req.Key)
+	}
+	switch req.Op {
+	case OpInsert, OpUpdate, OpRMW:
+		dst = appendFields(dst, req.Fields)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-headerLen))
+	return dst
+}
+
+// DecodeRequest parses a frame body (op byte plus payload) into req.
+// Field values are copied out of the frame buffer; names and keys are
+// freshly allocated strings.
+func DecodeRequest(frame []byte, req *Request) error {
+	*req = Request{}
+	if len(frame) < 1 {
+		return ErrMalformed
+	}
+	op := Op(frame[0])
+	if op == 0 || op >= opMax {
+		return fmt.Errorf("%w: unknown op %d", ErrMalformed, frame[0])
+	}
+	req.Op = op
+	d := decoder{buf: frame, off: 1}
+	switch op {
+	case OpPing, OpStats:
+		return d.done()
+	}
+	key, err := d.str(MaxKeyLen)
+	if err != nil {
+		return err
+	}
+	req.Key = key
+	switch op {
+	case OpInsert, OpUpdate, OpRMW:
+		fs, err := d.fields()
+		if err != nil {
+			return err
+		}
+		req.Fields = fs
+	}
+	return d.done()
+}
+
+// ---- response codec ----
+
+// AppendResponse appends the full frame (length prefix included) for resp.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, byte(resp.Op), byte(resp.Status))
+	switch {
+	case resp.Status == StatusErr:
+		dst = appendString(dst, resp.Msg)
+	case resp.Status == StatusOK && resp.Op == OpRead:
+		dst = appendFields(dst, resp.Fields)
+	case resp.Status == StatusOK && resp.Op == OpStats:
+		dst = appendBytes(dst, resp.Blob)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-headerLen))
+	return dst
+}
+
+// DecodeResponse parses a frame body (op byte plus payload) into resp.
+func DecodeResponse(frame []byte, resp *Response) error {
+	*resp = Response{}
+	if len(frame) < 2 {
+		return ErrMalformed
+	}
+	op := Op(frame[0])
+	if op == 0 || op >= opMax {
+		return fmt.Errorf("%w: unknown op %d", ErrMalformed, frame[0])
+	}
+	st := Status(frame[1])
+	if st > StatusErr {
+		return fmt.Errorf("%w: unknown status %d", ErrMalformed, frame[1])
+	}
+	resp.Op, resp.Status = op, st
+	d := decoder{buf: frame, off: 2}
+	switch {
+	case st == StatusErr:
+		msg, err := d.str(MaxFieldName)
+		if err != nil {
+			return err
+		}
+		resp.Msg = msg
+	case st == StatusOK && op == OpRead:
+		fs, err := d.fields()
+		if err != nil {
+			return err
+		}
+		resp.Fields = fs
+	case st == StatusOK && op == OpStats:
+		b, err := d.bytes(MaxFrame)
+		if err != nil {
+			return err
+		}
+		resp.Blob = append([]byte(nil), b...)
+	}
+	return d.done()
+}
+
+// ---- frame I/O ----
+
+// ReadFrame reads one frame body (op byte plus payload) from br, reusing
+// buf when it is large enough. The returned slice is only valid until the
+// next ReadFrame on the same buf.
+func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame length %d", ErrMalformed, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// BufferedFrame reports whether a complete frame is already sitting in
+// br's buffer — the batching test: the server keeps extending a pipeline
+// window only while the next frame needs no network wait, so a slow
+// client can never stall a batch that is ready to execute.
+func BufferedFrame(br *bufio.Reader) bool {
+	if br.Buffered() < headerLen {
+		return false
+	}
+	hdr, err := br.Peek(headerLen)
+	if err != nil {
+		return false
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n == 0 || n > MaxFrame {
+		// Malformed length: report it as available so the reader path
+		// consumes it and surfaces ErrMalformed instead of spinning.
+		return true
+	}
+	return br.Buffered() >= headerLen+int(n)
+}

@@ -1,0 +1,52 @@
+package ycsb
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// histJSON is the wire form of a Histogram: the scalar moments plus a
+// sparse bucket map ("bucket index" -> count). Sparse because a run
+// touches a few dozen of the 512 log buckets; sending all of them makes
+// multi-process result files needlessly large.
+type histJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Max     uint64            `json:"max"`
+	Min     uint64            `json:"min"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON encodes the histogram in a form that survives a round trip
+// through separate processes — the load generator writes per-process
+// histograms, the scenario runner unmarshals and Merges them, and the
+// merged percentiles equal a single-process run's.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	j := histJSON{Count: h.count, Sum: h.sum, Max: h.max, Min: h.min}
+	for i, c := range h.buckets {
+		if c != 0 {
+			if j.Buckets == nil {
+				j.Buckets = make(map[string]uint64)
+			}
+			j.Buckets[strconv.Itoa(i)] = c
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j histJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*h = Histogram{count: j.Count, sum: j.Sum, max: j.Max, min: j.Min}
+	for k, c := range j.Buckets {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= len(h.buckets) {
+			continue
+		}
+		h.buckets[i] = c
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package ycsb
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// A histogram serialized to JSON, parsed back and merged into an empty
+// one must report the same percentiles as the original — this is exactly
+// the loadgen multi-process path (each process marshals its per-op
+// histograms; the scenario runner unmarshals and merges them).
+func TestHistogramJSONRoundTripMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var orig Histogram
+	for i := 0; i < 10000; i++ {
+		// Long-tailed latencies from ~1us to ~100ms.
+		us := 1 + rng.ExpFloat64()*800
+		orig.Record(time.Duration(us) * time.Microsecond)
+	}
+
+	data, err := json.Marshal(&orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	var merged Histogram
+	merged.Merge(&back)
+
+	if merged.Count() != orig.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), orig.Count())
+	}
+	if merged.Max() != orig.Max() {
+		t.Fatalf("max %v != %v", merged.Max(), orig.Max())
+	}
+	if merged.Mean() != orig.Mean() {
+		t.Fatalf("mean %v != %v", merged.Mean(), orig.Mean())
+	}
+	for _, p := range []float64{50, 95, 99, 99.9} {
+		if got, want := merged.Percentile(p), orig.Percentile(p); got != want {
+			t.Fatalf("p%v: %v != %v", p, got, want)
+		}
+	}
+}
+
+// Two halves of a stream, serialized separately and merged, must equal
+// the histogram of the whole stream (bucket counts are exact, so this is
+// equality, not approximation).
+func TestHistogramJSONMergeTwoProcesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	samples := make([]time.Duration, 5000)
+	for i := range samples {
+		samples[i] = time.Duration(1+rng.Intn(50_000)) * time.Microsecond
+	}
+
+	var whole, a, b Histogram
+	for i, s := range samples {
+		whole.Record(s)
+		if i%2 == 0 {
+			a.Record(s)
+		} else {
+			b.Record(s)
+		}
+	}
+
+	// Round-trip both halves through JSON, as two loadgen processes would.
+	var halves [2]Histogram
+	for i, h := range []*Histogram{&a, &b} {
+		data, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &halves[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var merged Histogram
+	merged.Merge(&halves[0])
+	merged.Merge(&halves[1])
+
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	for _, p := range []float64{50, 90, 95, 99} {
+		if got, want := merged.Percentile(p), whole.Percentile(p); got != want {
+			t.Fatalf("p%v: merged %v != whole %v", p, got, want)
+		}
+	}
+}
+
+// Unknown bucket keys (a newer writer with more buckets) are skipped, not
+// fatal, and garbage input errors cleanly.
+func TestHistogramJSONLenient(t *testing.T) {
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"count":1,"sum":10,"max":10,"min":10,"buckets":{"9999":1,"bad":1,"3":1}}`), &h); err != nil {
+		t.Fatalf("out-of-range bucket keys should be skipped: %v", err)
+	}
+	if err := json.Unmarshal([]byte(`[1,2,3]`), &h); err == nil {
+		t.Fatal("array input should not unmarshal into a histogram")
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Gate the persistence-primitive rates (DESIGN.md §15): re-run the
 # baseline benchmark at the committed scale and fail if any row's pwb/op
-# or pfence/op regressed beyond tolerance against BENCH_baseline.json, or
+# or pfence/op regressed beyond tolerance against
+# results/BENCH_baseline.json, or
 # if the shared-barrier group-commit rows stop beating per-Tx on fences
 # at 8+ concurrent committers. Throughput is deliberately not gated — it
 # is host-dependent; the primitive rates are deterministic modulo epoch
@@ -10,7 +11,7 @@
 # Usage: scripts/check_pwb.sh [baseline JSON] [tolerance]
 set -eu
 
-baseline=${1:-BENCH_baseline.json}
+baseline=${1:-results/BENCH_baseline.json}
 tol=${2:-0.15}
 
 if [ ! -f "$baseline" ]; then
