@@ -119,8 +119,10 @@ binaries:
 	$(GO) build -o bin/scenario ./cmd/scenario
 
 # The full end-to-end scenario fleet: baseline, high-load, hot-key,
-# degraded-latency and crash-recover, each against a real gridserver
-# process over TCP, emitting results/scenarios/scenario-<name>.json.
+# degraded-latency, crash-recover and leaderboard (zipfian increments
+# with delta folding vs whole-value updates, §19), each against a real
+# gridserver process over TCP, emitting
+# results/scenarios/scenario-<name>.json.
 # The crash scenario SIGKILLs the server mid-load, restarts it, and
 # fails if any acknowledged write is missing after recovery.
 scenarios: binaries

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,7 +61,18 @@ type ProcResult struct {
 	KeyPrefix string   `json:"key_prefix,omitempty"`
 	ConnBase  int      `json:"conn_base,omitempty"`
 
+	// HotKeys is the run's top-8 key frequencies across the chooser-drawn
+	// ops — the skew evidence behind a fold ratio: under zipfian the head
+	// keys soak up most deltas, which is exactly what the ledger coalesces.
+	HotKeys []HotKey `json:"hot_keys,omitempty"`
+
 	PerOp map[string]*ycsb.Histogram `json:"per_op"`
+}
+
+// HotKey is one entry of the hot-key report.
+type HotKey struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
 }
 
 // Throughput returns measured operations per second.
@@ -71,7 +84,7 @@ func (r *ProcResult) Throughput() float64 {
 }
 
 type mix struct {
-	insert, read, update, delete, rmw int // cumulative thresholds out of 100
+	insert, read, update, delete, delta, rmw int // cumulative thresholds out of 100
 }
 
 func (m mix) pick(rng *rand.Rand) wire.Op {
@@ -85,27 +98,34 @@ func (m mix) pick(rng *rand.Rand) wire.Op {
 		return wire.OpUpdate
 	case v < m.delete:
 		return wire.OpDelete
+	case v < m.delta:
+		return wire.OpAddDelta
 	default:
 		return wire.OpRMW
 	}
 }
 
 var opNames = map[wire.Op]string{
-	wire.OpInsert: "INSERT",
-	wire.OpRead:   "READ",
-	wire.OpUpdate: "UPDATE",
-	wire.OpDelete: "DELETE",
-	wire.OpRMW:    "RMW",
+	wire.OpInsert:   "INSERT",
+	wire.OpRead:     "READ",
+	wire.OpUpdate:   "UPDATE",
+	wire.OpDelete:   "DELETE",
+	wire.OpRMW:      "RMW",
+	wire.OpAddDelta: "ADDDELTA",
 }
 
 type connStats struct {
 	ops, errors, notFound uint64
 	acked                 uint64
 	perOp                 map[wire.Op]*ycsb.Histogram
+	keyCounts             map[string]uint64 // chooser-drawn key frequencies
 }
 
 func newConnStats() *connStats {
-	return &connStats{perOp: make(map[wire.Op]*ycsb.Histogram)}
+	return &connStats{
+		perOp:     make(map[wire.Op]*ycsb.Histogram),
+		keyCounts: make(map[string]uint64),
+	}
 }
 
 func (c *connStats) record(op wire.Op, d time.Duration) {
@@ -134,6 +154,8 @@ func main() {
 	insertPct := flag.Int("insert-pct", 0, "insert percentage of the mix (fresh keys)")
 	deletePct := flag.Int("delete-pct", 0, "delete percentage of the mix")
 	rmwPct := flag.Int("rmw-pct", 0, "read-modify-write percentage of the mix")
+	deltaPct := flag.Int("delta-pct", 0, "counter-increment (OpAddDelta) percentage of the mix")
+	deltaField := flag.String("delta-field", "field0", "counter field for -delta-pct increments (must hold an 8-byte value; preload with -fieldlen 8)")
 	preload := flag.Bool("preload", false, "insert the whole key space before the measured run")
 	insertSeq := flag.Bool("insert-seq", false, "crash-scenario mode: per-connection deterministic insert sequences, record acked counts")
 	keyPrefix := flag.String("key-prefix", "c", "key prefix for -insert-seq / -verify")
@@ -151,8 +173,9 @@ func main() {
 	m.read = m.insert + *readPct
 	m.update = m.read + *updatePct
 	m.delete = m.update + *deletePct
-	if m.delete+*rmwPct != 100 {
-		fatal(fmt.Errorf("mix percentages sum to %d, want 100", m.delete+*rmwPct))
+	m.delta = m.delete + *deltaPct
+	if m.delta+*rmwPct != 100 {
+		fatal(fmt.Errorf("mix percentages sum to %d, want 100", m.delta+*rmwPct))
 	}
 
 	fieldNames := make([]string, *fields)
@@ -192,6 +215,7 @@ func main() {
 				records:    *records,
 				fieldNames: fieldNames,
 				fieldLen:   *fieldLen,
+				deltaField: *deltaField,
 				insertBase: fmt.Sprintf("n%d-%d-", *proc, i),
 			}
 			switch *dist {
@@ -242,6 +266,7 @@ func main() {
 		res.ConnBase = *proc * *conns
 		res.Acked = make([]uint64, *conns)
 	}
+	keyCounts := make(map[string]uint64)
 	for i, st := range stats {
 		res.Ops += st.ops
 		res.Errors += st.errors
@@ -257,7 +282,11 @@ func main() {
 			}
 			dst.Merge(h)
 		}
+		for k, n := range st.keyCounts {
+			keyCounts[k] += n
+		}
 	}
+	res.HotKeys = topKeys(keyCounts, 8)
 
 	all := &ycsb.Histogram{}
 	for _, h := range res.PerOp {
@@ -265,6 +294,13 @@ func main() {
 	}
 	fmt.Printf("loadgen: %s %.0f ops/s (%d ops, %d errors, %d not-found) %s\n",
 		res.Mode, res.Throughput(), res.Ops, res.Errors, res.NotFound, all)
+	if len(res.HotKeys) > 0 && res.Ops > 0 {
+		parts := make([]string, len(res.HotKeys))
+		for i, hk := range res.HotKeys {
+			parts[i] = fmt.Sprintf("%s:%.1f%%", hk.Key, 100*float64(hk.Count)/float64(res.Ops))
+		}
+		fmt.Printf("loadgen: hot keys: %s\n", strings.Join(parts, " "))
+	}
 
 	if *out != "" {
 		if err := results.WriteJSON(*out, &res); err != nil {
@@ -289,6 +325,7 @@ type worker struct {
 	records    int
 	fieldNames []string
 	fieldLen   int
+	deltaField string
 	insertBase string // fresh-key prefix for mixed-mode inserts
 	insertSeq  uint64
 }
@@ -308,6 +345,7 @@ func (w *worker) makeFields() []store.Field {
 func (w *worker) makeReq(req *wire.Request) {
 	op := w.mix.pick(w.rng)
 	req.Op = op
+	req.Field, req.Delta = "", 0
 	switch op {
 	case wire.OpInsert:
 		// Fresh keys: inserting over the loaded key space would collide.
@@ -317,9 +355,17 @@ func (w *worker) makeReq(req *wire.Request) {
 	case wire.OpRead, wire.OpDelete:
 		req.Key = ycsb.Key(w.chooser.Next(w.rng))
 		req.Fields = nil
+	case wire.OpAddDelta:
+		req.Key = ycsb.Key(w.chooser.Next(w.rng))
+		req.Fields = nil
+		req.Field = w.deltaField
+		req.Delta = 1
 	default: // update, rmw
 		req.Key = ycsb.Key(w.chooser.Next(w.rng))
 		req.Fields = w.makeFields()
+	}
+	if op != wire.OpInsert {
+		w.st.keyCounts[req.Key]++
 	}
 }
 
@@ -634,6 +680,28 @@ func runVerify(addr, path string, pipeline int, out string) int {
 		return 1
 	}
 	return 0
+}
+
+// topKeys reduces a merged frequency map to its n highest-count entries,
+// ties broken by key for a deterministic report.
+func topKeys(counts map[string]uint64, n int) []HotKey {
+	if len(counts) == 0 {
+		return nil
+	}
+	all := make([]HotKey, 0, len(counts))
+	for k, c := range counts {
+		all = append(all, HotKey{Key: k, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
 }
 
 func fatal(err error) {

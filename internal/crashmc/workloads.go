@@ -25,7 +25,7 @@ import (
 // of the J-PDT types (pdt), and the lock-free persist-at-destination
 // map/set (pdtlockfree).
 func Workloads() []*Workload {
-	return []*Workload{bankWorkload(), gridWorkload(), gridGroupWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload(), pdtLockFreeWorkload(), poolMigrateWorkload()}
+	return []*Workload{bankWorkload(), gridWorkload(), gridGroupWorkload(), gridDeltaWorkload(), gridReadWorkload(), poolWorkload(), pdtWorkload(), pdtLockFreeWorkload(), poolMigrateWorkload()}
 }
 
 // ByName resolves a workload; "all" is handled by callers.
@@ -432,6 +432,226 @@ func gridGroupWorkload() *Workload {
 				// Writability probe: the recovered heap commits per-Tx again.
 				if err := g2.Insert("probe", &store.Record{Fields: []store.Field{{Name: "v", Value: []byte("ok")}}}); err != nil {
 					return fmt.Errorf("post-recovery insert: %w", err)
+				}
+				return nil
+			},
+		}
+	}}
+}
+
+// ---- griddelta: delta-ledger folding under the async pipeline ----
+
+// gridDeltaWorkload crashes the delta coalescing of DESIGN.md §19:
+// counter increments ride the manager's fold ledger (volatile until a
+// drain materializes one redo-log entry per hot key) while updates on the
+// same keys queue as ordinary async commits, forcing the drain-on-overlap
+// interactions. The oracle tracks, per key, the in-flight folded value
+// (base+sum: a fold materializes atomically, so a partial sum must never
+// surface) plus the set of values any internal drain may have made
+// durable; each returned drain collapses the set to exactly the current
+// value — a lost or double-applied folded delta fails there. Parallel
+// recovery additionally replays the identical image serially and demands
+// bit-identical pool bytes: a folded entry is one ordinary redo-log write,
+// so both recovery paths must land on the same image.
+func gridDeltaWorkload() *Workload {
+	const nkeys = 6
+	const epochs = 4
+	const opsPerEpoch = 6
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("c%02d", i)
+	}
+	counterBytes := func(v int64) []byte {
+		b := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(uint64(v) >> (8 * i))
+		}
+		return b
+	}
+	return &Workload{Name: "griddelta", PoolBytes: 1 << 21, New: func(seed int64) *Run {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]int64, nkeys) // value with every drained write applied
+		sum := make([]int64, nkeys)  // in-flight folded delta on top of base
+		durable := make([]map[int64]bool, nkeys)
+		recPending := make([]bool, nkeys) // a queued (non-ledger) tx touched the key
+		isCounter := make([]bool, nkeys)  // value is block-resident (ledger-foldable)
+		for i := range durable {
+			durable[i] = map[int64]bool{}
+		}
+		// boundary models a drain the pipeline ran internally (overlap
+		// or upgrade forced it): everything in flight may now be durable.
+		// Misfires are safe — the check always accepts base+sum — but a
+		// fired boundary records the states a crash mid-exec may surface.
+		boundary := func() {
+			for j := range keys {
+				base[j] += sum[j]
+				sum[j] = 0
+				durable[j][base[j]] = true
+				recPending[j] = false
+			}
+		}
+		var g *store.Grid
+		var mgr *fa.Manager
+		return &Run{
+			Setup: func(pool *nvm.Pool) error {
+				mgr = fa.NewManager()
+				h, err := openCheckHeap(pool, gridClasses(), mgr, 1)
+				if err != nil {
+					return err
+				}
+				backend, err := store.NewJPFABackend(h, mgr, "griddelta.map")
+				if err != nil {
+					return err
+				}
+				g = store.NewGrid(backend, store.Options{CacheEntries: 4})
+				// Seed per-Tx: insert each counter, then one delta to
+				// upgrade the pooled value to a block-resident counter so
+				// the async phase folds in the ledger from the first op.
+				for i, key := range keys {
+					v := int64(100 * (i + 1))
+					if err := g.Insert(key, &store.Record{Fields: []store.Field{{Name: "n", Value: counterBytes(v)}}}); err != nil {
+						return err
+					}
+					if err := g.AddDelta(key, "n", 1); err != nil {
+						return err
+					}
+					base[i] = v + 1
+					durable[i][base[i]] = true
+					isCounter[i] = true
+				}
+				return mgr.SetGroupCommit(fa.GroupOptions{Mode: fa.CommitAsync, ManualDrain: true})
+			},
+			Exec: func(pool *nvm.Pool) error {
+				for e := 0; e < epochs; e++ {
+					for i := 0; i < opsPerEpoch; i++ {
+						k := rng.Intn(nkeys)
+						if rng.Intn(10) < 7 {
+							d := int64(1 + rng.Intn(9))
+							if rng.Intn(4) == 0 {
+								d = -d
+							}
+							// A queued tx on this key's blocks forces the
+							// pipeline to drain before the fold can ride.
+							if recPending[k] {
+								boundary()
+							}
+							if !isCounter[k] {
+								// Pooled value: the delta arrives inside an
+								// upgrade tx (queued, all-or-nothing).
+								recPending[k] = true
+								isCounter[k] = true
+							}
+							if err := g.AddDelta(keys[k], "n", d); err != nil {
+								return fmt.Errorf("epoch %d delta %s: %w", e, keys[k], err)
+							}
+							sum[k] += d
+						} else {
+							// Plain update: swings the value to a fresh pooled
+							// blob; a pending fold or queued tx on the key
+							// drains first (tx.Free waits the blocks clear).
+							if sum[k] != 0 || recPending[k] {
+								boundary()
+							}
+							x := int64(1000*(e+1) + i)
+							if err := g.Update(keys[k], []store.Field{{Name: "n", Value: counterBytes(x)}}); err != nil {
+								return fmt.Errorf("epoch %d update %s: %w", e, keys[k], err)
+							}
+							base[k] = x
+							sum[k] = 0
+							isCounter[k] = false
+							recPending[k] = true
+						}
+					}
+					// Alternate the drain APIs; both promise every issued
+					// ticket (folds included) durable on return.
+					if e%2 == 0 {
+						mgr.AwaitDurable(mgr.IssuedTickets())
+					} else {
+						mgr.DrainDurable()
+					}
+					for j := range keys {
+						base[j] += sum[j]
+						sum[j] = 0
+						recPending[j] = false
+						durable[j] = map[int64]bool{base[j]: true}
+					}
+				}
+				return nil
+			},
+			Check: func(img *nvm.Pool, parallelism int) error {
+				var snapshot []byte
+				if parallelism > 1 {
+					// A folded entry is an ordinary redo-log write, so
+					// serial and parallel replay of the same image must be
+					// bit-identical before either serves reads.
+					snapshot = img.ReadBytes(0, img.Size())
+				}
+				mgr2 := fa.NewManager()
+				h, err := openCheckHeap(img, gridClasses(), mgr2, parallelism)
+				if err != nil {
+					return fmt.Errorf("reopen: %w", err)
+				}
+				if parallelism > 1 {
+					img2 := nvm.New(len(snapshot), nvm.Options{})
+					img2.WriteBytes(0, snapshot)
+					if _, err := openCheckHeap(img2, gridClasses(), fa.NewManager(), 1); err != nil {
+						return fmt.Errorf("serial replay: %w", err)
+					}
+					if !bytes.Equal(img.ReadBytes(0, img.Size()), img2.ReadBytes(0, img2.Size())) {
+						return fmt.Errorf("serial and parallel recovery images differ")
+					}
+				}
+				if err := fsckClean(h); err != nil {
+					return err
+				}
+				backend, err := store.NewJPFABackend(h, mgr2, "griddelta.map")
+				if err != nil {
+					return fmt.Errorf("reopen backend: %w", err)
+				}
+				g2 := store.NewGrid(backend, store.Options{})
+				read := func(key string) (int64, error) {
+					var raw []byte
+					err := g2.Read(key, func(name string, v []byte) {
+						if name == "n" {
+							raw = append([]byte(nil), v...)
+						}
+					})
+					if err != nil {
+						return 0, err
+					}
+					if len(raw) != 8 {
+						return 0, fmt.Errorf("counter is %d bytes (torn?)", len(raw))
+					}
+					var v uint64
+					for i := 0; i < 8; i++ {
+						v |= uint64(raw[i]) << (8 * i)
+					}
+					return int64(v), nil
+				}
+				for j, key := range keys {
+					got, err := read(key)
+					if err != nil {
+						return fmt.Errorf("read %s: %w", key, err)
+					}
+					if got == base[j]+sum[j] || durable[j][got] {
+						continue
+					}
+					return fmt.Errorf("key %s: recovered %d is neither in-flight %d nor any drained state %v",
+						key, got, base[j]+sum[j], int64Keys(durable[j]))
+				}
+				// Writability probe: the recovered grid folds per-Tx again.
+				if err := g2.AddDelta(keys[0], "n", 5); err != nil {
+					return fmt.Errorf("post-recovery delta: %w", err)
+				}
+				before, err := read(keys[0])
+				if err != nil {
+					return err
+				}
+				if err := g2.AddDelta(keys[0], "n", -2); err != nil {
+					return fmt.Errorf("post-recovery second delta: %w", err)
+				}
+				if after, err := read(keys[0]); err != nil || after != before-2 {
+					return fmt.Errorf("post-recovery fold lost: %d -> %d, %v", before, after, err)
 				}
 				return nil
 			},

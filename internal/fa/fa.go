@@ -245,6 +245,10 @@ func (m *Manager) RecoverLogs(h *core.Heap, opts core.RecoverOptions) error {
 		g.mu.Lock()
 		g.queue = nil
 		clear(g.pending)
+		clear(g.ledger)
+		g.order = nil
+		clear(g.deltaBlocks)
+		g.backlog.Store(0)
 		g.durable = g.issued
 		g.draining = false
 		g.mu.Unlock()
@@ -587,6 +591,14 @@ func (tx *Tx) Free(po core.PObject) error {
 	ref := po.Core().Ref()
 	if ref == 0 {
 		return nil
+	}
+	if tx.grp != nil {
+		// Async mode: a pending delta on one of the freed blocks would
+		// materialize into the same epoch as (or a later epoch than) this
+		// free and scribble on a recycled block. Settle each block first.
+		for _, b := range po.Core().BlockRefs() {
+			tx.grp.waitClear(b)
+		}
 	}
 	if err := tx.appendEntry(kindFree, ref, 0); err != nil {
 		return err

@@ -39,6 +39,7 @@ package fa
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/nvm"
@@ -97,6 +98,15 @@ type groupState struct {
 	draining bool                  // an epoch drain is in flight
 	manual   bool
 	target   int
+
+	// Delta ledger (delta.go): pending net deltas folded by AddDelta,
+	// materialized into the next epoch. order preserves first-fold order;
+	// deltaBlocks counts pending entries per block for waitClear; backlog
+	// mirrors len(ledger) for the lock-free DeltaPending fast path.
+	ledger      map[deltaKey]*deltaEntry
+	order       []deltaKey
+	deltaBlocks map[core.Ref]int
+	backlog     atomic.Int64
 }
 
 // SetGroupCommit switches the manager's commit mode. It must be called
@@ -117,11 +127,13 @@ func (m *Manager) SetGroupCommit(opts GroupOptions) error {
 			target = defaultBatchTarget
 		}
 		g := &groupState{
-			m:       m,
-			mode:    CommitAsync,
-			pending: make(map[core.Ref]struct{}),
-			manual:  opts.ManualDrain,
-			target:  target,
+			m:           m,
+			mode:        CommitAsync,
+			pending:     make(map[core.Ref]struct{}),
+			manual:      opts.ManualDrain,
+			target:      target,
+			ledger:      make(map[deltaKey]*deltaEntry),
+			deltaBlocks: make(map[core.Ref]int),
 		}
 		g.cond = sync.NewCond(&g.mu)
 		m.group.Store(g)
@@ -174,7 +186,7 @@ func (m *Manager) AwaitDurable(ticket uint64) {
 	}
 	g.mu.Lock()
 	for g.durable < ticket {
-		if len(g.queue) == 0 && !g.draining {
+		if len(g.queue) == 0 && len(g.order) == 0 && !g.draining {
 			break // ticket never issued or already drained elsewhere
 		}
 		g.drainLocked()
@@ -191,7 +203,7 @@ func (m *Manager) DrainDurable() uint64 {
 		return 0
 	}
 	g.mu.Lock()
-	for len(g.queue) > 0 || g.draining {
+	for len(g.queue) > 0 || len(g.order) > 0 || g.draining {
 		g.drainLocked()
 	}
 	w := g.durable
@@ -229,18 +241,21 @@ func (g *groupState) enqueue(tx *Tx) uint64 {
 	return ticket
 }
 
-// waitClear blocks until no queued commit holds the block orig, draining
-// the queue if needed. Called on every transactional access to an
-// original block (reads included: a block touched by a queued commit has
-// a newer image in its redo log, and basing a new block on the stale
-// original would lose the queued update). No-op outside async mode.
+// waitClear blocks until no queued commit holds the block orig and no
+// delta is pending on it, draining the queue if needed. Called on every
+// transactional access to an original block (reads included: a block
+// touched by a queued commit has a newer image in its redo log, and one
+// with a pending delta has a newer word in the ledger; basing a new
+// block on the stale original would lose the queued update). No-op
+// outside async mode.
 func (g *groupState) waitClear(orig core.Ref) {
 	if g.mode != CommitAsync {
 		return
 	}
 	g.mu.Lock()
 	for {
-		if _, ok := g.pending[orig]; !ok {
+		_, held := g.pending[orig]
+		if !held && g.deltaBlocks[orig] == 0 {
 			g.mu.Unlock()
 			return
 		}
@@ -258,20 +273,38 @@ func (g *groupState) drainLocked() {
 		g.cond.Wait()
 	}
 	batch := g.queue
-	if len(batch) == 0 {
+	dtxs, leftoverMin := g.materializeLocked()
+	if len(batch) == 0 && len(dtxs) == 0 {
+		if leftoverMin != 0 {
+			// Ledger entries exist but no log slot was free: the holders
+			// are open application blocks. Yield so they can finish, then
+			// let the caller's loop retry.
+			g.mu.Unlock()
+			deltaYield()
+			g.mu.Lock()
+		}
 		return
 	}
 	g.queue = nil
+	// Every ticket issued so far is durable, in batch, or materialized
+	// into dtxs — except those folded into a leftover ledger entry, which
+	// cap the acknowledgment.
+	last := g.issued
+	if leftoverMin != 0 && leftoverMin-1 < last {
+		last = leftoverMin - 1
+	}
 	g.draining = true
 	g.mu.Unlock()
 
-	last, origs := g.drainEpoch(batch)
+	origs := g.drainEpoch(append(dtxs, batch...))
 
 	g.mu.Lock()
 	for _, orig := range origs {
 		delete(g.pending, orig)
 	}
-	g.durable = last
+	if last > g.durable {
+		g.durable = last
+	}
 	g.draining = false
 	g.cond.Broadcast()
 }
@@ -294,12 +327,15 @@ func (g *groupState) drainLocked() {
 // after F3, so no retired slot can collect fresh entries while its old
 // committed mark is still durable. Earlier epochs were fully retired
 // before this epoch's marks were written, hence the prefix property.
-func (g *groupState) drainEpoch(batch []*Tx) (last uint64, origs []core.Ref) {
+func (g *groupState) drainEpoch(batch []*Tx) (origs []core.Ref) {
 	pool := batch[0].h.Pool()
-	last = batch[len(batch)-1].ticket
 	// Capture the pending originals for removal after the epoch: the
 	// cleanup below truncates tx.writes and recycles the Tx objects.
+	queued := 0
 	for _, tx := range batch {
+		if tx.ticket != 0 {
+			queued++ // detached delta txs don't count as epoch commits
+		}
 		for i := range tx.writes {
 			origs = append(origs, tx.writes[i].orig)
 		}
@@ -318,11 +354,11 @@ func (g *groupState) drainEpoch(batch []*Tx) (last uint64, origs []core.Ref) {
 	}
 	pool.PSync() // F3
 	g.m.stats.Epochs.Inc()
-	g.m.stats.EpochTxs.Add(uint64(len(batch)))
+	g.m.stats.EpochTxs.Add(uint64(queued))
 	for _, tx := range batch {
 		tx.commitCleanup()
 	}
-	return last, origs
+	return origs
 }
 
 // commitGrouped is the synchronous group-commit path: the same stores,
@@ -354,8 +390,16 @@ func (m *Manager) groupSnapshot(snap *obs.FASnapshot) {
 	}
 	if g.mode == CommitAsync {
 		// Per-Tx commit issues 4 barriers; an epoch issues 4 for the
-		// whole batch.
-		snap.CombinedFences += 4 * (snap.EpochTxs - snap.Epochs)
+		// whole batch. Pure-delta epochs can push Epochs past EpochTxs.
+		if snap.EpochTxs > snap.Epochs {
+			snap.CombinedFences += 4 * (snap.EpochTxs - snap.Epochs)
+		}
+		// Each folded-away op would have cost its own log write + line
+		// flush; materialized entries and the still-pending backlog are
+		// the ones that (will) pay.
+		if backlog := uint64(g.backlog.Load()); snap.DeltaOps >= snap.DeltaEntries+backlog {
+			snap.DeltaFlushesSaved = snap.DeltaOps - snap.DeltaEntries - backlog
+		}
 		g.mu.Lock()
 		snap.WatermarkLag = g.issued - g.durable
 		g.mu.Unlock()

@@ -171,6 +171,10 @@ type FAStats struct {
 	Epochs       Counter // async group-commit epochs drained
 	EpochTxs     Counter // commits made durable by an epoch drain
 	AsyncCommits Counter // async commits enqueued (tickets issued)
+
+	DeltaOps     Counter // delta ops accepted by the async ledger (tickets issued)
+	DeltasFolded Counter // delta ops folded into an already-pending entry
+	DeltaEntries Counter // ledger entries materialized (one log write + flush each)
 }
 
 // FASnapshot combines the counters with slot-occupancy gauges.
@@ -192,6 +196,14 @@ type FASnapshot struct {
 	// committer issued (sync-mode combining) plus the barriers an epoch
 	// drain amortized away vs the per-Tx protocol. Filled by the manager.
 	CombinedFences uint64 `json:"combined_fences"`
+
+	DeltaOps     uint64 `json:"delta_ops"`
+	DeltasFolded uint64 `json:"deltas_folded"`
+	DeltaEntries uint64 `json:"delta_entries"`
+	// DeltaFlushesSaved is the redo-log writes (and their line flushes)
+	// that folding avoided: ops minus materialized entries minus the
+	// still-pending backlog. Filled by the manager.
+	DeltaFlushesSaved uint64 `json:"delta_flushes_saved"`
 
 	// Gauges.
 	SlotsTotal uint64 `json:"log_slots_total"`
@@ -218,6 +230,10 @@ func (s *FAStats) Snapshot(slotsTotal, slotsInUse uint64) FASnapshot {
 		EpochTxs:     s.EpochTxs.Load(),
 		AsyncCommits: s.AsyncCommits.Load(),
 
+		DeltaOps:     s.DeltaOps.Load(),
+		DeltasFolded: s.DeltasFolded.Load(),
+		DeltaEntries: s.DeltaEntries.Load(),
+
 		SlotsTotal: slotsTotal,
 		SlotsInUse: slotsInUse,
 	}
@@ -238,6 +254,10 @@ func (s FASnapshot) Sub(prev FASnapshot) FASnapshot {
 	out.EpochTxs -= prev.EpochTxs
 	out.AsyncCommits -= prev.AsyncCommits
 	out.CombinedFences -= prev.CombinedFences
+	out.DeltaOps -= prev.DeltaOps
+	out.DeltasFolded -= prev.DeltasFolded
+	out.DeltaEntries -= prev.DeltaEntries
+	out.DeltaFlushesSaved -= prev.DeltaFlushesSaved
 	return out
 }
 
@@ -259,6 +279,11 @@ func (s FASnapshot) Add(o FASnapshot) FASnapshot {
 		EpochTxs:       s.EpochTxs + o.EpochTxs,
 		AsyncCommits:   s.AsyncCommits + o.AsyncCommits,
 		CombinedFences: s.CombinedFences + o.CombinedFences,
+
+		DeltaOps:          s.DeltaOps + o.DeltaOps,
+		DeltasFolded:      s.DeltasFolded + o.DeltasFolded,
+		DeltaEntries:      s.DeltaEntries + o.DeltaEntries,
+		DeltaFlushesSaved: s.DeltaFlushesSaved + o.DeltaFlushesSaved,
 
 		SlotsTotal:   s.SlotsTotal + o.SlotsTotal,
 		SlotsInUse:   s.SlotsInUse + o.SlotsInUse,
@@ -753,6 +778,14 @@ func (s StackSnapshot) Report(w io.Writer) {
 			}
 			fmt.Fprintf(w, "fa group commit: %d epochs (avg %.1f tx), %d async commits, %d combined fences, watermark lag %d\n",
 				s.FA.Epochs, avg, s.FA.AsyncCommits, s.FA.CombinedFences, s.FA.WatermarkLag)
+		}
+		if s.FA.DeltaOps > 0 {
+			ratio := float64(s.FA.DeltaOps)
+			if s.FA.DeltaEntries > 0 {
+				ratio = float64(s.FA.DeltaOps) / float64(s.FA.DeltaEntries)
+			}
+			fmt.Fprintf(w, "fa delta ledger: %d ops, %d folded, %d entries materialized (%.1fx fold), %d flushes saved\n",
+				s.FA.DeltaOps, s.FA.DeltasFolded, s.FA.DeltaEntries, ratio, s.FA.DeltaFlushesSaved)
 		}
 	}
 	if sh := s.Shard; sh != nil {

@@ -26,7 +26,7 @@ import (
 )
 
 // Names lists the scenarios in canonical order.
-var Names = []string{"baseline", "high-load", "hot-key", "degraded-latency", "crash-recover"}
+var Names = []string{"baseline", "high-load", "hot-key", "degraded-latency", "crash-recover", "leaderboard"}
 
 // Options configures a scenario run.
 type Options struct {
@@ -106,7 +106,34 @@ type Report struct {
 	BatchMean   float64 `json:"batch_mean"`
 	WriteFences uint64  `json:"write_fences"`
 
-	Crash *CrashReport `json:"crash,omitempty"`
+	Crash       *CrashReport       `json:"crash,omitempty"`
+	Leaderboard *LeaderboardReport `json:"leaderboard,omitempty"`
+}
+
+// LeaderboardReport is the delta-coalescing scenario's evidence: the same
+// zipfian counter workload measured twice on one server — once as plain
+// 8-byte field updates (no-fold), once as OpAddDelta increments riding
+// the ledger — plus a uniform rate-limiter phase. The headline number is
+// PWBReduction, the no-fold/fold ratio of pwb/op.
+type LeaderboardReport struct {
+	NoFoldOps       uint64  `json:"nofold_ops"`
+	NoFoldPWBPerOp  float64 `json:"nofold_pwb_per_op"`
+	NoFoldPFPerOp   float64 `json:"nofold_pfence_per_op"`
+	FoldOps         uint64  `json:"fold_ops"`
+	FoldPWBPerOp    float64 `json:"fold_pwb_per_op"`
+	FoldPFPerOp     float64 `json:"fold_pfence_per_op"`
+	PWBReduction    float64 `json:"pwb_reduction"`
+	PFenceReduction float64 `json:"pfence_reduction"`
+
+	// Ledger counters over the fold + rate-limiter phases.
+	DeltaOps     uint64  `json:"delta_ops"`
+	DeltasFolded uint64  `json:"deltas_folded"`
+	DeltaEntries uint64  `json:"delta_entries"`
+	FlushesSaved uint64  `json:"delta_flushes_saved"`
+	FoldRatio    float64 `json:"fold_ratio"` // delta_ops per materialized entry
+
+	RateLimitOps    uint64 `json:"ratelimit_ops"`
+	RateLimitErrors uint64 `json:"ratelimit_errors"`
 }
 
 // Run executes one named scenario and writes its report to
@@ -134,6 +161,8 @@ func Run(name string, o Options) (*Report, error) {
 			[]lgSpec{{conns: 4, pipeline: 16, dist: "zipfian"}})
 	case "crash-recover":
 		rep, err = runCrash(o)
+	case "leaderboard":
+		rep, err = runLeaderboard(o)
 	default:
 		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names)
 	}
@@ -379,6 +408,172 @@ func runCrash(o Options) (*Report, error) {
 		return rep, fmt.Errorf("resumed traffic saw %d errors", resumed.Errors)
 	}
 	return rep, nil
+}
+
+// runLeaderboard is the delta-coalescing scenario: records are
+// single-field 8-byte counters, traffic is zipfian (theta~0.99) so a
+// handful of leaderboard heads soak up most increments, and top-score
+// reads ride the same skewed chooser. Three measured phases against one
+// async-commit server, each bracketed by its own stats snapshot:
+//
+//  1. nofold — the increments arrive as plain 8-byte field updates; every
+//     op rewrites its value through the redo log.
+//  2. fold — the same mix as OpAddDelta increments; write-hot keys fold
+//     in the ledger to one materialized entry per key per epoch.
+//  3. ratelimit — uniform AddDelta bursts (every client bumping its own
+//     token bucket), the low-skew sanity check that folding never
+//     corrupts and the fallback path stays correct.
+//
+// The report's headline is pwb/op (nofold) / pwb/op (fold).
+func runLeaderboard(o Options) (*Report, error) {
+	srv, err := startServer(o, "-commit", "async", "-fields", "1", "-fieldlen", "8")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.ensureDead()
+
+	// Preload the whole key space as one-field 8-byte records: every
+	// field is a foldable counter, and the no-fold updates rewrite
+	// exactly the bytes the deltas increment — a like-for-like pwb/op
+	// comparison.
+	if err := runCmd(o, o.LoadgenBin,
+		"-addr", o.Addr, "-conns", "4", "-pipeline", "32",
+		"-records", strconv.Itoa(o.Records), "-preload", "-duration", "0s",
+		"-fields", "1", "-fieldlen", "8",
+		"-read-pct", "100", "-update-pct", "0"); err != nil {
+		return nil, fmt.Errorf("preload: %w", err)
+	}
+
+	phaseDur := o.Duration / 2
+	if phaseDur < 3*time.Second {
+		phaseDur = 3 * time.Second
+	}
+	rateDur := o.Duration / 3
+	if rateDur < 2*time.Second {
+		rateDur = 2 * time.Second
+	}
+
+	type phase struct {
+		lr    lgResult
+		stack obs.StackSnapshot
+	}
+	runPhase := func(name string, dur time.Duration, extra ...string) (*phase, string, error) {
+		before, err := fetchStats(o.Addr)
+		if err != nil {
+			return nil, "", err
+		}
+		out := filepath.Join(o.ScratchDir, "leaderboard-"+name+".json")
+		args := append([]string{
+			"-addr", o.Addr, "-conns", "8", "-pipeline", "32",
+			"-duration", dur.String(),
+			"-records", strconv.Itoa(o.Records),
+			"-fields", "1", "-fieldlen", "8",
+			"-out", out,
+		}, extra...)
+		if err := runCmd(o, o.LoadgenBin, args...); err != nil {
+			return nil, "", fmt.Errorf("phase %s: %w", name, err)
+		}
+		after, err := fetchStats(o.Addr)
+		if err != nil {
+			return nil, "", err
+		}
+		p := &phase{}
+		if err := readJSON(out, &p.lr); err != nil {
+			return nil, "", err
+		}
+		if after.Stack != nil && before.Stack != nil {
+			p.stack = after.Stack.Sub(*before.Stack)
+		}
+		fmt.Fprintf(o.Log, "scenario leaderboard: phase %s: %d ops, %d errors\n", name, p.lr.Ops, p.lr.Errors)
+		return p, out, nil
+	}
+
+	nofold, nofoldOut, err := runPhase("nofold", phaseDur,
+		"-dist", "zipfian", "-read-pct", "30", "-update-pct", "70")
+	if err != nil {
+		return nil, err
+	}
+	fold, foldOut, err := runPhase("fold", phaseDur,
+		"-dist", "zipfian", "-read-pct", "30", "-update-pct", "0", "-delta-pct", "70")
+	if err != nil {
+		return nil, err
+	}
+	rate, rateOut, err := runPhase("ratelimit", rateDur,
+		"-dist", "uniform", "-read-pct", "10", "-update-pct", "0", "-delta-pct", "90")
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.stop(); err != nil {
+		return nil, err
+	}
+
+	perOp := func(p *phase, f func(*obs.NVMSnapshot) uint64) float64 {
+		if p.stack.NVM == nil || p.lr.Ops == 0 {
+			return 0
+		}
+		return float64(f(p.stack.NVM)) / float64(p.lr.Ops)
+	}
+	pwbs := func(n *obs.NVMSnapshot) uint64 { return n.PWBs }
+	fences := func(n *obs.NVMSnapshot) uint64 { return n.Fences() }
+
+	lb := &LeaderboardReport{
+		NoFoldOps:       nofold.lr.Ops,
+		NoFoldPWBPerOp:  perOp(nofold, pwbs),
+		NoFoldPFPerOp:   perOp(nofold, fences),
+		FoldOps:         fold.lr.Ops,
+		FoldPWBPerOp:    perOp(fold, pwbs),
+		FoldPFPerOp:     perOp(fold, fences),
+		RateLimitOps:    rate.lr.Ops,
+		RateLimitErrors: rate.lr.Errors,
+	}
+	if lb.FoldPWBPerOp > 0 {
+		lb.PWBReduction = lb.NoFoldPWBPerOp / lb.FoldPWBPerOp
+	}
+	if lb.FoldPFPerOp > 0 {
+		lb.PFenceReduction = lb.NoFoldPFPerOp / lb.FoldPFPerOp
+	}
+	for _, p := range []*phase{fold, rate} {
+		if p.stack.FA == nil {
+			continue
+		}
+		lb.DeltaOps += p.stack.FA.DeltaOps
+		lb.DeltasFolded += p.stack.FA.DeltasFolded
+		lb.DeltaEntries += p.stack.FA.DeltaEntries
+		lb.FlushesSaved += p.stack.FA.DeltaFlushesSaved
+	}
+	if lb.DeltaEntries > 0 {
+		lb.FoldRatio = float64(lb.DeltaOps) / float64(lb.DeltaEntries)
+	}
+	fmt.Fprintf(o.Log,
+		"scenario leaderboard: pwb/op %.2f (nofold) vs %.2f (fold) = %.1fx reduction, fold ratio %.1fx\n",
+		lb.NoFoldPWBPerOp, lb.FoldPWBPerOp, lb.PWBReduction, lb.FoldRatio)
+
+	rep := newReport("leaderboard", o)
+	rep.Params["commit"] = "async"
+	rep.Params["dist"] = "zipfian"
+	rep.Params["phases"] = "nofold,fold,ratelimit"
+	rep.Params["conns"] = "8"
+	if err := rep.merge([]string{nofoldOut, foldOut, rateOut}); err != nil {
+		return nil, err
+	}
+	// Whole-run pwb/op (all phases) for the fleet table; the phase split
+	// lives in the Leaderboard block.
+	rep.PWBPerOp = (lb.NoFoldPWBPerOp*float64(lb.NoFoldOps) +
+		lb.FoldPWBPerOp*float64(lb.FoldOps)) / float64(max64(lb.NoFoldOps+lb.FoldOps, 1))
+	rep.PFencePerOp = (lb.NoFoldPFPerOp*float64(lb.NoFoldOps) +
+		lb.FoldPFPerOp*float64(lb.FoldOps)) / float64(max64(lb.NoFoldOps+lb.FoldOps, 1))
+	rep.Leaderboard = lb
+	if rate.lr.Errors > 0 {
+		return rep, fmt.Errorf("rate-limiter phase saw %d errors", rate.lr.Errors)
+	}
+	return rep, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // ---- server process management ----

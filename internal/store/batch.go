@@ -12,15 +12,19 @@ const (
 	BatchUpdate
 	BatchDelete
 	BatchRMW
+	BatchAddDelta
 )
 
 // BatchOp is one operation of a batch. Fields carries the payload of
 // Insert/Update/RMW (RMW overwrites exactly the given fields under the
-// key's lock, the YCSB read-modify-write shape).
+// key's lock, the YCSB read-modify-write shape); Field/Delta carry the
+// AddDelta counter increment.
 type BatchOp struct {
 	Kind   BatchOpKind
 	Key    string
 	Fields []Field
+	Field  string
+	Delta  int64
 }
 
 // BatchResult is the outcome of one batch operation. Read results are
@@ -76,6 +80,8 @@ func (g *Grid) ApplyBatch(ops []BatchOp, res []BatchResult) {
 		case BatchRMW:
 			fields := op.Fields
 			r.Err = g.ReadModifyWrite(op.Key, func(*Record) []Field { return fields })
+		case BatchAddDelta:
+			r.Err = g.AddDelta(op.Key, op.Field, op.Delta)
 		default:
 			r.Err = ErrNotFound
 		}

@@ -203,13 +203,17 @@ func (b *JPFABackend) get(key string) (core.PObject, error) {
 	return nil, nil
 }
 
-// Read implements Backend (reads need no block, as in the paper).
+// Read implements Backend (reads need no block, as in the paper). Value
+// blocks with a pending ledger delta are settled first, so a read after
+// an acknowledged AddDelta always observes the folded word.
 func (b *JPFABackend) Read(key string, consume func(string, []byte)) (bool, error) {
 	po, err := b.get(key)
 	if err != nil || po == nil {
 		return false, err
 	}
-	po.(*pRecord).read(b.h, consume)
+	r := po.(*pRecord)
+	b.settleDeltas(r)
+	r.read(b.h, consume)
 	return true, nil
 }
 

@@ -125,6 +125,17 @@ func (c *Client) Read(key string) (fields []store.Field, found bool, err error) 
 	return nil, false, fmt.Errorf("wire: read: %s", resp.Msg)
 }
 
+// AddDelta folds a signed delta into an 8-byte counter field
+// synchronously. Under the server's async pipeline the acknowledgement
+// still implies durability — the window fences before responding.
+func (c *Client) AddDelta(key, field string, delta int64) error {
+	var resp Response
+	if err := c.do(&Request{Op: OpAddDelta, Key: key, Field: field, Delta: delta}, &resp); err != nil {
+		return err
+	}
+	return statusErr(&resp)
+}
+
 // Stats fetches the server's stats JSON.
 func (c *Client) Stats() ([]byte, error) {
 	var resp Response

@@ -43,7 +43,7 @@ func normalize(fs []store.Field) []store.Field {
 
 func TestRequestRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	ops := []Op{OpPing, OpInsert, OpRead, OpUpdate, OpDelete, OpRMW, OpStats}
+	ops := []Op{OpPing, OpInsert, OpRead, OpUpdate, OpDelete, OpRMW, OpStats, OpAddDelta}
 	for iter := 0; iter < 2000; iter++ {
 		in := Request{Op: ops[rng.Intn(len(ops))]}
 		switch in.Op {
@@ -56,6 +56,11 @@ func TestRequestRoundTrip(t *testing.T) {
 		switch in.Op {
 		case OpInsert, OpUpdate, OpRMW:
 			in.Fields = randFields(rng, rng.Intn(5))
+		case OpAddDelta:
+			name := make([]byte, 1+rng.Intn(16))
+			rng.Read(name)
+			in.Field = string(name)
+			in.Delta = rng.Int63() - rng.Int63() // exercise negative varints
 		}
 
 		frame := AppendRequest(nil, &in)
@@ -76,7 +81,7 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestResponseRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	ops := []Op{OpPing, OpInsert, OpRead, OpUpdate, OpDelete, OpRMW, OpStats}
+	ops := []Op{OpPing, OpInsert, OpRead, OpUpdate, OpDelete, OpRMW, OpStats, OpAddDelta}
 	for iter := 0; iter < 2000; iter++ {
 		in := Response{Op: ops[rng.Intn(len(ops))], Status: Status(rng.Intn(3))}
 		switch {
@@ -145,6 +150,8 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"key over limit":     append([]byte{byte(OpRead), 0x81, 0x80, 0x40}, make([]byte, 10)...), // length 1<<20+1
 		"fields cut short":   {byte(OpUpdate), 1, 'k', 2, 1, 'f'},
 		"value len overflow": {byte(OpUpdate), 1, 'k', 1, 1, 'f', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"delta missing":      {byte(OpAddDelta), 1, 'k', 1, 'f'},
+		"delta truncated":    {byte(OpAddDelta), 1, 'k', 1, 'f', 0xff},
 	}
 	for name, frame := range cases {
 		var req Request

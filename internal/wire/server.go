@@ -243,9 +243,12 @@ func (s *Server) handle(conn net.Conn) {
 				kind, wrote = store.BatchDelete, true
 			case OpRMW:
 				kind, wrote = store.BatchRMW, true
+			case OpAddDelta:
+				kind, wrote = store.BatchAddDelta, true
 			}
 			opIdx = append(opIdx, len(ops))
-			ops = append(ops, store.BatchOp{Kind: kind, Key: req.Key, Fields: req.Fields})
+			ops = append(ops, store.BatchOp{Kind: kind, Key: req.Key, Fields: req.Fields,
+				Field: req.Field, Delta: req.Delta})
 		}
 		if len(ops) > 0 {
 			s.cfg.Grid.ApplyBatch(ops, results[:len(ops)])

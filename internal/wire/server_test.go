@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"net"
 	"strings"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -135,6 +138,110 @@ func TestServerPipelinedConcurrentConnections(t *testing.T) {
 	}
 	if snap.Batches < uint64(conns*rounds) {
 		t.Fatalf("batches %d below one per round per conn", snap.Batches)
+	}
+}
+
+// TestServerAddDeltaOverWire drives the leaderboard fast path end to
+// end: pipelined OpAddDelta frames fold in one window/epoch, a wire read
+// sees the exact folded sum, and the Stats blob carries the delta and
+// group-commit counters the scenario runner diffs.
+func TestServerAddDeltaOverWire(t *testing.T) {
+	env, err := bench.NewEnv(bench.GridConfig{
+		Backend: bench.JPFA,
+		Records: 4096,
+		Commit:  "async",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { env.Close() })
+	addr, _, stop := startTestServer(t, ServerConfig{
+		Grid:         env.Grid,
+		AwaitDurable: env.AwaitDurable,
+		StatsJSON: func() []byte {
+			b, err := json.Marshal(struct {
+				Stack *obs.StackSnapshot `json:"stack"`
+			}{env.Snapshot()})
+			if err != nil {
+				return []byte("{}")
+			}
+			return b
+		},
+	})
+	defer stop()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Insert("lb", []store.Field{{Name: "score", Value: make([]byte, 8)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One deep pipeline window of increments on the same hot key.
+	const window = 64
+	for i := 0; i < window; i++ {
+		if err := cl.Send(&Request{Op: OpAddDelta, Key: "lb", Field: "score", Delta: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	for i := 0; i < window; i++ {
+		if err := cl.Recv(&resp); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.Op != OpAddDelta || resp.Status != StatusOK {
+			t.Fatalf("recv %d: op %v status %d (%s)", i, resp.Op, resp.Status, resp.Msg)
+		}
+	}
+	if err := cl.AddDelta("lb", "score", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddDelta("nope", "score", 1); err != store.ErrNotFound {
+		t.Fatalf("missing key: %v, want ErrNotFound", err)
+	}
+
+	fields, found, err := cl.Read("lb")
+	if err != nil || !found {
+		t.Fatalf("read: found=%v err=%v", found, err)
+	}
+	var got int64 = -1
+	for _, f := range fields {
+		if f.Name == "score" && len(f.Value) == 8 {
+			got = int64(binary.LittleEndian.Uint64(f.Value))
+		}
+	}
+	if want := int64(window*3 + 8); got != want {
+		t.Fatalf("score over wire = %d, want %d", got, want)
+	}
+
+	blob, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Stack struct {
+			FA struct {
+				DeltaOps     uint64 `json:"delta_ops"`
+				DeltasFolded uint64 `json:"deltas_folded"`
+				Epochs       uint64 `json:"group_epochs"`
+				AsyncCommits uint64 `json:"async_commits"`
+			} `json:"fa"`
+		} `json:"stack"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("stats blob: %v\n%s", err, blob)
+	}
+	fa := doc.Stack.FA
+	if fa.DeltaOps == 0 || fa.DeltasFolded == 0 {
+		t.Fatalf("stats blob missing delta counters: %+v", fa)
+	}
+	if fa.Epochs == 0 || fa.AsyncCommits == 0 {
+		t.Fatalf("stats blob missing group counters: %+v", fa)
 	}
 }
 

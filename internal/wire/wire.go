@@ -54,6 +54,7 @@ const (
 	OpDelete
 	OpRMW
 	OpStats
+	OpAddDelta // appended after OpStats so committed corpora keep their op bytes
 	opMax
 )
 
@@ -74,6 +75,8 @@ func (o Op) String() string {
 		return "rmw"
 	case OpStats:
 		return "stats"
+	case OpAddDelta:
+		return "adddelta"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -98,6 +101,9 @@ type Request struct {
 	Op     Op
 	Key    string
 	Fields []store.Field
+	// Field and Delta carry the OpAddDelta counter increment.
+	Field string
+	Delta int64
 }
 
 // Response is one decoded server response.
@@ -137,6 +143,15 @@ type decoder struct {
 
 func (d *decoder) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
 	if n <= 0 {
 		return 0, ErrMalformed
 	}
@@ -218,6 +233,9 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	switch req.Op {
 	case OpInsert, OpUpdate, OpRMW:
 		dst = appendFields(dst, req.Fields)
+	case OpAddDelta:
+		dst = appendString(dst, req.Field)
+		dst = binary.AppendVarint(dst, req.Delta)
 	}
 	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-headerLen))
 	return dst
@@ -253,6 +271,17 @@ func DecodeRequest(frame []byte, req *Request) error {
 			return err
 		}
 		req.Fields = fs
+	case OpAddDelta:
+		field, err := d.str(MaxFieldName)
+		if err != nil {
+			return err
+		}
+		req.Field = field
+		delta, err := d.varint()
+		if err != nil {
+			return err
+		}
+		req.Delta = delta
 	}
 	return d.done()
 }

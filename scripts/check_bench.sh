@@ -25,6 +25,21 @@ if [ ! -f "$baseline" ]; then
     exit 1
 fi
 
+# The per-row comparison in `baseline -check` skips rows absent from the
+# committed file, so a baseline that silently lost its group/async rows
+# would stop gating pfence/op on the fence-combining modes (DESIGN.md
+# §13, §19) without any failure. Assert their presence up front: the
+# group and async rows are exactly where delta folding and fence
+# combining pay off, so they must stay under the regression gate.
+for mode in group async; do
+    n=$(grep -c "\"commit\": *\"$mode\"" "$baseline" || true)
+    if [ "${n:-0}" -eq 0 ]; then
+        echo "check_bench: baseline $baseline has no commit=$mode rows;" \
+             "pfence/op on the combining modes would go ungated" >&2
+        exit 1
+    fi
+done
+
 go run ./cmd/baseline -check "$baseline" -check-kops -check-allocs -tol "$tol"
 
 if [ -f "$recovery_ci" ]; then
