@@ -50,6 +50,16 @@ type Run struct {
 	// probe that the recovered heap accepts new operations).
 	Check func(img *nvm.Pool, parallelism int) error
 
+	// Audit, if set, runs after Check passes on tear-free images — every
+	// spec line dropped or persisted whole — and verifies pre-replay
+	// invariants over the raw crash image, e.g. fa.AuditCommittedSlots
+	// through a wrapping LogHandler. It is skipped on images with
+	// sub-line tears, where a torn retire write-back can legitimately
+	// persist a slot's zeroed count under its stale committed status;
+	// on tear-free images that state only arises when a commit mark
+	// outran its stage-1 log persist, which is a protocol bug.
+	Audit func(imgs []*nvm.Pool) error
+
 	// Multi-pool forms, used when Workload.Pools > 1 (DESIGN.md §17):
 	// the plug is pulled on the whole machine at once, so the fault
 	// plane spans every pool, ordering points count globally, and a
@@ -283,6 +293,30 @@ func safeCheck(run *Run, imgs []*nvm.Pool, parallelism int) (err error) {
 	return run.check(imgs, parallelism)
 }
 
+func safeAudit(run *Run, imgs []*nvm.Pool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("audit panicked: %v", r)
+		}
+	}()
+	return run.Audit(imgs)
+}
+
+// tearFree reports whether every spec line is dropped or persisted
+// whole. Sub-line tears mix word versions inside one cache line — a
+// retire's stale committed status over its fresh zeroed count is a legal
+// crash state — so Run.Audit is only sound without them.
+func tearFree(specs [][]nvm.CrashLine) bool {
+	for _, spec := range specs {
+		for _, cl := range spec {
+			if cl.Split != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // subsetSeed mixes (seed, point, sample) into the rng seed for one
 // subset draw (splitmix64 finalizer), so any sampled image is
 // reconstructible from its triple.
@@ -489,7 +523,11 @@ func Explore(w *Workload, opt Options) (*Report, error) {
 			rep.Images++
 			serialErr := safeCheck(crun, imagesFor(states, specs), 1)
 			parErr := safeCheck(crun, imagesFor(states, specs), opt.Par)
-			if serialErr == nil && parErr == nil {
+			var auditErr error
+			if serialErr == nil && parErr == nil && crun.Audit != nil && tearFree(specs) {
+				auditErr = safeAudit(crun, imagesFor(states, specs))
+			}
+			if serialErr == nil && parErr == nil && auditErr == nil {
 				continue
 			}
 			f := Failure{
@@ -499,19 +537,26 @@ func Explore(w *Workload, opt Options) (*Report, error) {
 				Seed:     opt.Seed,
 				Diverged: (serialErr == nil) != (parErr == nil),
 			}
-			if serialErr != nil {
+			switch {
+			case serialErr != nil:
 				f.Par, f.Err = 1, serialErr.Error()
-			} else {
+			case parErr != nil:
 				f.Par, f.Err = opt.Par, parErr.Error()
+			default:
+				f.Par, f.Err = 1, "audit: "+auditErr.Error()
 			}
 			if f.Diverged {
 				f.Err = fmt.Sprintf("serial=%v parallel=%v", serialErr, parErr)
 			}
-			min := minimizeSpecs(crun, states, specs, f.Par)
-			if len(min) == 1 {
-				f.Subset = min[0]
-			} else {
-				f.PoolSubsets = min
+			if auditErr == nil {
+				// Audit failures skip minimization: the greedy predicate
+				// replays Check only, which passes on these images.
+				min := minimizeSpecs(crun, states, specs, f.Par)
+				if len(min) == 1 {
+					f.Subset = min[0]
+				} else {
+					f.PoolSubsets = min
+				}
 			}
 			rep.Failures = append(rep.Failures, f)
 			logf("%s", f.String())

@@ -60,6 +60,29 @@ func openCheckHeap(img *nvm.Pool, classes []*core.Class, mgr *fa.Manager, parall
 	})
 }
 
+// auditLogHandler audits the crash image before delegating replay: a log
+// slot durably marked committed with a zero entry count replays as an
+// empty transaction, silently dropping a commit — the signature of a
+// commit mark that outran its stage-1 persist (the delta-materialization
+// regression). Only sound for workloads that never commit empty blocks.
+type auditLogHandler struct{ mgr *fa.Manager }
+
+func (a auditLogHandler) RecoverLogs(h *core.Heap, opts core.RecoverOptions) error {
+	if err := fa.AuditCommittedSlots(h); err != nil {
+		return err
+	}
+	return a.mgr.RecoverLogs(h, opts)
+}
+
+func openAuditHeap(img *nvm.Pool, classes []*core.Class, mgr *fa.Manager, parallelism int) (*core.Heap, error) {
+	return core.Open(img, core.Config{
+		HeapOptions: heap.Options{LogSlots: 16, LogSlotSize: 1 << 14},
+		Classes:     classes,
+		LogHandler:  auditLogHandler{mgr},
+		Recover:     core.RecoverOptions{Parallelism: parallelism},
+	})
+}
+
 // ---- bank: J-PFA failure-atomic transfers (§5.3.3) ----
 
 // bankWorkload checks strict all-or-nothing atomicity: after a crash at
@@ -493,6 +516,14 @@ func gridDeltaWorkload() *Workload {
 		var g *store.Grid
 		var mgr *fa.Manager
 		return &Run{
+			// On tear-free images a committed log slot with a zero entry
+			// count means a commit mark outran its stage-1 persist — the
+			// signature of a delta materialization whose fold would
+			// silently drop at replay (fa.epochStage1's regression).
+			Audit: func(imgs []*nvm.Pool) error {
+				_, err := openAuditHeap(imgs[0], gridClasses(), fa.NewManager(), 1)
+				return err
+			},
 			Setup: func(pool *nvm.Pool) error {
 				mgr = fa.NewManager()
 				h, err := openCheckHeap(pool, gridClasses(), mgr, 1)

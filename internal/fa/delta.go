@@ -18,7 +18,16 @@
 //     or Free of a block drains while the block has a pending delta. So
 //     each epoch keeps the disjoint-write-set property parallel replay
 //     relies on, and a materialized fold always reads the post-apply
-//     image of its block.
+//     image of its block. While the epoch carrying a fold is in flight,
+//     the fold's block sits in the pending set like a queued commit's
+//     blocks, so no transactional snapshot forks it mid-apply. These
+//     two drains cover queued commits only:
+//     an *open* transaction's write set is invisible to the manager, so
+//     a delta folded on a block between another Tx's first touch of it
+//     and that Tx's enqueue would be clobbered by the Tx's pre-fold
+//     snapshot. Callers must therefore serialize AddDelta against open
+//     transactional writers of the same block — the grid does this with
+//     its per-key stripe locks, held across both Commit and AddDelta.
 //   - The watermark only advances over materialized tickets: the drain
 //     acknowledges min(issued-at-snapshot, first-unmaterialized-1), so a
 //     ledger entry left behind by slot exhaustion keeps every ticket that
@@ -40,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/heap"
+	"repro/internal/nvm"
 )
 
 // ErrDeltaUnsupported is returned by AddDelta outside async commit mode;
@@ -78,6 +88,12 @@ const (
 // ticket passes the watermark (AwaitDurable), and any transactional or
 // settled read of the block drains it first. Outside async mode it
 // returns ErrDeltaUnsupported.
+//
+// Caller contract: AddDelta must not race an open failure-atomic block
+// that has already touched orig but not yet committed — the manager only
+// sees queued commits, so such a fold would be overwritten by the open
+// block's earlier snapshot at its epoch apply (see the package comment;
+// the grid's stripe locks provide this serialization).
 func (m *Manager) AddDelta(orig core.Ref, off uint64, delta int64) (uint64, error) {
 	g := m.group.Load()
 	if g == nil || g.mode != CommitAsync {
@@ -163,7 +179,12 @@ func (g *groupState) materializeLocked() (dtxs []*Tx, leftoverMin uint64) {
 	newTx := func() bool {
 		t, err := g.m.Begin()
 		if err != nil {
-			return false
+			// No free slot: fall back to the group's reserved Tx, so a
+			// drain lands at least one chunk however many application
+			// blocks hold the pool (the waitClear progress guarantee).
+			if t = g.takeReservedLocked(); t == nil {
+				return false
+			}
 		}
 		t.grp = nil
 		tx = t
@@ -204,6 +225,13 @@ func (g *groupState) materializeLocked() (dtxs []*Tx, leftoverMin uint64) {
 		if g.deltaBlocks[k.orig]--; g.deltaBlocks[k.orig] <= 0 {
 			delete(g.deltaBlocks, k.orig)
 		}
+		// The block leaves the ledger now but its fold is only applied
+		// when the epoch completes: park it in pending — exactly like a
+		// queued commit's blocks — so waitClear and AddDelta keep
+		// treating it as held until drainLocked clears the epoch's
+		// origs. Without this a transactional snapshot taken during the
+		// drain would race the fold's apply and fork history.
+		g.pending[k.orig] = struct{}{}
 		g.backlog.Add(-1)
 		g.m.stats.DeltaEntries.Inc()
 	}
@@ -242,6 +270,76 @@ func (tx *Tx) foldDelta(orig core.Ref, off uint64, sum int64) error {
 	pool.WriteUint64(p, pool.ReadUint64(p)+uint64(sum))
 	tx.flush.AddRange(p, 8)
 	return nil
+}
+
+// reserveDeltaTx withholds one log slot from the general pool and parks
+// a pre-built transaction on g: delta materialization then always has a
+// slot to land a ledger chunk in, which is the progress guarantee the
+// waitClear/AwaitDurable drain loops rely on (without it, a Tx freeing a
+// block with a pending delta while every slot is held — its own included
+// — would spin forever). Called with no blocks in flight (SetGroupCommit
+// enforces inUse == 0; RecoverLogs runs at attach), so every slot is in
+// the cache or on the freelist. A heap with fewer than two slots skips
+// the reservation — withholding its only slot would break Begin outright
+// — and keeps the yield fallback.
+func (m *Manager) reserveDeltaTx(g *groupState) {
+	st := m.state.Load()
+	if st == nil || st.total < 2 {
+		return
+	}
+	if tx := m.cache.get(); tx != nil {
+		tx.reserved = g
+		g.deltaTx.Store(tx)
+		return
+	}
+	slot, ok := m.slots.pop()
+	if !ok {
+		return
+	}
+	g.deltaTx.Store(&Tx{
+		m:          m,
+		h:          st.h,
+		slot:       slot,
+		base:       st.off + uint64(slot*st.size),
+		maxEntries: uint64((st.size - slotEntries) / entrySize),
+		inflight:   make(map[core.Ref]int),
+		allocs:     make(map[core.Ref]bool),
+		proxies:    make(map[core.Ref]core.PObject),
+		flush:      nvm.NewFlushSet(),
+		blocks:     st.h.Mem().NewTransientPool(transientCap),
+		reserved:   g,
+	})
+}
+
+// unreserveDeltaTx returns the current group's reserved slot, if any, to
+// the general pool; SetGroupCommit calls it before replacing the group
+// state so a mode switch never leaks the slot.
+func (m *Manager) unreserveDeltaTx() {
+	g := m.group.Load()
+	if g == nil || g.mode != CommitAsync {
+		return
+	}
+	if tx := g.deltaTx.Swap(nil); tx != nil {
+		tx.reserved = nil
+		tx.blocks.Drain()
+		m.slots.push(tx.slot)
+	}
+}
+
+// takeReservedLocked claims the group's reserved materialization Tx with
+// Begin's bookkeeping. Caller holds g.mu with g.draining false, so the
+// previous drain has handed the Tx back already; nil means the group
+// never reserved one (sub-two-slot heap) or this drain filled it.
+func (g *groupState) takeReservedLocked() *Tx {
+	t := g.deltaTx.Swap(nil)
+	if t == nil {
+		return nil
+	}
+	t.depth = 1
+	g.m.inUse.Add(1)
+	g.m.stats.Begun.Inc()
+	g.m.stats.TxReuse.Inc()
+	return t
 }
 
 // deltaYield backs off when a drain found work but no free slot; the

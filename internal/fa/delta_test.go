@@ -1,6 +1,7 @@
 package fa
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -371,6 +372,196 @@ func TestDeltaRecoverDiscardsLedger(t *testing.T) {
 	}
 	if snap := mgr2.ObsSnapshot(); snap.WatermarkLag != 0 {
 		t.Fatalf("watermark lag %d after recovery, want 0", snap.WatermarkLag)
+	}
+}
+
+// TestDeltaCrashAfterEpochCommitPointReplays is the dropped-fold
+// regression: a detached materialization must complete stage 1 (durable
+// entry count, patched masks, flushed images) before the epoch's commit
+// marks, so a crash just past F1 — the epoch commit point — replays the
+// fold together with its same-epoch sibling commit. Before the fix the
+// sibling recovered while the fold's slot replayed zero entries,
+// breaking the all-or-nothing epoch property.
+func TestDeltaCrashAfterEpochCommitPointReplays(t *testing.T) {
+	pool := nvm.New(1<<21, nvm.Options{Tracked: true})
+	h, mgr, _, cls := reopenFA(t, pool)
+	if err := mgr.SetGroupCommit(GroupOptions{Mode: CommitAsync, ManualDrain: true}); err != nil {
+		t.Fatal(err)
+	}
+	a := newAccount(t, h, cls, 100, 0, "a")
+	b := newAccount(t, h, cls, 200, 0, "b")
+
+	tx, err := mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteUint64(a.Core(), accA, 150); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.CommitTicket(); err != nil {
+		t.Fatal(err)
+	}
+	blk, off := blockOf(b)
+	if _, err := mgr.AddDelta(blk, off, 10); err != nil {
+		t.Fatal(err)
+	}
+	mgr.drainEpochPrefix(2) // crash just past F1
+
+	img := pool.CrashImage(nvm.CrashStrict, rand.New(rand.NewSource(1)))
+	h2, _, _, _ := reopenFA(t, img)
+	for name, want := range map[string]uint64{"a": 150, "b": 210} {
+		po, err := h2.Root().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := po.(*account).ReadUint64(accA); v != want {
+			t.Fatalf("%s = %d after post-F1 crash, want %d (epoch replays all-or-nothing)", name, v, want)
+		}
+	}
+}
+
+// auditProbe runs the committed-slot audit on the crash image before
+// delegating replay — the same wiring the crashmc griddelta check uses.
+type auditProbe struct {
+	mgr *Manager
+	err error
+}
+
+func (p *auditProbe) RecoverLogs(h *core.Heap, opts core.RecoverOptions) error {
+	p.err = AuditCommittedSlots(h)
+	return p.mgr.RecoverLogs(h, opts)
+}
+
+// TestDeltaAuditCatchesMissingStage1 pins that AuditCommittedSlots
+// detects the dropped-fold signature: a commit mark over a slot whose
+// durable entry count is still zero (stage 2 outran stage 1).
+func TestDeltaAuditCatchesMissingStage1(t *testing.T) {
+	pool := nvm.New(1<<21, nvm.Options{Tracked: true})
+	h, mgr, _, cls := reopenFA(t, pool)
+	acc := newAccount(t, h, cls, 100, 0, "acc")
+	tx, err := mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteUint64(acc.Core(), accA, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.commitStage2Body() // commit mark with stage 1 deliberately skipped
+	h.Pool().PFence()
+
+	img := pool.CrashImage(nvm.CrashStrict, rand.New(rand.NewSource(1)))
+	probe := &auditProbe{mgr: NewManager()}
+	if _, err := core.Open(img, core.Config{
+		HeapOptions: heap.Options{LogSlots: 4, LogSlotSize: 1 << 14},
+		Classes:     []*core.Class{accountClass()},
+		LogHandler:  probe,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if probe.err == nil {
+		t.Fatal("audit accepted a committed slot with a durable entry count of zero")
+	}
+}
+
+// TestDeltaFreeWithAllSlotsHeld is the self-livelock regression: a Tx
+// freeing a block with a pending delta while the application holds every
+// general log slot — its own included — must still make progress,
+// because materialization falls back to the group's reserved slot.
+// Before the reservation this spun forever in waitClear (test timeout).
+func TestDeltaFreeWithAllSlotsHeld(t *testing.T) {
+	pool := nvm.New(1<<22, nvm.Options{})
+	cls := accountClass()
+	mgr := NewManager()
+	h, err := core.Open(pool, core.Config{
+		HeapOptions: heap.Options{LogSlots: 2, LogSlotSize: 1 << 12},
+		Classes:     []*core.Class{cls},
+		LogHandler:  mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SetGroupCommit(GroupOptions{Mode: CommitAsync, ManualDrain: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Unrooted on purpose, as in TestDeltaThenFreeSettles.
+	vpo, err := h.Alloc(cls, accLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := vpo.(*account)
+	victim.WriteUint64(accA, 5)
+	victim.PWB()
+	victim.Validate()
+	vblk, voff := blockOf(victim)
+	if _, err := mgr.AddDelta(vblk, voff, 3); err != nil {
+		t.Fatal(err)
+	}
+	// One reserved slot + one general slot: the Run below takes the last
+	// general slot, then Free must drain the victim's delta with no free
+	// slot anywhere but the reserved one.
+	if err := mgr.Run(func(tx *Tx) error { return tx.Free(victim) }); err != nil {
+		t.Fatal(err)
+	}
+	mgr.DrainDurable()
+	if n := h.Fsck(func(string) {}); n != 0 {
+		t.Fatalf("fsck reported %d errors after free-with-all-slots-held", n)
+	}
+}
+
+// TestDeltaReservedSlotModeSwitch pins that switching commit modes
+// returns the reserved materialization slot to the pool — repeated
+// switches must not leak slots, and async mode must keep exactly one
+// withheld.
+func TestDeltaReservedSlotModeSwitch(t *testing.T) {
+	h, mgr, _, cls := openFA(t, false) // LogSlots: 4
+	for i := 0; i < 8; i++ {
+		if err := mgr.SetGroupCommit(GroupOptions{Mode: CommitAsync, ManualDrain: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.SetGroupCommit(GroupOptions{Mode: CommitPerTx}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All four slots usable again in per-Tx mode.
+	txs := make([]*Tx, 0, 4)
+	for i := 0; i < 4; i++ {
+		tx, err := mgr.Begin()
+		if err != nil {
+			t.Fatalf("Begin %d after mode switches: %v (leaked reserved slot?)", i, err)
+		}
+		txs = append(txs, tx)
+	}
+	for _, tx := range txs {
+		tx.Abort()
+	}
+	// Async mode withholds exactly one: three concurrent blocks fit, the
+	// fourth fails, and a delta still drains through the reserved slot.
+	if err := mgr.SetGroupCommit(GroupOptions{Mode: CommitAsync, ManualDrain: true}); err != nil {
+		t.Fatal(err)
+	}
+	acc := newAccount(t, h, cls, 0, 0, "acc")
+	for i := 0; i < 3; i++ {
+		tx, err := mgr.Begin()
+		if err != nil {
+			t.Fatalf("Begin %d in async mode: %v", i, err)
+		}
+		txs[i] = tx
+	}
+	if tx, err := mgr.Begin(); err == nil {
+		t.Fatal("fourth Begin succeeded; the reserved slot leaked into the pool")
+		_ = tx
+	}
+	blk, off := blockOf(acc)
+	ticket, err := mgr.AddDelta(blk, off, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.AwaitDurable(ticket)
+	if v := acc.ReadUint64(accA); v != 7 {
+		t.Fatalf("folded value = %d, want 7", v)
+	}
+	for i := 0; i < 3; i++ {
+		txs[i].Abort()
 	}
 }
 

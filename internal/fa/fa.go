@@ -251,6 +251,10 @@ func (m *Manager) RecoverLogs(h *core.Heap, opts core.RecoverOptions) error {
 		g.backlog.Store(0)
 		g.durable = g.issued
 		g.draining = false
+		// The reserved materialization Tx is bound to the previous
+		// attachment; drop it — slots.init below reclaims its slot and
+		// the re-reservation at the end of this function replaces it.
+		g.deltaTx.Store(nil)
 		g.mu.Unlock()
 	}
 	pool := h.Pool()
@@ -299,6 +303,34 @@ func (m *Manager) RecoverLogs(h *core.Heap, opts core.RecoverOptions) error {
 	m.slots.init(slots)
 	m.cache.reset(slots)
 	m.inUse.Store(0)
+	if g := m.group.Load(); g != nil && g.mode == CommitAsync {
+		m.reserveDeltaTx(g)
+	}
+	return nil
+}
+
+// AuditCommittedSlots scans the heap's log area and reports an error for
+// any slot durably marked committed while its entry count is zero. A
+// workload that never commits empty blocks can run this before replay as
+// a crash-image audit: a committed zero-count slot is the signature of a
+// commit mark that outran its stage-1 log persist (e.g. a delta
+// materialization skipping commitStage1Body), whose replay would
+// silently drop the transaction. Two caveats: call it before RecoverLogs
+// runs (replay retires every committed slot), and only on tear-free
+// crash images — a sub-line tear of the retire write-back can
+// legitimately persist the zeroed count under the stale committed status
+// of a transaction whose apply is already durable (crashmc's Run.Audit
+// gates on exactly this).
+func AuditCommittedSlots(h *core.Heap) error {
+	off, slots, slotSize := h.Mem().LogArea()
+	pool := h.Pool()
+	for i := 0; i < slots; i++ {
+		base := off + uint64(i*slotSize)
+		if pool.ReadUint64(base+slotStatus) == statusCommitted &&
+			pool.ReadUint64(base+slotCount) == 0 {
+			return fmt.Errorf("fa: log slot %d durably committed with zero entries (stage-1 persist missing)", i)
+		}
+	}
 	return nil
 }
 
@@ -327,10 +359,12 @@ func applyEntries(pool *nvm.Pool, mem *heap.Heap, base, count uint64, fs *nvm.Fl
 // copyDirtyLines copies the masked lines of the in-flight block inf over
 // the original block orig, skipping the header word: line 0's copy starts
 // at HeaderSize so the original's identity is never overwritten. A zero
-// mask copies the whole payload.
+// mask copies the whole payload. The copies store word-atomically because
+// the destination block is live: lock-free probes (Object.ReadRefAtomic)
+// may be reading its ref words while the apply publishes them.
 func copyDirtyLines(pool *nvm.Pool, orig, inf uint64, mask uint8, fs *nvm.FlushSet) {
 	if mask == 0 {
-		pool.CopyWithin(orig+heap.HeaderSize, inf+heap.HeaderSize, heap.Payload)
+		pool.CopyWithinAtomic(orig+heap.HeaderSize, inf+heap.HeaderSize, heap.Payload)
 		if fs != nil {
 			fs.AddRange(orig+heap.HeaderSize, heap.Payload)
 		} else {
@@ -346,7 +380,7 @@ func copyDirtyLines(pool *nvm.Pool, orig, inf uint64, mask uint8, fs *nvm.FlushS
 		if l == 0 {
 			off, n = heap.HeaderSize, nvm.LineSize-heap.HeaderSize
 		}
-		pool.CopyWithin(orig+off, inf+off, n)
+		pool.CopyWithinAtomic(orig+off, inf+off, n)
 		if fs != nil {
 			fs.Add(orig + l*nvm.LineSize)
 		} else {
@@ -405,6 +439,11 @@ type Tx struct {
 	// ticket is the epoch ticket of an enqueued async commit.
 	grp    *groupState
 	ticket uint64
+
+	// reserved marks the group's dedicated delta-materialization
+	// transaction (delta.go): release parks it back on its group instead
+	// of the shared cache, so its slot never rejoins the general pool.
+	reserved *groupState
 }
 
 // Defer registers a volatile follow-up (mirror updates, cache fills) that
@@ -511,6 +550,10 @@ func (tx *Tx) release() {
 	tx.ticket = 0
 	m := tx.m
 	m.inUse.Add(-1)
+	if g := tx.reserved; g != nil {
+		g.deltaTx.Store(tx)
+		return
+	}
 	if !m.cache.put(tx) {
 		tx.blocks.Drain()
 		m.slots.push(tx.slot)
@@ -832,6 +875,13 @@ func (tx *Tx) Abort() {
 
 // Manager returns the owning manager (used by libraries layered on fa).
 func (tx *Tx) Manager() *Manager { return tx.m }
+
+// AsyncCommit reports whether this block commits through an epoch queue:
+// Commit acknowledges at enqueue and the apply runs at a later drain. In
+// that mode Defer callbacks fire at drain time, so libraries must not
+// gate their own critical sections on them (the transactional read path
+// already waits out pending epoch applies per block instead).
+func (tx *Tx) AsyncCommit() bool { return tx.grp != nil }
 
 // Heap returns the heap this block operates on.
 func (tx *Tx) Heap() *core.Heap { return tx.h }

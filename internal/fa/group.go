@@ -107,6 +107,15 @@ type groupState struct {
 	order       []deltaKey
 	deltaBlocks map[core.Ref]int
 	backlog     atomic.Int64
+	// deltaTx parks the group's reserved materialization transaction: one
+	// log slot withheld from the general pool so a drain can always land
+	// at least one ledger chunk, however many application blocks hold the
+	// other slots (without it, tx.Free → waitClear with every slot open —
+	// the waiter's included — would busy-spin forever). It is taken under
+	// g.mu by materializeLocked and handed back by release after the
+	// epoch retires it; drains are serialized by g.draining, so at most
+	// one taker exists.
+	deltaTx atomic.Pointer[Tx]
 }
 
 // SetGroupCommit switches the manager's commit mode. It must be called
@@ -118,8 +127,10 @@ func (m *Manager) SetGroupCommit(opts GroupOptions) error {
 	}
 	switch opts.Mode {
 	case CommitPerTx:
+		m.unreserveDeltaTx()
 		m.group.Store(nil)
 	case CommitGroup:
+		m.unreserveDeltaTx()
 		m.group.Store(&groupState{m: m, mode: CommitGroup, combiner: nvm.NewFenceCombiner()})
 	case CommitAsync:
 		target := opts.BatchTarget
@@ -136,7 +147,9 @@ func (m *Manager) SetGroupCommit(opts GroupOptions) error {
 			deltaBlocks: make(map[core.Ref]int),
 		}
 		g.cond = sync.NewCond(&g.mu)
+		m.unreserveDeltaTx()
 		m.group.Store(g)
+		m.reserveDeltaTx(g)
 	default:
 		return fmt.Errorf("fa: unknown commit mode %d", opts.Mode)
 	}
@@ -276,9 +289,10 @@ func (g *groupState) drainLocked() {
 	dtxs, leftoverMin := g.materializeLocked()
 	if len(batch) == 0 && len(dtxs) == 0 {
 		if leftoverMin != 0 {
-			// Ledger entries exist but no log slot was free: the holders
-			// are open application blocks. Yield so they can finish, then
-			// let the caller's loop retry.
+			// Ledger entries exist but no log slot was free — not even
+			// the reserved one (only possible on a heap too small to
+			// reserve, see reserveDeltaTx). Yield so the holders, open
+			// application blocks, can finish; the caller's loop retries.
 			g.mu.Unlock()
 			deltaYield()
 			g.mu.Lock()
@@ -327,6 +341,22 @@ func (g *groupState) drainLocked() {
 // after F3, so no retired slot can collect fresh entries while its old
 // committed mark is still durable. Earlier epochs were fully retired
 // before this epoch's marks were written, hence the prefix property.
+// epochStage1 completes stage 1 for an epoch batch. Queued commits
+// persisted their log, masks and write set at enqueue; detached delta
+// materializations (ticket 0) never passed enqueue and run
+// commitStage1Body here instead — their entry count, patched line masks
+// and in-flight images must be durable under F0, or the stage-2 commit
+// mark would land on a slot whose durable count is still 0 and recovery
+// would replay the fold as an empty transaction, silently dropping it
+// while its same-epoch siblings apply.
+func epochStage1(batch []*Tx) {
+	for _, tx := range batch {
+		if tx.ticket == 0 {
+			tx.commitStage1Body()
+		}
+	}
+}
+
 func (g *groupState) drainEpoch(batch []*Tx) (origs []core.Ref) {
 	pool := batch[0].h.Pool()
 	// Capture the pending originals for removal after the epoch: the
@@ -340,6 +370,7 @@ func (g *groupState) drainEpoch(batch []*Tx) (origs []core.Ref) {
 			origs = append(origs, tx.writes[i].orig)
 		}
 	}
+	epochStage1(batch)
 	pool.PFence() // F0
 	for _, tx := range batch {
 		tx.commitStage2Body()

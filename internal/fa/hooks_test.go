@@ -29,3 +29,34 @@ func (tx *Tx) commitPrefix(stage int) {
 	}
 	// The crash happens here: no cleanup, no release.
 }
+
+// drainEpochPrefix pulls the async queue and delta ledger and executes
+// the first `stage` fence windows of the epoch pipeline (group.go
+// drainEpoch), then stops dead, simulating a crash inside a drain. It
+// composes the same stage helpers drainEpoch does — materializeLocked,
+// epochStage1, the per-Tx stage bodies — so the staging cannot drift
+// from the real protocol:
+//
+//	1 — stage 1 complete (detached materializations included) + F0
+//	2 — + every commit mark written back + F1, the epoch commit point
+func (m *Manager) drainEpochPrefix(stage int) {
+	g := m.group.Load()
+	g.mu.Lock()
+	batch := g.queue
+	dtxs, _ := g.materializeLocked()
+	g.queue = nil
+	g.mu.Unlock()
+	all := append(dtxs, batch...)
+	pool := m.state.Load().h.Pool()
+	if stage >= 1 {
+		epochStage1(all)
+		pool.PFence() // F0
+	}
+	if stage >= 2 {
+		for _, tx := range all {
+			tx.commitStage2Body()
+		}
+		pool.PFence() // F1
+	}
+	// The crash happens here: no apply, no retire, no release.
+}

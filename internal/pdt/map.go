@@ -103,7 +103,10 @@ func (c *hotCache) del(k string) {
 // stable), and loads the ref words atomically. Structural writers — Put
 // of a new key, Delete, Remove, array growth, the transactional paths —
 // serialize on wmu and additionally take the key's shard write lock for
-// the window that retires or publishes a binding. Put over an existing
+// the window that retires or publishes a binding. A per-Tx transactional
+// writer's commit apply outlives its wmu window, so the transactional
+// paths additionally gate on the predecessor's apply (gateWait/gateArm).
+// Put over an existing
 // binding mutates only that pair's value word and runs concurrently with
 // everything else; same-key exclusion between such updates and readers is
 // the caller's (e.g. the grid's lock striping, as with Infinispan in
@@ -115,7 +118,8 @@ type Map struct {
 	arrp  atomic.Pointer[PRefArray] // current backing array, atomically swapped by growth
 	kind  MirrorKind
 	mir   mirror
-	slots []int // free slot indices (guarded by wmu)
+	gate  chan struct{} // closed when the last per-Tx structural commit's apply landed (guarded by wmu)
+	slots []int         // free slot indices (guarded by wmu)
 	mode  CacheMode
 	cache proxyCache // nil in base mode
 }
@@ -713,6 +717,39 @@ func (m *Map) takeSlotLocked(tx *fa.Tx) (int, error) {
 
 // ---- Transactional operations (the J-PFA backend path) ----
 
+// gateWait orders this structural transaction's shared-block access after
+// the previous structural transaction's commit apply. wmu serializes the
+// bodies, but a per-Tx commit applies its redo entries after the body
+// returned and wmu was released; without the wait the next writer could
+// snapshot the backing array mid-apply and commit the pre-apply image
+// back over it — a lost update of the predecessor's slot swing (and a
+// plain-read race against the apply's atomic line stores). Called with
+// wmu held, before the first tx read or write of a shared map block.
+func (m *Map) gateWait() {
+	if ch := m.gate; ch != nil {
+		<-ch
+	}
+}
+
+// gateArm registers tx as the structural predecessor the next writer must
+// wait out. The channel closes once the apply has landed (Defer) or the
+// block aborted (OnAbort) — exactly one of the two fires. Async commits
+// do not arm: their Defer only runs at epoch drain, and the transactional
+// read path already waits out pending epoch applies per block (waitClear),
+// so gating on them would stall every writer until the next drain. Called
+// with wmu held, after every OnAbort of the op, so the LIFO rollback
+// order runs the gate release before any rollback that re-takes wmu.
+func (m *Map) gateArm(tx *fa.Tx) {
+	if tx.AsyncCommit() {
+		return
+	}
+	ch := make(chan struct{})
+	done := func() { close(ch) }
+	tx.Defer(done)
+	tx.OnAbort(done)
+	m.gate = ch
+}
+
 // PutTx binds key to val inside a failure-atomic block. val must have been
 // allocated in the same block (it is validated by the commit). The caller
 // must serialize access to the map across the whole block, as the store's
@@ -721,6 +758,7 @@ func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 	h := m.Heap()
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
+	m.gateWait()
 	if idx, ok := m.mir.get(key); ok {
 		// Transactional slot read: a queued async epoch may still hold
 		// the insert that created this binding.
@@ -750,6 +788,7 @@ func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 			key := strings.Clone(key)
 			tx.Defer(func() { m.cache.put(key, val) })
 		}
+		m.gateArm(tx)
 		return nil
 	}
 	idx, err := m.takeSlotLocked(tx)
@@ -786,6 +825,7 @@ func (m *Map) PutTx(tx *fa.Tx, key string, val core.PObject) error {
 	if m.cache != nil {
 		tx.Defer(func() { m.cache.put(key, val) })
 	}
+	m.gateArm(tx)
 	return nil
 }
 
@@ -795,6 +835,7 @@ func (m *Map) DeleteTx(tx *fa.Tx, key string) (bool, error) {
 	h := m.Heap()
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
+	m.gateWait()
 	idx, ok := m.mir.get(key)
 	if !ok {
 		return false, nil
@@ -851,5 +892,6 @@ func (m *Map) DeleteTx(tx *fa.Tx, key string) (bool, error) {
 			m.cache.del(key)
 		}
 	})
+	m.gateArm(tx)
 	return true, nil
 }

@@ -3,6 +3,7 @@ package pdt
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -578,6 +579,67 @@ func TestMapAsyncGrowthKeepsQueuedBindings(t *testing.T) {
 		key := fmt.Sprintf("k%03d", i)
 		if v, ok := getStr(t, m, key); !ok || v != "v"+key {
 			t.Fatalf("binding %q lost across growth: %q %v", key, v, ok)
+		}
+	}
+}
+
+// TestMapTxStructuralChurnConcurrent hammers PutTx/DeleteTx from several
+// goroutines over distinct keys whose array slots share cache lines. A
+// per-Tx commit applies its redo lines after the body released wmu; before
+// the gateWait/gateArm ordering, the next writer could snapshot the array
+// mid-apply and commit the pre-apply line back, silently reverting the
+// predecessor's slot swing (resurrected deletes / lost inserts).
+func TestMapTxStructuralChurnConcurrent(t *testing.T) {
+	h, mgr, _ := openPDT(t, 1<<23, false)
+	m := newTestMap(t, h, MirrorHash, "m")
+	const workers, rounds = 4, 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				err := mgr.Run(func(tx *fa.Tx) error {
+					v, err := NewBytesTx(tx, []byte("v"+key))
+					if err != nil {
+						return err
+					}
+					return m.PutTx(tx, key, v)
+				})
+				if err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+				if i == 0 {
+					continue
+				}
+				prev := fmt.Sprintf("w%d-%d", w, i-1)
+				err = mgr.Run(func(tx *fa.Tx) error {
+					ok, err := m.DeleteTx(tx, prev)
+					if err == nil && !ok {
+						return fmt.Errorf("delete %s: binding lost", prev)
+					}
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != workers {
+		t.Fatalf("Len = %d after churn, want %d", m.Len(), workers)
+	}
+	for w := 0; w < workers; w++ {
+		key := fmt.Sprintf("w%d-%d", w, rounds-1)
+		if v, ok := getStr(t, m, key); !ok || v != "v"+key {
+			t.Fatalf("survivor %q: %q %v", key, v, ok)
+		}
+		if _, ok := getStr(t, m, fmt.Sprintf("w%d-%d", w, rounds-2)); ok {
+			t.Fatalf("deleted binding w%d-%d resurrected", w, rounds-2)
 		}
 	}
 }
